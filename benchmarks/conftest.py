@@ -1,0 +1,26 @@
+"""Shared benchmark fixtures: persist every regenerated artefact to disk."""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    """Directory where each bench writes its regenerated table/figure."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def save_report(results_dir):
+    """Callable: save_report(name, text) -> path of the written artefact."""
+
+    def _save(name: str, text: str):
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        return path
+
+    return _save

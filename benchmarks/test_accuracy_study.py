@@ -1,0 +1,15 @@
+"""Bench E4 -- regenerates the Sec. IV-B accuracy study (trains a model)."""
+
+from repro.experiments import run_accuracy_study
+
+
+def test_accuracy_study(benchmark, save_report):
+    # pytest-benchmark re-runs the callable; keep each run modest.
+    report = benchmark.pedantic(run_accuracy_study, rounds=1, iterations=1)
+    save_report("accuracy_study", report.format())
+    result = report.extras["result"]
+    # The reproduction target is the ordering + gap structure.
+    assert result.ordering_holds(), result.hit_rates
+    assert result.distance_gap >= result.quantisation_gap >= 0.0
+    for name, value in result.hit_rates.items():
+        assert 0.15 < value < 0.40, (name, value)

@@ -1,0 +1,15 @@
+"""Bench A6 -- crossbar non-ideality ablation (analog CTR accuracy)."""
+
+from repro.experiments import run_analog_accuracy
+
+
+def test_analog_accuracy(benchmark, save_report):
+    report = benchmark.pedantic(run_analog_accuracy, rounds=1, iterations=1)
+    lines = [report.format(), "", "(sigma, ADC bits) -> AUC:"]
+    for point in report.extras["points"]:
+        lines.append(
+            f"  sigma={point.conductance_sigma:5.2f} adc={point.adc_bits}b: "
+            f"AUC {point.auc:.4f}"
+        )
+    save_report("analog_accuracy", "\n".join(lines))
+    assert report.all_within(0.0), report.format()

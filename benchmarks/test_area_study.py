@@ -1,0 +1,14 @@
+"""Bench A5 -- area accounting of the provisioned fabric and workloads."""
+
+from repro.experiments import run_area_study
+
+
+def test_area_study(benchmark, save_report):
+    report = benchmark(run_area_study)
+    full = report.extras["full"]
+    lines = [report.format(), "", "provisioned fabric area breakdown:"]
+    for component, fraction in full.breakdown().items():
+        lines.append(f"  {component:<18s} {fraction * 100:5.1f}%")
+    lines.append(f"  total {full.total_mm2:.1f} mm^2")
+    save_report("area_study", "\n".join(lines))
+    assert report.all_within(0.01), report.format()

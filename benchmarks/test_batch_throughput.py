@@ -1,0 +1,19 @@
+"""Bench A4 -- batching extension: throughput beyond the batch-1 protocol."""
+
+from repro.experiments import run_batch_throughput
+
+
+def test_batch_throughput(benchmark, save_report):
+    report = benchmark(run_batch_throughput)
+    lines = [report.format(), "", "batch size -> QPS:"]
+    for point in report.extras["points"]:
+        lines.append(
+            f"  batch {point.batch_size:>4d}: GPU {point.gpu_qps:>12,.0f} q/s, "
+            f"iMARS (pipelined) {point.imars_qps:>12,.0f} q/s"
+        )
+    save_report("batch_throughput", "\n".join(lines))
+    by_name = {c.name: c for c in report.comparisons}
+    assert by_name["GPU batch-1 QPS (paper protocol)"].within(0.10)
+    flags = [c for c in report.comparisons if c.published == 1 and c.unit == ""]
+    for comparison in flags:
+        assert comparison.measured == 1, comparison.format_row()

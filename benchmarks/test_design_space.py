@@ -1,0 +1,38 @@
+"""Bench A1 -- design-space ablations (fan-ins, bus width)."""
+
+from repro.experiments import run_design_space
+
+
+def _format_points(title, points):
+    lines = [title]
+    lines.append(
+        f"  {'value':>6s} {'latency (ns)':>14s} {'energy (pJ)':>13s} {'area proxy':>12s}"
+    )
+    for point in points:
+        lines.append(
+            f"  {point.value:>6d} {point.latency_ns:>14.1f} "
+            f"{point.energy_pj:>13.1f} {point.area_proxy:>12.0f}"
+        )
+    return "\n".join(lines)
+
+
+def test_design_space(benchmark, save_report):
+    report = benchmark(run_design_space)
+    text = "\n\n".join(
+        [
+            report.format(),
+            _format_points(
+                "Intra-bank adder-tree fan-in sweep (Criteo ET op)",
+                report.extras["intra_bank"],
+            ),
+            _format_points(
+                "Intra-mat fan-in (C) sweep (one tree add)",
+                report.extras["intra_mat"],
+            ),
+            _format_points(
+                "RSC bus width sweep (26-bank gather)", report.extras["rsc"]
+            ),
+        ]
+    )
+    save_report("design_space", text)
+    assert report.all_within(0.0), report.format()

@@ -1,0 +1,32 @@
+"""Bench E7 -- regenerates the Sec. IV-C3 end-to-end comparison."""
+
+from repro.energy.report import format_comparison
+from repro.experiments import run_end_to_end
+from repro.metrics.throughput import queries_per_second
+
+
+def test_end_to_end(benchmark, save_report):
+    report = benchmark(run_end_to_end)
+    movielens = report.extras["movielens"]
+    criteo = report.extras["criteo"]
+    rows = [
+        ("movielens e2e", movielens.gpu, movielens.imars),
+        ("criteo e2e", criteo.gpu, criteo.imars),
+    ]
+    text = "\n\n".join(
+        [
+            report.format(),
+            format_comparison("End-to-end (regenerated)", rows),
+            f"MovieLens QPS: GPU {queries_per_second(movielens.gpu):.0f}, "
+            f"iMARS {queries_per_second(movielens.imars):.0f}",
+        ]
+    )
+    save_report("end_to_end", text)
+
+    # Shape targets: iMARS wins by the published orders of magnitude.
+    assert 12.0 < movielens.speedup < 22.0  # published 16.8x
+    assert 300.0 < movielens.energy_reduction < 1500.0  # published 713x
+    assert 8.0 < criteo.speedup < 18.0  # published 13.2x
+    assert 40.0 < criteo.energy_reduction < 80.0  # published 57.8x
+    # GPU QPS is a calibration anchor (published 1311 q/s).
+    assert abs(queries_per_second(movielens.gpu) - 1311.0) / 1311.0 < 0.10

@@ -1,0 +1,21 @@
+"""Bench E1 -- regenerates the Fig. 2 operation breakdowns."""
+
+from repro.energy.report import format_breakdown
+from repro.experiments import run_fig2
+
+
+def test_fig2_breakdown(benchmark, save_report):
+    report = benchmark(run_fig2)
+    breakdowns = report.extras["breakdowns"]
+    text = "\n\n".join(
+        [
+            report.format(),
+            format_breakdown("Fig. 2(a) filtering (regenerated)", breakdowns["filtering"]),
+            format_breakdown("Fig. 2(b) ranking (regenerated)", breakdowns["ranking"]),
+        ]
+    )
+    save_report("fig2_breakdown", text)
+    for comparison in report.comparisons:
+        assert abs(comparison.measured - comparison.published) < 0.03, (
+            comparison.format_row()
+        )

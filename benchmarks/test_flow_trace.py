@@ -1,0 +1,12 @@
+"""Bench E8 -- runs a full query on the bit-level fabric, validates Fig. 3."""
+
+from repro.experiments import run_flow_trace
+
+
+def test_flow_trace(benchmark, save_report):
+    report = benchmark(run_flow_trace)
+    text = report.format() + "\n\ntrace: " + " -> ".join(
+        report.extras["first_occurrences"]
+    )
+    save_report("flow_trace", text)
+    assert report.all_within(0.0), report.format()

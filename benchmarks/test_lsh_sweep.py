@@ -1,0 +1,16 @@
+"""Bench A2 -- LSH signature-length ablation."""
+
+from repro.experiments import run_lsh_sweep
+
+
+def test_lsh_sweep(benchmark, save_report):
+    report = benchmark.pedantic(run_lsh_sweep, rounds=1, iterations=1)
+    lines = [report.format(), "", "signature bits vs retrieval quality:"]
+    for point in report.extras["points"]:
+        lines.append(
+            f"  {point.signature_bits:>4d} bits: HR {point.hamming_hit_rate:.3f}, "
+            f"cosine agreement {point.cosine_agreement:.3f}, "
+            f"{point.signature_cmas_per_1k_items} sig CMAs / 1k items"
+        )
+    save_report("lsh_sweep", "\n".join(lines))
+    assert report.all_within(0.05), report.format()

@@ -1,0 +1,72 @@
+"""Micro-benchmarks of the simulator's hot paths.
+
+These do not reproduce a paper artefact; they track the *simulator's own*
+performance on the operations every experiment leans on (CMA pooling, TCAM
+search, crossbar MVM, LSH hashing, pairwise Hamming), so regressions in the
+functional models show up here.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.cma import CMA
+from repro.imc.crossbar import CrossbarArray, CrossbarConfig
+from repro.imc.tcam import TCAMArray
+from repro.lsh.hamming import pairwise_hamming
+from repro.lsh.hyperplane import RandomHyperplaneLSH
+
+
+@pytest.fixture(scope="module")
+def loaded_cma():
+    cma = CMA(rows=64, cols=256, lanes=32, lane_bits=8)
+    rng = np.random.default_rng(0)
+    for row in range(64):
+        cma.write_word(row, rng.integers(-100, 100, size=32))
+    return cma
+
+
+def test_cma_pooling_speed(benchmark, loaded_cma):
+    rows = list(range(0, 64, 4))
+    total, _ = benchmark(loaded_cma.pool_rows, rows)
+    assert total.shape == (32,)
+
+
+@pytest.fixture(scope="module")
+def loaded_tcam():
+    array = TCAMArray(3000, 256)
+    rng = np.random.default_rng(1)
+    array.write_rows(0, rng.integers(0, 2, size=(3000, 256)).astype(np.int8))
+    return array
+
+
+def test_tcam_full_database_search_speed(benchmark, loaded_tcam):
+    """One threshold search over a MovieLens-sized signature store."""
+    query = np.random.default_rng(2).integers(0, 2, 256).astype(np.int8)
+    flags = benchmark(loaded_tcam.search_threshold, query, 100)
+    assert flags.shape == (3000,)
+
+
+def test_crossbar_matvec_speed(benchmark):
+    config = CrossbarConfig(rows=256, cols=128, dac_bits=8, adc_bits=8)
+    tile = CrossbarArray(config)
+    rng = np.random.default_rng(3)
+    tile.program(rng.normal(size=(256, 128)))
+    inputs = rng.normal(size=256)
+    outputs = benchmark(tile.matvec, inputs)
+    assert outputs.shape == (128,)
+
+
+def test_lsh_hashing_speed(benchmark):
+    """Hashing the full MovieLens item table to 256-bit signatures."""
+    hasher = RandomHyperplaneLSH(32, 256, seed=0)
+    items = np.random.default_rng(4).normal(size=(3000, 32))
+    signatures = benchmark(hasher.signatures, items)
+    assert signatures.shape == (3000, 256)
+
+
+def test_pairwise_hamming_speed(benchmark):
+    rng = np.random.default_rng(5)
+    query = rng.integers(0, 2, 256).astype(np.uint8)
+    items = rng.integers(0, 2, size=(3000, 256)).astype(np.uint8)
+    distances = benchmark(pairwise_hamming, query, items)
+    assert distances.shape == (3000,)

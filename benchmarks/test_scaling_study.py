@@ -1,0 +1,27 @@
+"""Bench A9 -- ET-operation scaling curves."""
+
+from repro.experiments import run_scaling_study
+
+
+def _series(title, points, unit):
+    lines = [title]
+    for point in points:
+        lines.append(
+            f"  {point.value:>6d} {unit}: {point.latency_ns:>8.1f} ns, "
+            f"{point.energy_pj:>9.1f} pJ"
+        )
+    return "\n".join(lines)
+
+
+def test_scaling_study(benchmark, save_report):
+    report = benchmark(run_scaling_study)
+    text = "\n\n".join(
+        [
+            report.format(),
+            _series("pooling factor sweep:", report.extras["pooling"], "rows"),
+            _series("active-bank sweep:", report.extras["banks"], "banks"),
+            _series("table-size sweep:", report.extras["table_size"], "entries"),
+        ]
+    )
+    save_report("scaling_study", text)
+    assert report.all_within(0.02), report.format()

@@ -1,0 +1,16 @@
+"""Bench A7 -- standby-power comparison (FeFET vs SRAM fabric)."""
+
+from repro.experiments import run_standby_power
+
+
+def test_standby_power(benchmark, save_report):
+    report = benchmark(run_standby_power)
+    lines = [report.format(), "", "load -> fabric memory energy (uJ per second):"]
+    for row in report.extras["rows"]:
+        lines.append(
+            f"  {row['qps']:>7.0f} q/s: FeFET {row['fefet_total_uj_per_s']:>12,.0f}, "
+            f"SRAM {row['sram_total_uj_per_s']:>12,.0f} "
+            f"(SRAM standby share {row['sram_standby_share'] * 100:5.1f}%)"
+        )
+    save_report("standby_power", "\n".join(lines))
+    assert report.all_within(0.0), report.format()

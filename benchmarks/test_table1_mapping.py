@@ -1,0 +1,10 @@
+"""Bench E2 -- regenerates Table I (memory mapping) and validates exactness."""
+
+from repro.experiments import run_table1
+
+
+def test_table1_mapping(benchmark, save_report):
+    report = benchmark(run_table1)
+    save_report("table1_mapping", report.format())
+    # Table I is a deterministic consequence of the mapping rules: exact.
+    assert report.all_within(0.0), report.format()

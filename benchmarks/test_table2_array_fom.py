@@ -1,0 +1,14 @@
+"""Bench E3 -- regenerates Table II (array-level figures of merit)."""
+
+from repro.energy.report import format_cost_table
+from repro.experiments import run_table2
+
+
+def test_table2_array_fom(benchmark, save_report):
+    report = benchmark(run_table2)
+    foms = report.extras["foms"]
+    text = report.format() + "\n\n" + format_cost_table(
+        "Table II (regenerated)", foms.as_table()
+    )
+    save_report("table2_array_fom", text)
+    assert report.all_within(0.03), report.format()

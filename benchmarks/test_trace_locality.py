@@ -1,0 +1,18 @@
+"""Bench A8 -- trace-driven ET access locality."""
+
+import numpy as np
+
+from repro.experiments import run_trace_locality
+
+
+def test_trace_locality(benchmark, save_report):
+    report = benchmark.pedantic(run_trace_locality, rounds=1, iterations=1)
+    trace = report.extras["trace"]
+    item_counts = trace.cma_accesses["item"]
+    lines = [report.format(), "", "ItET per-CMA access shares:"]
+    total = item_counts.sum()
+    for index, count in enumerate(item_counts):
+        bar = "#" * int(np.round(40 * count / total))
+        lines.append(f"  CMA {index:>2d}: {count / total * 100:5.1f}% {bar}")
+    save_report("trace_locality", "\n".join(lines))
+    assert report.all_within(0.0), report.format()

@@ -1,0 +1,15 @@
+"""Bench A3 -- process-variation robustness of the threshold NNS."""
+
+from repro.experiments import run_variation_study
+
+
+def test_variation_study(benchmark, save_report):
+    report = benchmark.pedantic(run_variation_study, rounds=1, iterations=1)
+    lines = [report.format(), "", "sigma / guard band -> HR (mean candidates):"]
+    for point in report.extras["points"]:
+        lines.append(
+            f"  sigma={point.noise_sigma:4.1f} guard=+{point.guard_band} bits: "
+            f"HR {point.hit_rate:.3f} ({point.mean_candidates:.1f} candidates)"
+        )
+    save_report("variation_study", "\n".join(lines))
+    assert report.all_within(0.0), report.format()

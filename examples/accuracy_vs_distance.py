@@ -1,0 +1,40 @@
+"""Accuracy vs distance function: the Sec. IV-B study, interactively.
+
+Trains the YouTubeDNN filtering tower on the synthetic MovieLens workload
+and evaluates the candidate-search hit rate under the paper's three
+configurations -- FP32+cosine, int8+cosine, int8+LSH-Hamming -- plus an
+extra sweep over LSH signature lengths showing *why* the paper picked
+256 bits.
+
+Run:  python examples/accuracy_vs_distance.py
+"""
+
+from repro.experiments.accuracy_study import PAPER_ACCURACY, run_accuracy_study
+
+print("Running the Sec. IV-B accuracy study (trains a model; ~1 s) ...\n")
+report = run_accuracy_study(scale=0.2, seed=0)
+result = report.extras["result"]
+
+print(f"Workload: {result.num_users} users, {result.num_items} items, "
+      f"{result.candidates} candidates per query\n")
+print(f"{'configuration':<24s} {'HR (ours)':>10s} {'HR (paper)':>11s}")
+for name in ("fp32_cosine", "int8_cosine", "int8_lsh_hamming"):
+    print(f"{name:<24s} {result.hit_rates[name]:>9.1%} "
+          f"{PAPER_ACCURACY[name]:>10.1%}")
+
+print(f"\nquantisation gap : {result.quantisation_gap * 100:+.1f} pts "
+      "(paper: 0.6 pts)")
+print(f"distance gap     : {result.distance_gap * 100:+.1f} pts "
+      "(paper: 6.0 pts)")
+print(f"ordering holds   : {result.ordering_holds()}")
+print("\nAbsolute hit rates differ from the real MovieLens-1M (synthetic")
+print("substrate); the ordering and gap structure are the reproduction target.")
+
+print("\nSignature-length sweep (same trained model):")
+print(f"{'bits':>6s} {'HR int8+LSH':>12s}")
+for bits in (32, 64, 128, 256, 512):
+    sweep = run_accuracy_study(scale=0.2, signature_bits=bits, seed=0)
+    hr = sweep.extras["result"].hit_rates["int8_lsh_hamming"]
+    print(f"{bits:>6d} {hr:>11.1%}")
+print("\nQuality saturates near 256 bits -- the paper's choice -- while the")
+print("signature storage (2 CMAs per ItET entry) keeps growing linearly.")

@@ -1,0 +1,76 @@
+"""Criteo ranking: train DLRM on synthetic CTR data, price it on iMARS.
+
+The paper's second workload: Facebook DLRM on the Criteo Kaggle dataset,
+ranking stage only (Table I right column).  This example:
+
+1. generates synthetic Criteo-shaped data (13 dense + 26 categorical
+   features, Zipfian buckets, logistic ground truth);
+2. trains a DLRM and reports its held-out AUC;
+3. maps the 26 full-size embedding tables onto iMARS (26 banks, 104 mats,
+   2860 CMAs) and prices one ranking inference on both platforms.
+
+Run:  python examples/criteo_ranking.py
+"""
+
+from repro.core import IMARSCostModel, WorkloadMapping
+from repro.core.mapping import RANKING
+from repro.data.criteo import CriteoDataset, criteo_table_specs
+from repro.gpu.kernels import gpu_dnn_stack, gpu_et_operation, gpu_topk
+from repro.metrics.accuracy import auc_score
+from repro.models.dlrm import DLRM, DLRMConfig
+
+# ---------------------------------------------------------------------------
+# 1. Synthetic Criteo data (scaled buckets for example runtime).
+# ---------------------------------------------------------------------------
+print("Generating synthetic Criteo CTR data ...")
+dataset = CriteoDataset(num_samples=6000, rows_per_table=1000, seed=0)
+print(f"  {dataset.num_samples} samples, CTR {dataset.click_rate:.3f}, "
+      f"{dataset.num_dense} dense + {dataset.num_sparse} categorical features")
+
+# ---------------------------------------------------------------------------
+# 2. Train DLRM (scaled MLPs; Table I geometry shown below for costing).
+# ---------------------------------------------------------------------------
+config = DLRMConfig(
+    categorical_cardinalities=tuple([dataset.rows_per_table] * 26),
+    embedding_dim=16,
+    bottom_spec="64-32-16",
+    top_spec="32-1",
+)
+model = DLRM(config)
+train, test = dataset.split(test_fraction=0.2)
+print("Training DLRM ...")
+losses = model.train_ctr(
+    train["dense"], train["sparse"], train["clicks"],
+    epochs=4, batch_size=256, lr=0.02,
+)
+scores = model.predict_ctr(test["dense"], test["sparse"])
+print(f"  loss {losses[0]:.3f} -> {losses[-1]:.3f}; "
+      f"held-out AUC {auc_score(test['clicks'], scores):.3f}")
+
+# ---------------------------------------------------------------------------
+# 3. Hardware costing at the paper's full scale (28000-row tables).
+# ---------------------------------------------------------------------------
+print("\nMapping the full-scale Criteo tables onto iMARS ...")
+mapping = WorkloadMapping(criteo_table_specs())
+row = mapping.table_one_row()
+print(f"  banks={row['banks']}  mats={row['mats']}  cmas={row['cmas']} "
+      "(Table I: 26 / 104 / 2860)")
+
+cost_model = IMARSCostModel(mapping)
+imars_et = cost_model.et_operation(RANKING)
+imars_bottom = cost_model.dnn_stack_cost(13, "256-128-32")
+imars_top = cost_model.dnn_stack_cost(383, "256-64-1")
+imars_total = imars_et.then(imars_bottom).then(imars_top)
+
+gpu_et = gpu_et_operation(26)
+gpu_bottom = gpu_dnn_stack(13, "256-128-32")
+gpu_top = gpu_dnn_stack(383, "256-64-1")
+gpu_interaction = gpu_topk(351)
+gpu_total = gpu_et.then(gpu_bottom).then(gpu_interaction).then(gpu_top)
+
+print("\nOne DLRM ranking inference:")
+print(f"  GPU   : {gpu_total.latency_us:7.2f} us  {gpu_total.energy_uj:8.2f} uJ")
+print(f"  iMARS : {imars_total.latency_us:7.2f} us  {imars_total.energy_uj:8.2f} uJ")
+print(f"  speedup {imars_total.speedup_over(gpu_total):5.1f}x (paper: 13.2x), "
+      f"energy reduction {imars_total.energy_reduction_over(gpu_total):5.1f}x "
+      "(paper: 57.8x)")

@@ -1,0 +1,52 @@
+"""repro -- a full reproduction of iMARS (Li et al., DAC 2022).
+
+iMARS is an in-memory-computing architecture for recommendation systems:
+FeFET-based configurable memory arrays (RAM/TCAM/GPCiM) hold the embedding
+tables and run lookups, pooling and nearest-neighbour search in memory,
+while crossbar banks execute the DNN stacks of the filtering and ranking
+stages.
+
+Package map
+-----------
+``repro.core``        the iMARS architecture (CMA/mat/bank hierarchy,
+                      mapping, cost model, executable fabric, pipelines)
+``repro.circuits``    FeFET device/cell/sense-amp models, synthesis
+                      estimator, Table II FoMs
+``repro.imc``         functional TCAM / GPCiM / analog-crossbar kernels
+``repro.nn``          NumPy DNN substrate (layers, losses, optimisers)
+``repro.models``      YouTubeDNN and DLRM
+``repro.data``        synthetic MovieLens-1M / Criteo-Kaggle workloads
+``repro.quant``       int8 quantisation
+``repro.lsh``         random-hyperplane LSH + Hamming utilities
+``repro.nns``         exact / LSH / fixed-radius nearest-neighbour search
+``repro.gpu``         calibrated GTX 1080 baseline cost model
+``repro.energy``      the (energy, latency) cost algebra
+``repro.metrics``     hit rate / AUC / QPS / improvement factors
+``repro.experiments`` one driver per paper table and figure
+"""
+
+__version__ = "1.0.0"
+
+from repro.core import (
+    ArchitectureConfig,
+    PAPER_CONFIG,
+    EmbeddingTableSpec,
+    IMARSCostModel,
+    IMARSEngine,
+    GPUReferenceEngine,
+    WorkloadMapping,
+)
+from repro.energy import Cost, Ledger
+
+__all__ = [
+    "__version__",
+    "ArchitectureConfig",
+    "PAPER_CONFIG",
+    "EmbeddingTableSpec",
+    "IMARSCostModel",
+    "IMARSEngine",
+    "GPUReferenceEngine",
+    "WorkloadMapping",
+    "Cost",
+    "Ledger",
+]

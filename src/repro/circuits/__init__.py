@@ -1,0 +1,41 @@
+"""Circuit-level substrate: FeFET devices, cells, sense amps, synthesis, FoMs.
+
+This package replaces the paper's HSPICE + Cadence flow (Sec. IV-A) with
+behavioural device/cell models plus a structural synthesis estimator, both
+calibrated so the array-level figures of merit land on the published
+Table II (see :mod:`repro.circuits.foms`).
+"""
+
+from repro.circuits.fefet import FeFET, FeFETParams, memory_window
+from repro.circuits.cells import TCAMCell, RAMCell, DummyReferenceCell, TernaryValue
+from repro.circuits.sense_amp import CAMSenseAmp, RAMSenseAmp, PriorityEncoder
+from repro.circuits.synthesis import AdderTreeSynthesis, SerialBusSynthesis, SynthesisTech, NANGATE45
+from repro.circuits.foms import (
+    ArrayFoMs,
+    TABLE_II,
+    derive_foms,
+    intra_mat_tree,
+    intra_bank_tree,
+)
+
+__all__ = [
+    "FeFET",
+    "FeFETParams",
+    "memory_window",
+    "TCAMCell",
+    "RAMCell",
+    "DummyReferenceCell",
+    "TernaryValue",
+    "CAMSenseAmp",
+    "RAMSenseAmp",
+    "PriorityEncoder",
+    "AdderTreeSynthesis",
+    "SerialBusSynthesis",
+    "SynthesisTech",
+    "NANGATE45",
+    "ArrayFoMs",
+    "TABLE_II",
+    "derive_foms",
+    "intra_mat_tree",
+    "intra_bank_tree",
+]

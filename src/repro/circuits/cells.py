@@ -1,0 +1,187 @@
+"""FeFET memory-cell models used inside the CMA (Sec. III-A1).
+
+Three cells appear in the iMARS CMA design (following paper refs. [8], [9]):
+
+* :class:`TCAMCell` -- a 2-FeFET ternary CAM cell.  Each cell stores a bit or
+  a don't-care and, during a search, conditionally discharges the matchline
+  when the query bit mismatches the stored bit (an XOR, sensed as a
+  wired-AND along the row).
+* :class:`RAMCell` -- a 1T+1FeFET random-access cell used in RAM mode for
+  embedding-table lookups.
+* :class:`DummyReferenceCell` -- the 1T+1FeFET dummy cell that generates the
+  reference current for the threshold-match CAM sense amplifier.  Its bias
+  is adjustable, which is how iMARS tunes the Hamming-distance sensitivity
+  of the nearest-neighbour search.
+
+The cells are *functional* models (bit-accurate behaviour plus analog match
+currents derived from :mod:`repro.circuits.fefet`); their energy/latency
+contributions are aggregated at the array level by
+:mod:`repro.circuits.foms`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+import numpy as np
+
+from repro.circuits.fefet import FeFET, FeFETParams
+
+__all__ = ["TernaryValue", "TCAMCell", "RAMCell", "DummyReferenceCell"]
+
+
+class TernaryValue(Enum):
+    """Stored state of a TCAM cell: 0, 1, or don't-care (X)."""
+
+    ZERO = 0
+    ONE = 1
+    DONT_CARE = 2
+
+    @classmethod
+    def from_bit(cls, bit: int) -> "TernaryValue":
+        if bit == 0:
+            return cls.ZERO
+        if bit == 1:
+            return cls.ONE
+        raise ValueError(f"bit must be 0 or 1, got {bit}")
+
+
+@dataclass(frozen=True)
+class CellBias:
+    """Search/read bias point shared by the cell models."""
+
+    search_v: float = 1.0
+    read_v: float = 1.0
+    vds_v: float = 0.1
+
+
+class TCAMCell:
+    """2-FeFET ternary CAM cell.
+
+    The two FeFETs store complementary values (``d`` and ``not d``).  During
+    a search the true searchline drives one device and the complement
+    searchline the other; a *mismatch* turns on a low-VT device under a high
+    searchline and discharges the matchline.  Storing both devices in the
+    high-VT state encodes don't-care (the cell never discharges).
+    """
+
+    def __init__(
+        self,
+        params: Optional[FeFETParams] = None,
+        bias: Optional[CellBias] = None,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        rng = rng or np.random.default_rng(0)
+        self._true_device = FeFET(params, rng=rng)
+        self._complement_device = FeFET(params, rng=rng)
+        self._bias = bias or CellBias()
+        self._stored = TernaryValue.DONT_CARE
+        self.write(TernaryValue.DONT_CARE)
+
+    @property
+    def stored(self) -> TernaryValue:
+        return self._stored
+
+    def write(self, value: TernaryValue) -> None:
+        """Program the complementary FeFET pair for *value*.
+
+        ``ONE``  -> true device low-VT, complement high-VT.
+        ``ZERO`` -> true device high-VT, complement low-VT.
+        ``X``    -> both high-VT (cell can never pull the matchline down).
+        """
+        if value is TernaryValue.ONE:
+            self._true_device.program()
+            self._complement_device.erase()
+        elif value is TernaryValue.ZERO:
+            self._true_device.erase()
+            self._complement_device.program()
+        elif value is TernaryValue.DONT_CARE:
+            self._true_device.erase()
+            self._complement_device.erase()
+        else:  # pragma: no cover - enum is closed
+            raise ValueError(f"unsupported ternary value: {value}")
+        self._stored = value
+
+    def mismatch_current_ma(self, query_bit: int) -> float:
+        """Matchline discharge current for *query_bit* (0 on a match).
+
+        In NOR-type CAM sensing the matchline current is the sum of the
+        per-cell mismatch currents, so a row's analog Hamming distance is
+        ``sum(cell.mismatch_current_ma(q))`` -- exactly what the
+        threshold-match sense amplifier compares against the dummy-cell
+        reference.
+        """
+        if query_bit not in (0, 1):
+            raise ValueError(f"query bit must be 0 or 1, got {query_bit}")
+        search = self._bias.search_v
+        if query_bit == 1:
+            # Complement searchline high: the complement device conducts
+            # when it is low-VT, i.e. when the cell stores ZERO.
+            return self._complement_device.read_current_ma(search, self._bias.vds_v)
+        return self._true_device.read_current_ma(search, self._bias.vds_v)
+
+    def matches(self, query_bit: int) -> bool:
+        """Digital view: True when the cell does not discharge the matchline."""
+        if self._stored is TernaryValue.DONT_CARE:
+            return True
+        return self._stored.value == query_bit
+
+
+class RAMCell:
+    """1T+1FeFET random-access cell used by the CMA's RAM mode."""
+
+    def __init__(
+        self,
+        params: Optional[FeFETParams] = None,
+        bias: Optional[CellBias] = None,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        self._device = FeFET(params, rng=rng or np.random.default_rng(0))
+        self._bias = bias or CellBias()
+
+    def write(self, bit: int) -> None:
+        self._device.write_bit(bit)
+
+    def read(self) -> int:
+        """Sense the stored bit by thresholding the read current."""
+        current = self._device.read_current_ma(self._bias.read_v, self._bias.vds_v)
+        return 1 if current > DummyReferenceCell().reference_current_ma() * 0.5 else 0
+
+    def read_current_ma(self) -> float:
+        return self._device.read_current_ma(self._bias.read_v, self._bias.vds_v)
+
+
+class DummyReferenceCell:
+    """Adjustable 1T+1FeFET reference-current generator (Sec. III-A1).
+
+    "... a reference current generated by a dummy 1T+1FeFET cell, which can
+    be adjusted to compensate for process variations or to change the
+    sensitivity of the Hamming distance in the NNS operation."
+
+    The reference scales linearly with the programmed Hamming threshold:
+    the CAM sense amplifier flags a row as a match when its total mismatch
+    current is *below* ``threshold`` mismatching cells' worth of current.
+    """
+
+    def __init__(
+        self,
+        params: Optional[FeFETParams] = None,
+        bias: Optional[CellBias] = None,
+    ):
+        self._device = FeFET(params)
+        self._device.program()
+        self._bias = bias or CellBias()
+
+    def reference_current_ma(self, threshold_bits: float = 1.0) -> float:
+        """Reference current equivalent to *threshold_bits* mismatches.
+
+        The half-bit offset places the decision level between
+        ``threshold_bits`` and ``threshold_bits + 1`` mismatching cells,
+        giving a robust sensing margin.
+        """
+        if threshold_bits < 0.0:
+            raise ValueError("threshold must be non-negative")
+        unit = self._device.read_current_ma(self._bias.search_v, self._bias.vds_v)
+        return (threshold_bits + 0.5) * unit

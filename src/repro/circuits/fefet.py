@@ -1,0 +1,194 @@
+"""Preisach-style ferroelectric FET (FeFET) compact device model.
+
+The paper's array-level figures of merit (Table II) come from HSPICE
+simulations that use the Preisach-based FeFET compact model of Ni et al.
+(VLSI 2018, paper ref. [19]).  We reproduce the *behavioural* core of that
+model: a ferroelectric capacitor whose polarisation follows a saturating
+hysteresis loop, stacked on an underlying MOSFET whose threshold voltage is
+shifted by the stored polarisation.
+
+The model supports:
+
+* ``apply_pulse`` -- drive the gate with a programming pulse; polarisation
+  moves along the ascending/descending Preisach branch.
+* ``program`` / ``erase`` -- saturating write pulses producing the low-VT
+  ("1") and high-VT ("0") states used by the memory arrays.
+* ``read_current`` -- drain current at a read bias, the quantity sensed by
+  the CAM/RAM sense amplifiers.
+* device-to-device variation hooks (sigma on coercive voltage and VT),
+  which the CMA uses to justify the adjustable matching threshold
+  ("... can be adjusted to compensate for process variations", Sec. III-A1).
+
+The numerical constants are representative of the 45 nm FeFET literature the
+paper builds on (Vc ~ 1 V across the FE layer, memory window ~ 1 V); the
+architecture-level results consume only the derived array FoMs, which are
+pinned to Table II in :mod:`repro.circuits.foms`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["FeFETParams", "FeFET", "memory_window"]
+
+
+@dataclass(frozen=True)
+class FeFETParams:
+    """Physical parameters of the FeFET compact model.
+
+    Attributes
+    ----------
+    ps_uc_cm2:
+        Saturation polarisation in uC/cm^2.
+    pr_uc_cm2:
+        Remnant polarisation in uC/cm^2 (|P| left at zero bias after a
+        saturating pulse).
+    vc_v:
+        Coercive voltage across the ferroelectric layer in volts.
+    slope_v:
+        Preisach branch steepness (volts); smaller is more abrupt switching.
+    vt0_v:
+        Threshold voltage of the underlying MOSFET at zero polarisation.
+    window_v:
+        Full memory window: VT(erased) - VT(programmed) at saturation.
+    kp_ma_v2:
+        Square-law transconductance parameter (mA/V^2) of the read
+        transistor.
+    vth_sigma_v:
+        Device-to-device threshold-voltage variation (one sigma, volts).
+    """
+
+    ps_uc_cm2: float = 30.0
+    pr_uc_cm2: float = 25.0
+    vc_v: float = 1.0
+    slope_v: float = 0.25
+    vt0_v: float = 0.45
+    window_v: float = 1.0
+    kp_ma_v2: float = 0.10
+    vth_sigma_v: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.ps_uc_cm2 <= 0.0:
+            raise ValueError("saturation polarisation must be positive")
+        if not 0.0 < self.pr_uc_cm2 <= self.ps_uc_cm2:
+            raise ValueError("remnant polarisation must be in (0, Ps]")
+        if self.vc_v <= 0.0 or self.slope_v <= 0.0:
+            raise ValueError("coercive voltage and slope must be positive")
+        if self.window_v <= 0.0:
+            raise ValueError("memory window must be positive")
+
+
+def _saturating_branch(voltage: float, params: FeFETParams, direction: float) -> float:
+    """Polarisation on the saturated ascending (+1) / descending (-1) branch.
+
+    Classic single-hysteron Preisach loop: P(V) = Ps * tanh((V -/+ Vc)/w).
+    """
+    return params.ps_uc_cm2 * math.tanh((voltage - direction * params.vc_v) / params.slope_v)
+
+
+class FeFET:
+    """A single FeFET with Preisach hysteresis state.
+
+    The device tracks its current polarisation and moves along *minor loops*
+    when driven with sub-saturating pulses: the polarisation update is the
+    branch value scaled so that the history is respected (turning-point
+    congruency, the property the Preisach construction guarantees).
+    """
+
+    def __init__(self, params: Optional[FeFETParams] = None, rng: Optional[np.random.Generator] = None):
+        self.params = params or FeFETParams()
+        self._rng = rng or np.random.default_rng(0)
+        # Start erased (negative polarisation -> high VT -> stored "0").
+        self._polarisation = -self.params.pr_uc_cm2
+        self._vth_offset = (
+            float(self._rng.normal(0.0, self.params.vth_sigma_v))
+            if self.params.vth_sigma_v > 0.0
+            else 0.0
+        )
+
+    # -- state --------------------------------------------------------------
+    @property
+    def polarisation_uc_cm2(self) -> float:
+        """Current ferroelectric polarisation."""
+        return self._polarisation
+
+    @property
+    def vth_v(self) -> float:
+        """Effective threshold voltage under the stored polarisation.
+
+        Linear mapping from normalised polarisation to VT shift across the
+        memory window, centred on ``vt0``.
+        """
+        normalised = self._polarisation / self.params.ps_uc_cm2
+        return self.params.vt0_v - 0.5 * self.params.window_v * normalised + self._vth_offset
+
+    @property
+    def stored_bit(self) -> int:
+        """Digital interpretation of the state: 1 = low-VT (programmed)."""
+        return 1 if self._polarisation > 0.0 else 0
+
+    # -- programming --------------------------------------------------------
+    def apply_pulse(self, amplitude_v: float) -> float:
+        """Apply a gate programming pulse and return the new polarisation.
+
+        Positive amplitudes push polarisation towards +Ps (ascending
+        branch), negative towards -Ps (descending branch).  Sub-coercive
+        pulses barely move the state -- the behaviour the paper relies on
+        for non-destructive reads.
+        """
+        if amplitude_v >= 0.0:
+            branch = _saturating_branch(amplitude_v, self.params, +1.0)
+            self._polarisation = max(self._polarisation, branch)
+        else:
+            branch = _saturating_branch(amplitude_v, self.params, -1.0)
+            self._polarisation = min(self._polarisation, branch)
+        return self._polarisation
+
+    def program(self) -> None:
+        """Saturating positive pulse: low-VT state, stores logic 1."""
+        self.apply_pulse(4.0 * self.params.vc_v)
+
+    def erase(self) -> None:
+        """Saturating negative pulse: high-VT state, stores logic 0."""
+        self.apply_pulse(-4.0 * self.params.vc_v)
+
+    def write_bit(self, bit: int) -> None:
+        """Store a digital bit (1 -> program, 0 -> erase)."""
+        if bit not in (0, 1):
+            raise ValueError(f"bit must be 0 or 1, got {bit}")
+        if bit == 1:
+            self.program()
+        else:
+            self.erase()
+
+    # -- sensing ------------------------------------------------------------
+    def read_current_ma(self, vgs_v: float = 1.0, vds_v: float = 0.1) -> float:
+        """Drain current (mA) at a read bias, square-law triode model.
+
+        This is the quantity compared against the dummy-cell reference in
+        the CAM sense amplifier (Sec. III-A1).
+        """
+        overdrive = vgs_v - self.vth_v
+        if overdrive <= 0.0:
+            return 0.0
+        if vds_v < overdrive:
+            return self.params.kp_ma_v2 * (2.0 * overdrive - vds_v) * vds_v
+        return self.params.kp_ma_v2 * overdrive * overdrive
+
+
+def memory_window(params: Optional[FeFETParams] = None) -> float:
+    """VT(erased) - VT(programmed) for saturating writes, in volts.
+
+    A positive window is what makes single-transistor sensing possible; the
+    paper's FeFET references report ~1 V at 45 nm.
+    """
+    device = FeFET(params)
+    device.erase()
+    vth_high = device.vth_v
+    device.program()
+    vth_low = device.vth_v
+    return vth_high - vth_low

@@ -1,0 +1,112 @@
+"""Sense-amplifier models for the CMA periphery (Fig. 3(c)).
+
+The CMA owns two sets of sense amplifiers:
+
+* :class:`CAMSenseAmp` -- one per row, attached to the matchline.  In
+  threshold-match mode it compares the row's aggregate mismatch current
+  against the dummy-cell reference and outputs ``match`` when the current is
+  below the reference (i.e. Hamming distance <= threshold).
+* :class:`RAMSenseAmp` -- one per column, attached to the bitline, used in
+  RAM mode for lookups and by the GPCiM accumulator for in-memory adds.
+
+Both are behavioural: they produce correct digital decisions from the analog
+cell currents, and expose per-decision energy so array totals can be built
+up from first principles (and cross-checked against the pinned Table II
+figures in :mod:`repro.circuits.foms`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["CAMSenseAmp", "RAMSenseAmp", "PriorityEncoder"]
+
+
+@dataclass(frozen=True)
+class CAMSenseAmp:
+    """Threshold-match matchline sense amplifier.
+
+    Attributes
+    ----------
+    energy_per_decision_pj:
+        Energy of one compare decision (part of the array search FoM).
+    decision_latency_ns:
+        Time to resolve the matchline state after searchline assertion.
+    """
+
+    energy_per_decision_pj: float = 0.01
+    decision_latency_ns: float = 0.2
+
+    def decide(self, mismatch_current_ma: float, reference_current_ma: float) -> bool:
+        """True (match) when the row current is below the reference."""
+        if reference_current_ma < 0.0:
+            raise ValueError("reference current must be non-negative")
+        return mismatch_current_ma < reference_current_ma
+
+    def decide_rows(
+        self,
+        row_currents_ma: Sequence[float],
+        reference_current_ma: float,
+    ) -> np.ndarray:
+        """Vectorised decision over all matchlines of an array."""
+        currents = np.asarray(row_currents_ma, dtype=np.float64)
+        return currents < reference_current_ma
+
+
+@dataclass(frozen=True)
+class RAMSenseAmp:
+    """Bitline sense amplifier for RAM-mode reads.
+
+    The GPCiM mode reuses the same amplifier with multiple references to
+    distinguish the (0, 1, 2) possible numbers of conducting cells when two
+    wordlines are activated simultaneously -- this is how in-memory AND/OR
+    (and from them, addition) are produced (Sec. II-B).
+    """
+
+    energy_per_bit_pj: float = 0.0125
+    read_latency_ns: float = 0.3
+    reference_low_ma: float = 0.025
+    reference_high_ma: float = 0.075
+
+    def sense_bit(self, bitline_current_ma: float) -> int:
+        """Single-wordline read: one reference, binary decision."""
+        return 1 if bitline_current_ma > self.reference_low_ma else 0
+
+    def sense_dual(self, bitline_current_ma: float) -> int:
+        """Dual-wordline read: count conducting cells (0, 1 or 2).
+
+        Two references split the current range into three regions; the
+        result feeds the in-memory logic: ``count == 2`` is AND,
+        ``count >= 1`` is OR, ``count == 1`` is XOR.
+        """
+        if bitline_current_ma > self.reference_high_ma:
+            return 2
+        if bitline_current_ma > self.reference_low_ma:
+            return 1
+        return 0
+
+
+class PriorityEncoder:
+    """Priority encoder on the match flags (Fig. 3(c)).
+
+    After a threshold search, potentially many rows match; the encoder
+    serialises their indices (lowest row first), which is how the candidate
+    item IDs are drained into the item buffer in step (1d*).
+    """
+
+    def __init__(self, energy_per_index_pj: float = 0.05, latency_per_index_ns: float = 0.1):
+        self.energy_per_index_pj = energy_per_index_pj
+        self.latency_per_index_ns = latency_per_index_ns
+
+    def encode(self, match_flags: Sequence[bool]) -> list:
+        """Return matching row indices in priority (ascending) order."""
+        flags = np.asarray(match_flags, dtype=bool)
+        return [int(index) for index in np.flatnonzero(flags)]
+
+    def first(self, match_flags: Sequence[bool]) -> int:
+        """Index of the highest-priority match, or -1 when none match."""
+        matches = self.encode(match_flags)
+        return matches[0] if matches else -1

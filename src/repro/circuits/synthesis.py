@@ -1,0 +1,162 @@
+"""Adder-tree and interconnect synthesis cost estimator.
+
+The paper synthesises the near-memory adder trees and the communication
+network "in Verilog ... with Cadence Encounter RTL Compiler v14.10, with the
+NanGate 45nm open-cell library" (Sec. IV-A).  Offline we replace that flow
+with a first-order structural estimator in the logical-effort tradition:
+
+* an adder tree with fan-in ``F`` over ``W``-bit operands needs ``F - 1``
+  W-bit adders arranged in ``ceil(log2 F)`` levels;
+* each adder level contributes a carry-propagation delay that grows with
+  ``log2 W`` (carry-lookahead organisation) and an energy proportional to
+  the number of full-adder cells;
+* on top of the logic, a *wire* term models the physical span the tree must
+  cover: intra-mat trees aggregate C adjacent CMAs (short span), the
+  intra-bank tree aggregates mats across the whole bank (long span), which
+  is why the fan-in-4 intra-bank tree in Table II is *slower and hungrier*
+  than the fan-in-32 intra-mat tree.
+
+Default technology constants are fitted so that the two design points the
+paper reports land on Table II:
+
+* intra-mat  tree (F=32, W=256, span 0.4 mm)  -> 137 pJ / 14.7 ns
+* intra-bank tree (F=4,  W=256, span 4.4 mm)  -> 956 pJ / 44.2 ns
+
+The estimator is exposed (rather than hard-coding the two numbers) so the
+design-space ablation benches can sweep fan-in and span.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.energy.accounting import Cost
+
+__all__ = ["SynthesisTech", "AdderTreeSynthesis", "SerialBusSynthesis", "NANGATE45"]
+
+
+@dataclass(frozen=True)
+class SynthesisTech:
+    """Technology constants for the structural estimator (45 nm class).
+
+    Attributes
+    ----------
+    fa_energy_pj:
+        Energy of one full-adder cell evaluation.
+    level_delay_ns:
+        Base delay of one adder level for a 1-bit ripple segment; a W-bit
+        carry-lookahead level costs ``level_delay_ns * log2(W)``.
+    wire_energy_pj_per_bit_mm:
+        Switching energy of routing one bit across one millimetre.
+    wire_delay_ns_per_mm:
+        Repeated-wire delay per millimetre.
+    driver_energy_pj:
+        Fixed cost of the output driver/register stage per operand.
+    """
+
+    fa_energy_pj: float = 0.005
+    level_delay_ns: float = 0.2771
+    wire_energy_pj_per_bit_mm: float = 0.842
+    wire_delay_ns_per_mm: float = 9.04
+    driver_energy_pj: float = 0.3
+
+
+#: Default technology point (NanGate 45 nm class constants, fitted to Table II).
+NANGATE45 = SynthesisTech()
+
+
+@dataclass(frozen=True)
+class AdderTreeSynthesis:
+    """Structural model of a near-memory adder tree.
+
+    Parameters
+    ----------
+    fan_in:
+        Number of W-bit operands summed per invocation.
+    width_bits:
+        Operand width (256 in iMARS: 32 dims x int8).
+    span_mm:
+        Physical distance the tree's inputs span; dominates the intra-bank
+        tree where operands travel across mats.
+    tech:
+        Technology constants.
+    """
+
+    fan_in: int
+    width_bits: int = 256
+    span_mm: float = 0.4
+    tech: SynthesisTech = NANGATE45
+
+    def __post_init__(self) -> None:
+        if self.fan_in < 2:
+            raise ValueError(f"adder tree fan-in must be >= 2, got {self.fan_in}")
+        if self.width_bits < 1:
+            raise ValueError(f"operand width must be >= 1, got {self.width_bits}")
+        if self.span_mm < 0.0:
+            raise ValueError("span must be non-negative")
+
+    @property
+    def num_adders(self) -> int:
+        """A fan-in-F tree needs F-1 two-input adders."""
+        return self.fan_in - 1
+
+    @property
+    def num_levels(self) -> int:
+        """Depth of the balanced binary reduction."""
+        return max(1, math.ceil(math.log2(self.fan_in)))
+
+    def add_cost(self) -> Cost:
+        """Energy/latency of one tree invocation (sum of ``fan_in`` operands)."""
+        logic_energy = self.num_adders * self.width_bits * self.tech.fa_energy_pj
+        driver_energy = self.fan_in * self.tech.driver_energy_pj
+        wire_energy = self.width_bits * self.span_mm * self.tech.wire_energy_pj_per_bit_mm
+        level_delay = self.tech.level_delay_ns * math.log2(max(2, self.width_bits))
+        logic_delay = self.num_levels * level_delay
+        wire_delay = self.span_mm * self.tech.wire_delay_ns_per_mm
+        return Cost(
+            energy_pj=logic_energy + driver_energy + wire_energy,
+            latency_ns=logic_delay + wire_delay,
+        )
+
+    def area_fa_equivalents(self) -> float:
+        """Area proxy: full-adder-cell equivalents (used by DSE reports)."""
+        return float(self.num_adders * self.width_bits)
+
+
+@dataclass(frozen=True)
+class SerialBusSynthesis:
+    """Cost model of a serialised on-chip bus (RSC bus / IBC network).
+
+    Data on both networks "is serialized to minimize the wiring overhead"
+    (Sec. III-A3); a transfer of ``payload_bits`` over a ``width_bits`` bus
+    takes ``ceil(payload / width)`` beats.
+    """
+
+    width_bits: int
+    length_mm: float = 2.0
+    beat_ns: float = 0.5
+    tech: SynthesisTech = NANGATE45
+
+    def __post_init__(self) -> None:
+        if self.width_bits < 1:
+            raise ValueError(f"bus width must be >= 1, got {self.width_bits}")
+        if self.length_mm < 0.0:
+            raise ValueError("bus length must be non-negative")
+        if self.beat_ns <= 0.0:
+            raise ValueError("beat period must be positive")
+
+    def beats_for(self, payload_bits: int) -> int:
+        """Number of bus beats needed to move *payload_bits*."""
+        if payload_bits < 0:
+            raise ValueError("payload must be non-negative")
+        if payload_bits == 0:
+            return 0
+        return math.ceil(payload_bits / self.width_bits)
+
+    def transfer_cost(self, payload_bits: int) -> Cost:
+        """Energy/latency of one serialised transfer."""
+        beats = self.beats_for(payload_bits)
+        energy = payload_bits * self.length_mm * self.tech.wire_energy_pj_per_bit_mm
+        latency = beats * self.beat_ns + (self.length_mm * self.tech.wire_delay_ns_per_mm if beats else 0.0)
+        return Cost(energy_pj=energy, latency_ns=latency)

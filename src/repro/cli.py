@@ -1,0 +1,121 @@
+"""Command-line interface: regenerate any paper artefact from the shell.
+
+Usage::
+
+    python -m repro.cli list                 # show available experiments
+    python -m repro.cli run E5               # regenerate Table III
+    python -m repro.cli run all              # every experiment
+    python -m repro.cli run E7 --save out/   # also write the report to disk
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import Dict
+
+from repro.experiments import (
+    run_accuracy_study,
+    run_design_space,
+    run_end_to_end,
+    run_fig2,
+    run_flow_trace,
+    run_lsh_sweep,
+    run_nns_comparison,
+    run_table1,
+    run_table2,
+    run_table3,
+)
+from repro.experiments.analog_accuracy import run_analog_accuracy
+from repro.experiments.area_study import run_area_study
+from repro.experiments.batch_throughput import run_batch_throughput
+from repro.experiments.common import ExperimentReport
+from repro.experiments.scaling_study import run_scaling_study
+from repro.experiments.standby_power import run_standby_power
+from repro.experiments.trace_locality import run_trace_locality
+from repro.experiments.variation_study import run_variation_study
+
+#: Experiment id -> (description, runner).
+EXPERIMENTS: Dict[str, tuple] = {
+    "E1": ("Fig. 2 - GPU operation breakdown", run_fig2),
+    "E2": ("Table I - memory mapping", run_table1),
+    "E3": ("Table II - array-level FoMs", run_table2),
+    "E4": ("Sec. IV-B - accuracy study (trains a model)", run_accuracy_study),
+    "E5": ("Table III - ET operation comparison", run_table3),
+    "E6": ("Sec. IV-C2 - NNS comparison", run_nns_comparison),
+    "E7": ("Sec. IV-C3 - end-to-end comparison", run_end_to_end),
+    "E8": ("Fig. 3 - computation-flow trace", run_flow_trace),
+    "A1": ("Ablation - design space (fan-ins, bus width)", run_design_space),
+    "A2": ("Ablation - LSH signature length", run_lsh_sweep),
+    "A3": ("Ablation - process-variation robustness", run_variation_study),
+    "A4": ("Extension - batching throughput trade-off", run_batch_throughput),
+    "A5": ("Extension - area accounting", run_area_study),
+    "A6": ("Ablation - crossbar non-idealities (analog CTR AUC)", run_analog_accuracy),
+    "A7": ("Extension - standby power (non-volatility)", run_standby_power),
+    "A8": ("Extension - trace-driven access locality", run_trace_locality),
+    "A9": ("Extension - ET-operation scaling study", run_scaling_study),
+}
+
+
+def _run_one(experiment_id: str, save_dir: pathlib.Path = None) -> ExperimentReport:
+    description, runner = EXPERIMENTS[experiment_id]
+    print(f"== {experiment_id}: {description}")
+    report = runner()
+    print(report.format())
+    print()
+    if save_dir is not None:
+        save_dir.mkdir(parents=True, exist_ok=True)
+        path = save_dir / f"{experiment_id}.txt"
+        path.write_text(report.format() + "\n")
+        print(f"   saved -> {path}")
+    return report
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli",
+        description="Regenerate the iMARS paper's tables and figures.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    subparsers.add_parser("list", help="list available experiments")
+    run_parser = subparsers.add_parser("run", help="run one experiment (or 'all')")
+    run_parser.add_argument(
+        "experiment",
+        help="experiment id (E1..E8, A1..A5) or 'all'",
+    )
+    run_parser.add_argument(
+        "--save",
+        metavar="DIR",
+        default=None,
+        help="directory to write the report text into",
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        for experiment_id, (description, _) in EXPERIMENTS.items():
+            print(f"  {experiment_id}  {description}")
+        return 0
+
+    save_dir = pathlib.Path(args.save) if args.save else None
+    target = args.experiment.upper()
+    if target == "ALL":
+        for experiment_id in EXPERIMENTS:
+            _run_one(experiment_id, save_dir)
+        return 0
+    if target not in EXPERIMENTS:
+        print(
+            f"unknown experiment {args.experiment!r}; "
+            f"choose from {', '.join(EXPERIMENTS)} or 'all'",
+            file=sys.stderr,
+        )
+        return 2
+    _run_one(target, save_dir)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,74 @@
+"""The iMARS architecture: CMAs, mats, banks, mapping, cost model, pipeline."""
+
+from repro.core.config import ArchitectureConfig, PAPER_CONFIG
+from repro.core.cma import CMA, CMAMode
+from repro.core.mat import Mat
+from repro.core.bank import Bank
+from repro.core.adder_tree import AdderTree, reduction_rounds
+from repro.core.interconnect import IBCNetwork, RSCBus
+from repro.core.controller import Controller, ScheduleEntry
+from repro.core.mapping import (
+    EmbeddingTableSpec,
+    FILTERING,
+    RANKING,
+    TableMapping,
+    WorkloadMapping,
+    next_power_of_two,
+)
+from repro.core.buffers import CTRBuffer, ItemBuffer
+from repro.core.dnn_stack import CrossbarBank, layer_tiles
+from repro.core.calibration import (
+    PeripheralModel,
+    ZERO_PERIPHERAL,
+    default_peripheral,
+    fit_peripheral_model,
+)
+from repro.core.accelerator import IMARSCostModel
+from repro.core.area import AreaModel, FabricArea, fabric_area, workload_area
+from repro.core.power import StandbyPowerModel, standby_comparison
+from repro.core.trace_sim import AccessTrace, TraceSimulator
+from repro.core.fabric import FlowTrace, IMARSFabric
+from repro.core.pipeline import GPUReferenceEngine, IMARSEngine, QueryResult
+
+__all__ = [
+    "ArchitectureConfig",
+    "PAPER_CONFIG",
+    "CMA",
+    "CMAMode",
+    "Mat",
+    "Bank",
+    "AdderTree",
+    "reduction_rounds",
+    "IBCNetwork",
+    "RSCBus",
+    "Controller",
+    "ScheduleEntry",
+    "EmbeddingTableSpec",
+    "FILTERING",
+    "RANKING",
+    "TableMapping",
+    "WorkloadMapping",
+    "next_power_of_two",
+    "CTRBuffer",
+    "ItemBuffer",
+    "CrossbarBank",
+    "layer_tiles",
+    "PeripheralModel",
+    "ZERO_PERIPHERAL",
+    "default_peripheral",
+    "fit_peripheral_model",
+    "IMARSCostModel",
+    "AreaModel",
+    "FabricArea",
+    "fabric_area",
+    "workload_area",
+    "StandbyPowerModel",
+    "standby_comparison",
+    "AccessTrace",
+    "TraceSimulator",
+    "FlowTrace",
+    "IMARSFabric",
+    "GPUReferenceEngine",
+    "IMARSEngine",
+    "QueryResult",
+]

@@ -1,0 +1,304 @@
+"""The iMARS analytic cost model: operation mapping -> (energy, latency).
+
+This module prices every iMARS operation of Sec. III-C from the array FoMs
+(Table II), the workload's memory mapping (Table I) and the communication
+model, reproducing the evaluation methodology of Sec. IV:
+
+* :meth:`IMARSCostModel.et_operation` -- the Table III "ET operation": all
+  of a stage's embedding tables perform a worst-case lookup+pooling, banks
+  in parallel, results gathered over the RSC bus.  The paper's worst case
+  assumes every pooled lookup of a table hits the *same* CMA, serialising
+  ``L - 1`` in-memory add + write pairs, then the intra-mat and intra-bank
+  adder trees run regardless of placement.
+* :meth:`IMARSCostModel.nns_operation` -- the TCAM threshold search over
+  the ItET's signature CMAs (all arrays search in parallel: O(1) array
+  time).
+* :meth:`IMARSCostModel.dnn_stack_cost` -- a crossbar-bank MLP pass.
+* :meth:`IMARSCostModel.filtering_query` / :meth:`ranking_query` /
+  :meth:`end_to_end` -- the composed per-query pipelines used by the
+  end-to-end comparison (Sec. IV-C3).
+
+Energy adds the fitted peripheral component (see
+:mod:`repro.core.calibration`); pass ``peripheral=ZERO_PERIPHERAL`` for
+dynamic-only accounting.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+from repro.core.adder_tree import reduction_rounds
+from repro.core.calibration import PeripheralModel, default_peripheral
+from repro.core.config import ArchitectureConfig
+from repro.core.controller import Controller
+from repro.core.dnn_stack import layer_tiles
+from repro.core.interconnect import RSCBus
+from repro.core.mapping import FILTERING, RANKING, TableMapping, WorkloadMapping
+from repro.energy.accounting import Cost, Ledger, ZERO_COST
+from repro.nn.mlp import parse_layer_spec
+
+__all__ = ["IMARSCostModel"]
+
+#: Peripheral reconfiguration cost when a CMA changes mode.
+_MODE_SWITCH = Cost(energy_pj=1.0, latency_ns=0.5)
+
+
+class IMARSCostModel:
+    """Analytic energy/latency model of iMARS for one mapped workload."""
+
+    def __init__(
+        self,
+        mapping: WorkloadMapping,
+        config: Optional[ArchitectureConfig] = None,
+        peripheral: Optional[PeripheralModel] = None,
+        worst_case_pooling: int = 10,
+    ):
+        self.mapping = mapping
+        self.config = config or mapping.config
+        self._peripheral = peripheral  # None -> fitted default, resolved lazily
+        if worst_case_pooling < 1:
+            raise ValueError("worst-case pooling factor must be >= 1")
+        self.worst_case_pooling = worst_case_pooling
+        self.bus = RSCBus(width_bits=self.config.rsc_bus_bits)
+        self.controller = Controller(group_size=self.config.intra_bank_fan_in)
+
+    @property
+    def peripheral(self) -> PeripheralModel:
+        if self._peripheral is None:
+            self._peripheral = default_peripheral()
+        return self._peripheral
+
+    # -- ET operations (Table III) ---------------------------------------------------
+    def _pooling_chain(self, pooling: int) -> Cost:
+        """Worst-case single-CMA pooling of *pooling* lookups.
+
+        One lookup is a plain read; L > 1 lookups serialise L - 1
+        (in-memory add + partial-sum write) pairs after a GPCiM mode
+        switch (Sec. IV-C1's "multiple read, write and in-memory add
+        operations").
+        """
+        foms = self.config.foms
+        if pooling == 1:
+            return foms.cma_read
+        chain = _MODE_SWITCH
+        step = foms.cma_add.then(foms.cma_write)
+        return chain.then(step.repeated(pooling - 1))
+
+    def table_lookup_cost(self, table: TableMapping, pooling: Optional[int] = None) -> Cost:
+        """Worst-case lookup+pooling for one embedding table.
+
+        The intra-mat and intra-bank adder-tree additions are always
+        charged, matching the paper's accounting ("includes the multiple
+        lookups of CMAs, the intra-mat addition and intra-bank addition").
+        When the table spans more mats than the intra-bank tree's fan-in,
+        the tree serialises extra rounds ("multiple rounds of addition are
+        needed using the same Intra-bank Adder Tree", Sec. III-A1).
+        """
+        foms = self.config.foms
+        effective = self.worst_case_pooling if pooling is None else pooling
+        if effective < 1:
+            raise ValueError("pooling factor must be >= 1")
+        rounds = max(
+            1,
+            reduction_rounds(table.embedding_mats, self.config.intra_bank_fan_in),
+        )
+        return (
+            self._pooling_chain(effective)
+            .then(foms.intra_mat_add)
+            .then(foms.intra_bank_add.repeated(rounds))
+        )
+
+    def et_operation(
+        self,
+        stage: str,
+        ledger: Optional[Ledger] = None,
+        combine: str = "concat",
+    ) -> Cost:
+        """One stage's full ET operation for a single input (Table III).
+
+        Banks operate in parallel (latency is the slowest table's chain);
+        the per-bank 256-bit results serialise over the shared RSC bus;
+        the fitted peripheral energy covers the stage's active arrays for
+        the operation's duration.
+
+        ``combine`` selects how the per-feature embeddings merge (Fig. 1(c)
+        / step (2b): "either by concatenation or by an ADD operation"):
+        ``"concat"`` just gathers the words; ``"add"`` additionally reduces
+        them through an inter-bank adder tree at the RSC hub (reusing the
+        intra-bank tree design, so the same fan-in/rounds rules apply).
+        """
+        if combine not in ("concat", "add"):
+            raise ValueError(f"combine must be 'concat' or 'add', got {combine!r}")
+        tables = self.mapping.tables_for_stage(stage)
+        if not tables:
+            raise ValueError(f"no tables active in stage {stage!r}")
+        parallel = Cost.concurrent(self.table_lookup_cost(table) for table in tables)
+        gather = self.bus.gather(len(tables), self.config.word_bits)
+        sequencing = self.controller.sequencing_cost(len(tables))
+        # The controller sequences the drain concurrently with the bus.
+        dynamic = parallel.then(gather).alongside(sequencing)
+        if combine == "add" and len(tables) > 1:
+            rounds = reduction_rounds(len(tables), self.config.intra_bank_fan_in)
+            dynamic = dynamic.then(self.config.foms.intra_bank_add.repeated(rounds))
+        summary = self.mapping.stage_summary(stage)
+        total = self.peripheral.charge(dynamic, summary["cmas"], summary["banks"])
+        if ledger is not None:
+            ledger.charge("ET Lookup", total)
+        return total
+
+    # -- NNS (Sec. IV-C2) ---------------------------------------------------------------
+    def nns_operation(self, include_drain: bool = False, num_candidates: int = 0) -> Cost:
+        """TCAM threshold search over the ItET signature arrays.
+
+        With ``include_drain=False`` this is the pure array search the
+        paper quotes (all signature CMAs search in parallel: one search
+        latency, energy scaled by the array count).  With
+        ``include_drain=True`` the priority-encoded candidate indices also
+        stream to the item buffer over the RSC bus.
+        """
+        itet = self.mapping.itet()
+        foms = self.config.foms
+        search = Cost(
+            energy_pj=foms.cma_search.energy_pj * itet.signature_cmas,
+            latency_ns=foms.cma_search.latency_ns,
+        )
+        if not include_drain:
+            return search
+        if num_candidates < 0:
+            raise ValueError("candidate count must be non-negative")
+        encode = Cost(energy_pj=0.05 * num_candidates, latency_ns=0.1 * num_candidates)
+        index_bits = max(1, (itet.spec.num_entries - 1).bit_length())
+        drain = self.bus.gather(num_candidates, index_bits)
+        store = foms.cma_write.repeated(num_candidates)  # item buffer rows
+        return search.then(encode).then(drain).then(store)
+
+    def lsh_projection_cost(self) -> Cost:
+        """Hashing a query embedding through a crossbar hyperplane tile.
+
+        The random-hyperplane projection is a (dim x signature_bits)
+        matrix-vector product, which iMARS executes on crossbar tiles like
+        any other dense layer.
+        """
+        row_tiles, col_tiles = layer_tiles(
+            self.config.embedding_dim, self.config.lsh_signature_bits
+        )
+        matmul = self.config.foms.crossbar_matmul
+        return Cost(
+            energy_pj=matmul.energy_pj * row_tiles * col_tiles,
+            latency_ns=matmul.latency_ns * row_tiles,
+        )
+
+    # -- DNN stacks (Sec. III-A2) ----------------------------------------------------------
+    def dnn_stack_cost(self, input_dim: int, spec: Union[str, Sequence[int]]) -> Cost:
+        """One MLP forward pass on a crossbar bank.
+
+        Column tiles fire in parallel; row tiles accumulate sequentially;
+        each layer streams its activations over the RSC bus.
+        """
+        widths = parse_layer_spec(spec)
+        matmul = self.config.foms.crossbar_matmul
+        cost = ZERO_COST
+        previous = input_dim
+        for width in widths:
+            row_tiles, col_tiles = layer_tiles(previous, width)
+            layer = Cost(
+                energy_pj=matmul.energy_pj * row_tiles * col_tiles,
+                latency_ns=matmul.latency_ns * row_tiles,
+            )
+            transfer = self.bus.transfer(width * self.config.embedding_bits)
+            cost = cost.then(layer).then(transfer)
+            previous = width
+        return cost
+
+    # -- composed pipelines (Sec. III-C / IV-C3) ----------------------------------------------
+    def filtering_query(
+        self,
+        dnn_input_dim: int,
+        dnn_spec: Union[str, Sequence[int]],
+        num_candidates: int,
+        ledger: Optional[Ledger] = None,
+    ) -> Cost:
+        """One filtering query: steps (1a)-(1d*) of Fig. 3.
+
+        ET lookups/pooling -> filtering DNN -> LSH projection of the user
+        embedding -> TCAM threshold NNS -> candidate drain into the item
+        buffer.
+        """
+        if num_candidates < 1:
+            raise ValueError("candidate count must be >= 1")
+        et = self.et_operation(FILTERING)
+        dnn = self.dnn_stack_cost(dnn_input_dim, dnn_spec)
+        projection = self.lsh_projection_cost()
+        nns = self.nns_operation(include_drain=True, num_candidates=num_candidates)
+        if ledger is not None:
+            ledger.charge("ET Lookup", et)
+            ledger.charge("DNN Stack", dnn)
+            ledger.charge("NNS", projection.then(nns))
+        return et.then(dnn).then(projection).then(nns)
+
+    def ranking_candidate(
+        self,
+        dnn_input_dim: int,
+        dnn_spec: Union[str, Sequence[int]],
+        ledger: Optional[Ledger] = None,
+    ) -> Cost:
+        """Scoring one candidate: steps (2a)-(2d) of Fig. 3."""
+        et = self.et_operation(RANKING)
+        dnn = self.dnn_stack_cost(dnn_input_dim, dnn_spec)
+        ctr_store = self.config.foms.cma_write  # CTR buffer row
+        if ledger is not None:
+            ledger.charge("ET Lookup", et)
+            ledger.charge("DNN Stack", dnn.then(ctr_store))
+        return et.then(dnn).then(ctr_store)
+
+    def topk_operation(self, num_candidates: int, k: int, ledger: Optional[Ledger] = None) -> Cost:
+        """Step (2e): CTR-buffer threshold-match top-k selection.
+
+        The threshold sweep needs at most ~k distinct search steps (scores
+        are admitted in descending order); each admitted item's index is
+        read out.
+        """
+        if num_candidates < 1 or k < 1:
+            raise ValueError("candidate count and k must be >= 1")
+        foms = self.config.foms
+        searches = foms.cma_search.repeated(min(k, num_candidates))
+        reads = foms.cma_read.repeated(min(k, num_candidates))
+        cost = searches.then(reads)
+        if ledger is not None:
+            ledger.charge("TopK", cost)
+        return cost
+
+    def end_to_end(
+        self,
+        filtering_input_dim: int,
+        filtering_spec: Union[str, Sequence[int]],
+        ranking_input_dim: int,
+        ranking_spec: Union[str, Sequence[int]],
+        num_candidates: int,
+        k: int = 10,
+        ledger: Optional[Ledger] = None,
+    ) -> Cost:
+        """Full query: filtering once, ranking per candidate, then top-k.
+
+        "The end-to-end improvement is dominated by the ranking stage
+        because each user only goes through the filtering stage once ...
+        the CTR needs to be calculated for each candidate item."
+        """
+        filtering = self.filtering_query(
+            filtering_input_dim, filtering_spec, num_candidates, ledger=ledger
+        )
+        per_candidate = self.ranking_candidate(ranking_input_dim, ranking_spec)
+        ranking = per_candidate.repeated(num_candidates)
+        if ledger is not None:
+            ledger.charge("Ranking", ranking)
+        topk = self.topk_operation(num_candidates, k, ledger=ledger)
+        return filtering.then(ranking).then(topk)
+
+    def ranking_only_query(
+        self,
+        dnn_input_dim: int,
+        dnn_spec: Union[str, Sequence[int]],
+        ledger: Optional[Ledger] = None,
+    ) -> Cost:
+        """A single ranking-stage inference (the Criteo/DLRM protocol)."""
+        return self.ranking_candidate(dnn_input_dim, dnn_spec, ledger=ledger)

@@ -1,0 +1,82 @@
+"""Near-memory adder trees (Sec. III-A1).
+
+Two trees exist per bank:
+
+* the **intra-mat adder tree** (one per mat, fan-in C) sums the outputs of
+  the mat's CMAs; different mats run in parallel;
+* the **intra-bank adder tree** (one per bank, fan-in 4) sums mat outputs,
+  four 256-bit inputs per shot; when K > 4 mats contribute, multiple
+  serialised rounds through the same tree are needed.
+
+Functionally the trees sum lane-structured integer words; their costs come
+from the Table II FoMs (or the synthesis estimator for swept fan-ins).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.energy.accounting import Cost, ZERO_COST
+
+__all__ = ["AdderTree", "reduction_rounds"]
+
+
+def reduction_rounds(num_inputs: int, fan_in: int) -> int:
+    """Number of serialised tree invocations to reduce *num_inputs* words.
+
+    Each invocation replaces up to ``fan_in`` pending words with one
+    partial sum.  One invocation handles ``fan_in`` inputs; every further
+    invocation retires ``fan_in - 1`` more (the previous partial sum
+    occupies one input port).  This models the paper's "multiple rounds of
+    addition ... using the same Intra-bank Adder Tree" when K > 4.
+    """
+    if fan_in < 2:
+        raise ValueError(f"fan-in must be >= 2, got {fan_in}")
+    if num_inputs < 0:
+        raise ValueError(f"input count must be non-negative, got {num_inputs}")
+    if num_inputs <= 1:
+        return 0
+    return 1 + math.ceil((num_inputs - fan_in) / (fan_in - 1)) if num_inputs > fan_in else 1
+
+
+class AdderTree:
+    """A fixed-fan-in near-memory adder tree over lane-structured words."""
+
+    def __init__(self, fan_in: int, add_cost: Cost, name: str = "adder-tree"):
+        if fan_in < 2:
+            raise ValueError(f"fan-in must be >= 2, got {fan_in}")
+        self.fan_in = fan_in
+        self.add_cost = add_cost
+        self.name = name
+
+    def reduce(self, words: Sequence[np.ndarray]) -> Tuple[np.ndarray, Cost]:
+        """Sum *words*, serialising invocations beyond the fan-in.
+
+        Returns the exact lane-wise sum and the accumulated cost of every
+        invocation.  Zero or one input costs nothing (the tree is bypassed).
+        """
+        pending: List[np.ndarray] = [np.asarray(word, dtype=np.int64) for word in words]
+        if not pending:
+            raise ValueError("adder tree needs at least one input word")
+        shapes = {word.shape for word in pending}
+        if len(shapes) != 1:
+            raise ValueError(f"all input words must share a shape, got {shapes}")
+        cost = ZERO_COST
+        while len(pending) > 1:
+            batch = pending[: self.fan_in]
+            remainder = pending[self.fan_in :]
+            partial = np.sum(np.stack(batch, axis=0), axis=0)
+            pending = [partial] + remainder
+            cost = cost.then(self.add_cost)
+        return pending[0], cost
+
+    def rounds_for(self, num_inputs: int) -> int:
+        """Invocations needed for *num_inputs* words (cost-only planning)."""
+        return reduction_rounds(num_inputs, self.fan_in)
+
+    def cost_for(self, num_inputs: int) -> Cost:
+        """Cost of reducing *num_inputs* words without computing values."""
+        return self.add_cost.repeated(self.rounds_for(num_inputs))

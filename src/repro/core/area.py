@@ -1,0 +1,176 @@
+"""Area model for the iMARS fabric.
+
+The paper discusses area qualitatively: "area footprint increases
+proportionally to B, M and C", the intra-bank adder tree's fan-in is "a
+compromise between area footprint of the iMARS banks and performance", and
+"extremely wide buses may be impractical as they require too much area"
+(Sec. III-A).  This module quantifies those statements with a first-order
+45 nm-class area model so the design-space benches can put numbers on the
+trade-offs.
+
+Constants are representative of the FeFET literature the paper builds on
+(a 2-FeFET TCAM/CMA cell at 45 nm occupies ~0.3 um^2; peripheries add
+~30-50% to a 256x256 array); totals land in the tens-of-mm^2 range typical
+for accelerator proposals of this class.  The *relative* scaling with B, M,
+C, fan-in and bus width is the load-bearing output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import ArchitectureConfig, PAPER_CONFIG
+from repro.core.mapping import WorkloadMapping
+
+__all__ = ["AreaModel", "FabricArea"]
+
+#: Full-adder-equivalent cell area at 45 nm (um^2), used for adder trees.
+_FA_AREA_UM2 = 5.0
+
+
+@dataclass(frozen=True)
+class AreaModel:
+    """45 nm-class area constants.
+
+    Attributes
+    ----------
+    cma_cell_um2:
+        One CMA bit cell (2-FeFET configurable cell).
+    periphery_overhead:
+        Fractional array overhead for drivers, SAs, priority encoder.
+    crossbar_cell_um2:
+        One crossbar cross-point (1FeFET differential pair amortised).
+    bus_um2_per_bit_mm:
+        Routed bus area per bit-lane per millimetre.
+    """
+
+    cma_cell_um2: float = 0.30
+    periphery_overhead: float = 0.40
+    crossbar_cell_um2: float = 0.05
+    bus_um2_per_bit_mm: float = 1.2
+
+    def __post_init__(self) -> None:
+        if self.cma_cell_um2 <= 0.0 or self.crossbar_cell_um2 <= 0.0:
+            raise ValueError("cell areas must be positive")
+        if self.periphery_overhead < 0.0:
+            raise ValueError("periphery overhead must be non-negative")
+
+    # -- components ----------------------------------------------------------
+    def cma_area_um2(self, rows: int = 256, cols: int = 256) -> float:
+        """One CMA array including its reconfigurable periphery."""
+        if rows < 1 or cols < 1:
+            raise ValueError("array dimensions must be positive")
+        cells = rows * cols * self.cma_cell_um2
+        return cells * (1.0 + self.periphery_overhead)
+
+    def adder_tree_area_um2(self, fan_in: int, width_bits: int = 256) -> float:
+        """A fan-in-F adder tree over W-bit words: (F-1) x W full adders."""
+        if fan_in < 2 or width_bits < 1:
+            raise ValueError("fan-in must be >= 2 and width positive")
+        return (fan_in - 1) * width_bits * _FA_AREA_UM2
+
+    def crossbar_area_um2(self, rows: int = 256, cols: int = 128) -> float:
+        """One crossbar tile including DAC/ADC periphery."""
+        cells = rows * cols * self.crossbar_cell_um2
+        return cells * (1.0 + 2.0 * self.periphery_overhead)  # converters dominate
+
+    def bus_area_um2(self, width_bits: int, length_mm: float) -> float:
+        """Routed serialised bus."""
+        if width_bits < 1 or length_mm < 0.0:
+            raise ValueError("bus width must be positive, length non-negative")
+        return width_bits * length_mm * self.bus_um2_per_bit_mm
+
+
+@dataclass
+class FabricArea:
+    """Aggregated area of a provisioned iMARS fabric."""
+
+    cma_mm2: float
+    intra_mat_trees_mm2: float
+    intra_bank_trees_mm2: float
+    crossbars_mm2: float
+    interconnect_mm2: float
+
+    @property
+    def total_mm2(self) -> float:
+        return (
+            self.cma_mm2
+            + self.intra_mat_trees_mm2
+            + self.intra_bank_trees_mm2
+            + self.crossbars_mm2
+            + self.interconnect_mm2
+        )
+
+    def breakdown(self) -> dict:
+        """Fraction of total per component."""
+        total = self.total_mm2
+        if total == 0.0:
+            return {}
+        return {
+            "CMA arrays": self.cma_mm2 / total,
+            "intra-mat trees": self.intra_mat_trees_mm2 / total,
+            "intra-bank trees": self.intra_bank_trees_mm2 / total,
+            "crossbars": self.crossbars_mm2 / total,
+            "interconnect": self.interconnect_mm2 / total,
+        }
+
+
+def fabric_area(
+    config: ArchitectureConfig = PAPER_CONFIG,
+    num_crossbar_tiles: int = 16,
+    model: AreaModel = AreaModel(),
+) -> FabricArea:
+    """Area of the *provisioned* fabric (all B x M x C arrays).
+
+    ``num_crossbar_tiles`` covers the two DNN crossbar banks; 16 tiles is
+    enough for both YouTubeDNN stacks and the DLRM MLPs.
+    """
+    um2_to_mm2 = 1e-6
+    cma = config.total_cmas * model.cma_area_um2(config.cma_rows, config.cma_cols)
+    mat_trees = (
+        config.num_banks
+        * config.mats_per_bank
+        * model.adder_tree_area_um2(max(2, config.cmas_per_mat), config.word_bits)
+    )
+    bank_trees = config.num_banks * model.adder_tree_area_um2(
+        config.intra_bank_fan_in, config.word_bits
+    )
+    crossbars = num_crossbar_tiles * model.crossbar_area_um2()
+    interconnect = model.bus_area_um2(config.rsc_bus_bits, 2.0) + (
+        config.num_banks * model.bus_area_um2(config.ibc_payload_bits, 1.0)
+    )
+    return FabricArea(
+        cma_mm2=cma * um2_to_mm2,
+        intra_mat_trees_mm2=mat_trees * um2_to_mm2,
+        intra_bank_trees_mm2=bank_trees * um2_to_mm2,
+        crossbars_mm2=crossbars * um2_to_mm2,
+        interconnect_mm2=interconnect * um2_to_mm2,
+    )
+
+
+def workload_area(
+    mapping: WorkloadMapping,
+    num_crossbar_tiles: int = 16,
+    model: AreaModel = AreaModel(),
+) -> FabricArea:
+    """Area of only the arrays a workload *activates* (Table I counts)."""
+    config = mapping.config
+    um2_to_mm2 = 1e-6
+    cma = mapping.active_cmas * model.cma_area_um2(config.cma_rows, config.cma_cols)
+    mat_trees = mapping.active_mats * model.adder_tree_area_um2(
+        max(2, config.cmas_per_mat), config.word_bits
+    )
+    bank_trees = mapping.active_banks * model.adder_tree_area_um2(
+        config.intra_bank_fan_in, config.word_bits
+    )
+    crossbars = num_crossbar_tiles * model.crossbar_area_um2()
+    interconnect = model.bus_area_um2(config.rsc_bus_bits, 2.0) + (
+        mapping.active_banks * model.bus_area_um2(config.ibc_payload_bits, 1.0)
+    )
+    return FabricArea(
+        cma_mm2=cma * um2_to_mm2,
+        intra_mat_trees_mm2=mat_trees * um2_to_mm2,
+        intra_bank_trees_mm2=bank_trees * um2_to_mm2,
+        crossbars_mm2=crossbars * um2_to_mm2,
+        interconnect_mm2=interconnect * um2_to_mm2,
+    )

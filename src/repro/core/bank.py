@@ -1,0 +1,163 @@
+"""The CMA bank: M mats + IBC network + intra-bank adder tree (Fig. 3(b)).
+
+One bank stores one sparse feature's embedding table ("Each sparse feature
+is mapped to a separate bank", Sec. III-B).  Mats perform intra-mat
+additions in parallel; their outputs travel over the IBC network in groups
+of four 256-bit words and are reduced by the fan-in-4 intra-bank adder
+tree, with multiple serialised rounds when more than four mats contribute.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.adder_tree import AdderTree
+from repro.core.config import ArchitectureConfig, PAPER_CONFIG
+from repro.core.controller import Controller
+from repro.core.interconnect import IBCNetwork
+from repro.core.mat import Mat
+from repro.energy.accounting import Cost, ZERO_COST
+
+__all__ = ["Bank"]
+
+
+class Bank:
+    """M mats + intra-bank adder tree, drained in the predetermined order."""
+
+    def __init__(
+        self,
+        config: ArchitectureConfig = PAPER_CONFIG,
+        active_mats: int = None,
+        active_cmas_last_mat: int = None,
+    ):
+        """Build a bank with ``active_mats`` mats powered on.
+
+        ``active_cmas_last_mat`` deactivates trailing CMAs of the final mat
+        ("some mats and CMAs deactivated in a bank according to the size of
+        the ET", Sec. IV): a 110-CMA Criteo table activates 3 full mats
+        plus one 14-CMA mat.
+        """
+        self.config = config
+        mats = config.mats_per_bank if active_mats is None else active_mats
+        if not 1 <= mats <= config.mats_per_bank:
+            raise ValueError(
+                f"active mat count must be in [1, {config.mats_per_bank}], got {mats}"
+            )
+        self.mats: List[Mat] = []
+        for mat_index in range(mats):
+            is_last = mat_index == mats - 1
+            cmas = active_cmas_last_mat if (is_last and active_cmas_last_mat) else None
+            self.mats.append(Mat(config, active_cmas=cmas))
+        self.ibc = IBCNetwork(
+            payload_bits=config.ibc_payload_bits,
+            word_bits=config.word_bits,
+        )
+        self.tree = AdderTree(
+            fan_in=config.intra_bank_fan_in,
+            add_cost=config.foms.intra_bank_add,
+            name="intra-bank",
+        )
+        self.controller = Controller(group_size=config.intra_bank_fan_in)
+
+    @property
+    def num_mats(self) -> int:
+        return len(self.mats)
+
+    @property
+    def num_cmas(self) -> int:
+        return sum(mat.num_cmas for mat in self.mats)
+
+    @property
+    def capacity_rows(self) -> int:
+        return sum(mat.capacity_rows for mat in self.mats)
+
+    # -- storage ------------------------------------------------------------------
+    def locate(self, entry_index: int) -> Tuple[int, int]:
+        """Map a bank-local entry index to (mat, mat-local entry)."""
+        if entry_index < 0:
+            raise IndexError(f"entry index must be non-negative, got {entry_index}")
+        remaining = entry_index
+        for mat_index, mat in enumerate(self.mats):
+            if remaining < mat.capacity_rows:
+                return mat_index, remaining
+            remaining -= mat.capacity_rows
+        raise IndexError(
+            f"entry {entry_index} out of range for capacity {self.capacity_rows}"
+        )
+
+    def write_entry(self, entry_index: int, lane_values: Sequence[int]) -> Cost:
+        mat_index, local = self.locate(entry_index)
+        return self.mats[mat_index].write_entry(local, lane_values)
+
+    def write_signature_entry(self, entry_index: int, signature_bits: Sequence[int]) -> Cost:
+        mat_index, local = self.locate(entry_index)
+        return self.mats[mat_index].write_signature_entry(local, signature_bits)
+
+    def load_table(self, table: np.ndarray) -> Cost:
+        """Bulk-load an int8 embedding table (one entry per row)."""
+        matrix = np.asarray(table)
+        if matrix.ndim != 2 or matrix.shape[1] != self.config.embedding_dim:
+            raise ValueError(
+                f"table must be (n, {self.config.embedding_dim}), got {matrix.shape}"
+            )
+        if matrix.shape[0] > self.capacity_rows:
+            raise ValueError(
+                f"table with {matrix.shape[0]} entries exceeds bank capacity "
+                f"{self.capacity_rows}"
+            )
+        cost = ZERO_COST
+        for entry_index, row in enumerate(matrix):
+            cost = cost.then(self.write_entry(entry_index, row))
+        return cost
+
+    def read_entry(self, entry_index: int) -> Tuple[np.ndarray, Cost]:
+        mat_index, local = self.locate(entry_index)
+        return self.mats[mat_index].read_entry(local)
+
+    # -- pooled lookup ---------------------------------------------------------------
+    def pooled_lookup(self, entry_indices: Sequence[int]) -> Tuple[np.ndarray, Cost]:
+        """Look up and pool entries across the bank's mats.
+
+        Mats run their intra-mat chains concurrently; the IBC delivers
+        their partial sums in controller-ordered groups of four; the
+        intra-bank adder tree reduces them (multiple rounds when more than
+        four mats contribute).
+        """
+        indices = list(entry_indices)
+        if not indices:
+            raise ValueError("pooled lookup needs at least one entry")
+        by_mat: Dict[int, List[int]] = defaultdict(list)
+        for entry in indices:
+            mat_index, local = self.locate(entry)
+            by_mat[mat_index].append(local)
+
+        partials: List[np.ndarray] = []
+        mat_cost = ZERO_COST
+        for mat_index, locals_ in sorted(by_mat.items()):
+            partial, cost = self.mats[mat_index].pooled_lookup(locals_)
+            partials.append(partial)
+            mat_cost = mat_cost.alongside(cost)  # mats work in parallel
+
+        if len(partials) == 1:
+            return partials[0], mat_cost
+
+        delivery = self.ibc.deliver(len(partials))
+        sequencing = self.controller.sequencing_cost(self.ibc.shots_for(len(partials)))
+        total, tree_cost = self.tree.reduce(partials)
+        return total, mat_cost.then(delivery).then(sequencing).then(tree_cost)
+
+    # -- search ----------------------------------------------------------------------
+    def search(self, query_bits: Sequence[int], threshold: int) -> Tuple[List[int], Cost]:
+        """Threshold search across all mats; returns bank-local entry indices."""
+        matches: List[int] = []
+        cost = ZERO_COST
+        offset = 0
+        for mat in self.mats:
+            local_matches, search_cost = mat.search(query_bits, threshold)
+            cost = cost.alongside(search_cost)  # mats search concurrently
+            matches.extend(offset + local for local in local_matches)
+            offset += mat.capacity_rows
+        return matches, cost

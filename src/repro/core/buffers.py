@@ -1,0 +1,130 @@
+"""Item buffer and CTR buffer (Fig. 3(a), steps (1d*), (2d), (2e)).
+
+* The **item buffer** holds the candidate item indices produced by the
+  filtering stage's threshold NNS; the ranking stage drains it one
+  candidate at a time.
+* The **CTR buffer** is "a CMA that stores the CTR for each candidate item
+  and the item index which are used for selecting the final top-k items"
+  (step (2d)); the top-k selection runs in the CMA's threshold-match mode
+  "by searching a vector of all 1's (the maximum allowable CMA input)"
+  (step (2e)) -- nearest-to-all-ones is the row with the largest stored
+  magnitude, so lowering the match threshold step by step yields the items
+  in descending CTR order.
+
+Both buffers are CMA-backed, so their entries cost CMA writes/reads/searches
+from the Table II FoMs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.circuits.foms import ArrayFoMs, TABLE_II
+from repro.energy.accounting import Cost, ZERO_COST
+
+__all__ = ["ItemBuffer", "CTRBuffer"]
+
+
+class ItemBuffer:
+    """FIFO of candidate item indices, backed by one CMA."""
+
+    def __init__(self, capacity: int = 256, foms: ArrayFoMs = TABLE_II):
+        if capacity < 1:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.foms = foms
+        self._items: List[int] = []
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def store(self, item_indices: List[int]) -> Cost:
+        """Write the candidate set; truncates at capacity (buffer is finite)."""
+        self._items = [int(index) for index in item_indices[: self.capacity]]
+        return self.foms.cma_write.repeated(len(self._items))
+
+    def drain(self) -> Tuple[List[int], Cost]:
+        """Read all candidates out in stored order."""
+        cost = self.foms.cma_read.repeated(len(self._items))
+        items = list(self._items)
+        return items, cost
+
+    def peek(self) -> List[int]:
+        """Contents without charging a hardware cost (verification helper)."""
+        return list(self._items)
+
+
+class CTRBuffer:
+    """CTR + item-index store with in-CMA top-k selection."""
+
+    def __init__(self, capacity: int = 256, score_bits: int = 8, foms: ArrayFoMs = TABLE_II):
+        if capacity < 1:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        if score_bits < 1:
+            raise ValueError(f"score width must be positive, got {score_bits}")
+        self.capacity = capacity
+        self.score_bits = score_bits
+        self.foms = foms
+        self._entries: List[Tuple[int, float]] = []  # (item_index, ctr)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        self._entries = []
+
+    def store(self, item_index: int, ctr: float) -> Cost:
+        """Write one (item, CTR) row after the ranking DNN scores it."""
+        if not 0.0 <= ctr <= 1.0:
+            raise ValueError(f"CTR must be in [0, 1], got {ctr}")
+        if len(self._entries) >= self.capacity:
+            raise RuntimeError(f"CTR buffer full (capacity {self.capacity})")
+        self._entries.append((int(item_index), float(ctr)))
+        return self.foms.cma_write
+
+    def _quantised_scores(self) -> np.ndarray:
+        """CTRs quantised to the buffer's unsigned fixed-point width."""
+        levels = (1 << self.score_bits) - 1
+        scores = np.array([ctr for _, ctr in self._entries], dtype=np.float64)
+        return np.round(scores * levels).astype(np.int64)
+
+    def top_k(self, k: int) -> Tuple[List[int], Cost]:
+        """Select the k items with the highest CTR via threshold matching.
+
+        The hardware searches the all-ones vector and lowers the threshold
+        until k rows match; each threshold step is one CMA search.  The
+        returned items are ordered by descending quantised CTR (ties by
+        insertion order, the priority-encoder behaviour).
+        """
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        if not self._entries:
+            return [], ZERO_COST
+        scores = self._quantised_scores()
+        # Hamming distance to all-ones decreases as the score grows, so the
+        # threshold sweep admits rows in descending-score order.  Count the
+        # distinct thresholds stepped through until >= k rows match.
+        unique_scores = np.sort(np.unique(scores))[::-1]
+        admitted = 0
+        searches = 0
+        cutoff = unique_scores[-1]
+        for score in unique_scores:
+            searches += 1
+            admitted = int((scores >= score).sum())
+            cutoff = score
+            if admitted >= k:
+                break
+        order = sorted(
+            range(len(self._entries)),
+            key=lambda index: (-scores[index], index),
+        )
+        winners = [self._entries[index][0] for index in order[: min(k, len(order))]]
+        cost = self.foms.cma_search.repeated(searches)
+        del cutoff  # cutoff kept for clarity of the sweep; winners carry the result
+        return winners, cost
+
+    def entries(self) -> List[Tuple[int, float]]:
+        """Stored (item, CTR) pairs (verification helper)."""
+        return list(self._entries)

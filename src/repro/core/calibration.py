@@ -1,0 +1,129 @@
+"""Peripheral-power calibration of the iMARS energy model.
+
+The *latency* of iMARS operations composes directly from the Table II
+array figures of merit (the worst-case pooling chain plus adder trees plus
+serialised communication) and lands within a few percent of Table III with
+no tuning.  The *energy* does not: the published ET-operation energies
+(0.40 uJ MovieLens filtering, 0.46 uJ MovieLens ranking, 6.88 uJ Criteo
+ranking) are two orders of magnitude above the summed dynamic array
+energies, implying a substantial always-on peripheral component (wordline/
+bitline/searchline drivers, clocking, sense-amplifier bias) across the
+*active* arrays for the duration of the operation.
+
+We model that component as
+
+    E_peripheral = (a x active_CMAs + b x active_banks) x latency_ns
+
+and fit (a, b) on exactly two of the three published points -- MovieLens
+filtering and Criteo ranking -- leaving MovieLens ranking as a held-out
+validation (the fitted model predicts it within ~2%; see EXPERIMENTS.md).
+The fit is performed from the *model's own* dynamic numbers, so it stays
+consistent if the underlying FoMs are swept.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.energy.accounting import Cost
+
+__all__ = ["PeripheralModel", "ZERO_PERIPHERAL", "fit_peripheral_model", "default_peripheral"]
+
+#: Published Table III iMARS ET-operation targets used for the fit (uJ).
+TARGET_ML_FILTERING_UJ = 0.40
+TARGET_CRITEO_RANKING_UJ = 6.88
+#: Held-out validation target (uJ), not used in the fit.
+TARGET_ML_RANKING_UJ = 0.46
+
+
+@dataclass(frozen=True)
+class PeripheralModel:
+    """Always-on peripheral power charged per active CMA and per bank."""
+
+    pj_per_cma_ns: float = 0.0
+    pj_per_bank_ns: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.pj_per_cma_ns < 0.0 or self.pj_per_bank_ns < 0.0:
+            raise ValueError("peripheral power coefficients must be non-negative")
+
+    def energy_pj(self, active_cmas: int, active_banks: int, latency_ns: float) -> float:
+        """Peripheral energy for an operation spanning *latency_ns*."""
+        if active_cmas < 0 or active_banks < 0:
+            raise ValueError("active array counts must be non-negative")
+        if latency_ns < 0.0:
+            raise ValueError("latency must be non-negative")
+        return (
+            self.pj_per_cma_ns * active_cmas + self.pj_per_bank_ns * active_banks
+        ) * latency_ns
+
+    def charge(self, cost: Cost, active_cmas: int, active_banks: int) -> Cost:
+        """Add the peripheral energy to an operation's dynamic cost."""
+        extra = self.energy_pj(active_cmas, active_banks, cost.latency_ns)
+        return Cost(cost.energy_pj + extra, cost.latency_ns)
+
+
+#: Peripheral model that charges nothing (dynamic-only accounting).
+ZERO_PERIPHERAL = PeripheralModel()
+
+
+def fit_peripheral_model(
+    target_a_uj: float = TARGET_ML_FILTERING_UJ,
+    target_b_uj: float = TARGET_CRITEO_RANKING_UJ,
+) -> PeripheralModel:
+    """Fit (a, b) so the model lands on the two published anchor energies.
+
+    Solves the 2x2 linear system
+
+        (cmas_1 * a + banks_1 * b) * t_1 = target_1 - dynamic_1
+        (cmas_2 * a + banks_2 * b) * t_2 = target_2 - dynamic_2
+
+    where the dynamics/latencies come from the zero-peripheral cost model
+    on the MovieLens filtering and Criteo ranking workloads.
+    """
+    # Imported here to avoid a circular import with the accelerator module.
+    from repro.core.accelerator import IMARSCostModel
+    from repro.core.mapping import FILTERING, RANKING, WorkloadMapping
+    from repro.data.criteo import criteo_table_specs
+    from repro.data.movielens import movielens_table_specs
+
+    ml_mapping = WorkloadMapping(movielens_table_specs())
+    ck_mapping = WorkloadMapping(criteo_table_specs())
+    ml_model = IMARSCostModel(ml_mapping, peripheral=ZERO_PERIPHERAL)
+    ck_model = IMARSCostModel(ck_mapping, peripheral=ZERO_PERIPHERAL)
+
+    ml_dynamic = ml_model.et_operation(FILTERING)
+    ck_dynamic = ck_model.et_operation(RANKING)
+    ml_summary = ml_mapping.stage_summary(FILTERING)
+    ck_summary = ck_mapping.stage_summary(RANKING)
+
+    residual_ml = target_a_uj * 1e6 - ml_dynamic.energy_pj
+    residual_ck = target_b_uj * 1e6 - ck_dynamic.energy_pj
+    if residual_ml <= 0.0 or residual_ck <= 0.0:
+        raise RuntimeError(
+            "dynamic energy already exceeds the calibration targets; "
+            "check the FoMs or the targets"
+        )
+
+    # Rows of the linear system: coefficients of (a, b).
+    a11 = ml_summary["cmas"] * ml_dynamic.latency_ns
+    a12 = ml_summary["banks"] * ml_dynamic.latency_ns
+    a21 = ck_summary["cmas"] * ck_dynamic.latency_ns
+    a22 = ck_summary["banks"] * ck_dynamic.latency_ns
+    determinant = a11 * a22 - a12 * a21
+    if abs(determinant) < 1e-12:
+        raise RuntimeError("calibration system is singular")
+    coeff_a = (residual_ml * a22 - a12 * residual_ck) / determinant
+    coeff_b = (a11 * residual_ck - residual_ml * a21) / determinant
+    if coeff_a < 0.0 or coeff_b < 0.0:
+        raise RuntimeError(
+            f"calibration produced a negative coefficient (a={coeff_a}, b={coeff_b})"
+        )
+    return PeripheralModel(pj_per_cma_ns=coeff_a, pj_per_bank_ns=coeff_b)
+
+
+@lru_cache(maxsize=1)
+def default_peripheral() -> PeripheralModel:
+    """The fitted peripheral model, computed once per process."""
+    return fit_peripheral_model()

@@ -1,0 +1,188 @@
+"""The configurable memory array (CMA): RAM + TCAM + GPCiM in one array.
+
+The CMA (Fig. 3(c), following paper ref. [9]) is the workhorse of iMARS's
+embedding-table fabric.  One 256x256 FeFET array switches between:
+
+* **RAM mode** -- wordline/bitline drivers + RAM sense amps: embedding-row
+  lookups (one 256-bit word = 32 int8 lanes per row);
+* **GPCiM mode** -- in-memory addition through the accumulator next to the
+  RAM sense amps: pooling of embedding rows;
+* **TCAM mode** -- searchline drivers + CAM sense amps with the dummy-cell
+  threshold reference + priority encoder: threshold Hamming search over
+  stored LSH signatures.
+
+Every operation returns ``(functional result, Cost)`` where the cost comes
+from the array FoMs (Table II).  The functional state is a plain bit
+matrix, exactly what the FeFET cells hold; lane (int8) and signature views
+are provided on top of it.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.circuits.foms import ArrayFoMs, TABLE_II
+from repro.energy.accounting import Cost, ZERO_COST
+from repro.imc.gpcim import pack_lanes, unpack_lanes
+
+__all__ = ["CMAMode", "CMA"]
+
+
+class CMAMode(Enum):
+    """Peripheral configuration of the array."""
+
+    RAM = "ram"
+    TCAM = "tcam"
+    GPCIM = "gpcim"
+
+
+#: Cost of reconfiguring the peripherals between modes (mux settling).
+_MODE_SWITCH_COST = Cost(energy_pj=1.0, latency_ns=0.5)
+
+
+class CMA:
+    """One configurable memory array of ``rows`` x ``cols`` FeFET cells."""
+
+    def __init__(
+        self,
+        rows: int = 256,
+        cols: int = 256,
+        lanes: int = 32,
+        lane_bits: int = 8,
+        foms: ArrayFoMs = TABLE_II,
+    ):
+        if rows < 1 or cols < 1:
+            raise ValueError(f"array dimensions must be positive, got {rows}x{cols}")
+        if lanes * lane_bits > cols:
+            raise ValueError(
+                f"lane word ({lanes}x{lane_bits} bits) does not fit {cols} columns"
+            )
+        self.rows = rows
+        self.cols = cols
+        self.lanes = lanes
+        self.lane_bits = lane_bits
+        self.foms = foms
+        self._bits = np.zeros((rows, cols), dtype=np.uint8)
+        self._valid = np.zeros(rows, dtype=bool)
+        self._mode = CMAMode.RAM
+
+    # -- mode handling -----------------------------------------------------------
+    @property
+    def mode(self) -> CMAMode:
+        return self._mode
+
+    def switch_mode(self, mode: CMAMode) -> Cost:
+        """Reconfigure peripherals; free if already in the requested mode."""
+        if mode is self._mode:
+            return ZERO_COST
+        self._mode = mode
+        return _MODE_SWITCH_COST
+
+    # -- RAM mode: word storage ---------------------------------------------------
+    def write_word(self, row: int, lane_values: Sequence[int]) -> Cost:
+        """Store an embedding word (int8 lanes) at *row*."""
+        self._check_row(row)
+        values = np.asarray(lane_values, dtype=np.int64)
+        if values.shape != (self.lanes,):
+            raise ValueError(f"expected {self.lanes} lanes, got shape {values.shape}")
+        bits = pack_lanes(values, self.lane_bits)
+        self._bits[row, : bits.shape[0]] = bits
+        self._bits[row, bits.shape[0] :] = 0
+        self._valid[row] = True
+        return self.switch_mode(CMAMode.RAM).then(self.foms.cma_write)
+
+    def read_word(self, row: int) -> Tuple[np.ndarray, Cost]:
+        """Read the embedding word stored at *row*."""
+        self._check_row(row)
+        if not self._valid[row]:
+            raise ValueError(f"row {row} has not been written")
+        word_bits = self._bits[row, : self.lanes * self.lane_bits]
+        values = unpack_lanes(word_bits.astype(np.int64), self.lane_bits)
+        return values, self.switch_mode(CMAMode.RAM).then(self.foms.cma_read)
+
+    # -- GPCiM mode: in-memory pooling --------------------------------------------
+    def pool_rows(self, rows: Sequence[int]) -> Tuple[np.ndarray, Cost]:
+        """Sum the embedding words at *rows* with in-memory additions.
+
+        Models the paper's worst-case serial chain inside one array: each
+        additional row costs one in-memory addition plus one write of the
+        running partial sum back into the array ("Multiple lookups in one
+        array requires multiple read, write and in-memory add operations",
+        Sec. IV-C1).  Single-row pools are a plain read.
+        """
+        indices = list(rows)
+        if not indices:
+            raise ValueError("pooling needs at least one row")
+        if len(indices) == 1:
+            return self.read_word(indices[0])
+        cost = self.switch_mode(CMAMode.GPCIM)
+        total = np.zeros(self.lanes, dtype=np.int64)
+        first_word, _ = self._peek_word(indices[0])
+        total += first_word
+        for row in indices[1:]:
+            word, _ = self._peek_word(row)
+            total += word
+            cost = cost.then(self.foms.cma_add).then(self.foms.cma_write)
+        return total, cost
+
+    # -- TCAM mode: signature search ----------------------------------------------
+    def write_signature(self, row: int, signature_bits: Sequence[int]) -> Cost:
+        """Store an LSH signature (raw bits) at *row*."""
+        self._check_row(row)
+        bits = np.asarray(signature_bits, dtype=np.uint8)
+        if bits.shape != (self.cols,):
+            raise ValueError(f"signature must have {self.cols} bits, got {bits.shape}")
+        if not np.isin(bits, (0, 1)).all():
+            raise ValueError("signature bits must be 0 or 1")
+        self._bits[row] = bits
+        self._valid[row] = True
+        return self.switch_mode(CMAMode.TCAM).then(self.foms.cma_write)
+
+    def search(
+        self,
+        query_bits: Sequence[int],
+        threshold: int,
+    ) -> Tuple[np.ndarray, Cost]:
+        """Threshold Hamming match of *query_bits* against all valid rows.
+
+        One parallel array search (O(1) array time): returns the boolean
+        match flags; the priority encoder at the mat level drains them.
+        """
+        if threshold < 0:
+            raise ValueError(f"threshold must be non-negative, got {threshold}")
+        query = np.asarray(query_bits, dtype=np.uint8)
+        if query.shape != (self.cols,):
+            raise ValueError(f"query must have {self.cols} bits, got {query.shape}")
+        if not np.isin(query, (0, 1)).all():
+            raise ValueError("query bits must be 0 or 1")
+        cost = self.switch_mode(CMAMode.TCAM).then(self.foms.cma_search)
+        distances = (self._bits != query[None, :]).sum(axis=1)
+        flags = (distances <= threshold) & self._valid
+        return flags, cost
+
+    def hamming_distances(self, query_bits: Sequence[int]) -> np.ndarray:
+        """Exact distances (verification helper; no hardware cost charged)."""
+        query = np.asarray(query_bits, dtype=np.uint8)
+        distances = (self._bits != query[None, :]).sum(axis=1).astype(np.int64)
+        distances[~self._valid] = self.cols + 1
+        return distances
+
+    # -- bookkeeping ---------------------------------------------------------------
+    @property
+    def valid_row_count(self) -> int:
+        return int(self._valid.sum())
+
+    def _peek_word(self, row: int) -> Tuple[np.ndarray, Cost]:
+        """Internal word access without charging a cost (used inside pooling)."""
+        self._check_row(row)
+        if not self._valid[row]:
+            raise ValueError(f"row {row} has not been written")
+        word_bits = self._bits[row, : self.lanes * self.lane_bits]
+        return unpack_lanes(word_bits.astype(np.int64), self.lane_bits), ZERO_COST
+
+    def _check_row(self, row: int) -> None:
+        if not 0 <= row < self.rows:
+            raise IndexError(f"row {row} out of range for {self.rows}-row array")

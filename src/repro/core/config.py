@@ -1,0 +1,115 @@
+"""iMARS architecture configuration (Sec. III-A, Table I dimensioning).
+
+The paper dimensions the fabric once, for its largest workload (Criteo
+Kaggle): CMAs of 256x256 cells, C=32 CMAs per mat, M=4 mats per bank,
+B=32 banks, an intra-bank adder tree of fan-in 4, a 256-bit RSC bus and an
+IBC network moving 128 bytes (four 256-bit words) per shot.  Workloads that
+need less (MovieLens) keep the same fabric with idle arrays deactivated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.circuits.foms import ArrayFoMs, TABLE_II
+
+__all__ = ["ArchitectureConfig", "PAPER_CONFIG"]
+
+
+@dataclass(frozen=True)
+class ArchitectureConfig:
+    """Static design parameters of the iMARS fabric.
+
+    Attributes
+    ----------
+    cma_rows / cma_cols:
+        Dimensions of one CMA array ("the optimal array-level CMA to be the
+        size of 256x256 based on circuit-level simulations", Sec. III-B).
+    cmas_per_mat:
+        C -- CMAs aggregated by one intra-mat adder tree.
+    mats_per_bank:
+        M -- mats per bank.
+    num_banks:
+        B -- banks in the fabric ("we dimension iMARS with 32 banks").
+    intra_bank_fan_in:
+        Fan-in of the intra-bank adder tree (4; K > 4 needs extra rounds).
+    rsc_bus_bits:
+        Width of the RecSys communication bus (256).
+    ibc_payload_bits:
+        Bits moved per IBC shot (128 bytes = four 256-bit words).
+    embedding_dim / embedding_bits:
+        Embedding geometry: 32 dimensions at int8 -> one 256-bit row.
+    lsh_signature_bits:
+        LSH signature length stored per ItET entry (256).
+    foms:
+        Array-level figures of merit (defaults to Table II).
+    """
+
+    cma_rows: int = 256
+    cma_cols: int = 256
+    cmas_per_mat: int = 32
+    mats_per_bank: int = 4
+    num_banks: int = 32
+    intra_bank_fan_in: int = 4
+    rsc_bus_bits: int = 256
+    ibc_payload_bits: int = 1024  # 128 bytes
+    embedding_dim: int = 32
+    embedding_bits: int = 8
+    lsh_signature_bits: int = 256
+    foms: ArrayFoMs = field(default_factory=lambda: TABLE_II)
+
+    def __post_init__(self) -> None:
+        positives = {
+            "cma_rows": self.cma_rows,
+            "cma_cols": self.cma_cols,
+            "cmas_per_mat": self.cmas_per_mat,
+            "mats_per_bank": self.mats_per_bank,
+            "num_banks": self.num_banks,
+            "rsc_bus_bits": self.rsc_bus_bits,
+            "ibc_payload_bits": self.ibc_payload_bits,
+            "embedding_dim": self.embedding_dim,
+            "embedding_bits": self.embedding_bits,
+            "lsh_signature_bits": self.lsh_signature_bits,
+        }
+        for name, value in positives.items():
+            if value < 1:
+                raise ValueError(f"{name} must be positive, got {value}")
+        if self.intra_bank_fan_in < 2:
+            raise ValueError("intra-bank adder tree fan-in must be >= 2")
+        if self.word_bits > self.cma_cols:
+            raise ValueError(
+                f"embedding word ({self.word_bits} bits) exceeds CMA row width"
+            )
+
+    # -- derived geometry --------------------------------------------------------
+    @property
+    def word_bits(self) -> int:
+        """Width of one embedding word: dim x precision (256 for the paper)."""
+        return self.embedding_dim * self.embedding_bits
+
+    @property
+    def cmas_per_bank(self) -> int:
+        """Capacity of one bank in CMAs: M x C (128 for the paper)."""
+        return self.mats_per_bank * self.cmas_per_mat
+
+    @property
+    def total_cmas(self) -> int:
+        """Fabric-wide CMA count: B x M x C."""
+        return self.num_banks * self.cmas_per_bank
+
+    @property
+    def rows_per_bank(self) -> int:
+        """ET entries one bank can hold (one entry per CMA row)."""
+        return self.cmas_per_bank * self.cma_rows
+
+    def total_capacity_entries(self) -> int:
+        """Fabric-wide ET entry capacity."""
+        return self.num_banks * self.rows_per_bank
+
+    def with_foms(self, foms: ArrayFoMs) -> "ArchitectureConfig":
+        """Copy of this config with different array FoMs (ablation hook)."""
+        return replace(self, foms=foms)
+
+
+#: The configuration the paper evaluates (Sec. IV, dimensioned for Criteo).
+PAPER_CONFIG = ArchitectureConfig()

@@ -1,0 +1,176 @@
+"""Crossbar-bank DNN stacks (Sec. III-A2).
+
+"Two dedicated crossbar banks are employed to execute the ranking and the
+filtering DNN stack composed of fully connected layers.  Each crossbar bank
+contains multiple crossbar arrays in order to accommodate the respective
+DNN model."
+
+A layer of shape (in, out) tiles onto ceil(in / rows) x ceil(out / cols)
+crossbar arrays of 256 x 128 cells.  Column tiles operate in parallel
+(disjoint outputs); row tiles produce partial sums that are accumulated
+sequentially, so layer latency scales with the row-tile count while energy
+scales with the total tile count.  Layers execute back to back, streaming
+activations over the RSC bus.
+
+Functionally the stack wraps a :class:`repro.nn.Sequential` MLP; an
+optional analog mode routes every Linear layer through
+:class:`repro.imc.crossbar.CrossbarArray` tiles to include DAC/ADC
+quantisation and device noise.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.config import ArchitectureConfig, PAPER_CONFIG
+from repro.core.interconnect import RSCBus
+from repro.energy.accounting import Cost, ZERO_COST
+from repro.imc.crossbar import CrossbarArray, CrossbarConfig
+from repro.nn.layers import Linear
+from repro.nn.module import Sequential
+
+__all__ = ["CrossbarBank", "layer_tiles"]
+
+#: Physical crossbar tile dimensions used in Table II.
+TILE_ROWS = 256
+TILE_COLS = 128
+
+
+def layer_tiles(in_features: int, out_features: int) -> Tuple[int, int]:
+    """(row_tiles, col_tiles) for a fully-connected layer on 256x128 tiles."""
+    if in_features < 1 or out_features < 1:
+        raise ValueError("layer dimensions must be positive")
+    return math.ceil(in_features / TILE_ROWS), math.ceil(out_features / TILE_COLS)
+
+
+class CrossbarBank:
+    """One DNN stack (an MLP) mapped onto a bank of crossbar arrays."""
+
+    def __init__(
+        self,
+        mlp: Sequential,
+        config: ArchitectureConfig = PAPER_CONFIG,
+        analog: bool = False,
+        analog_config: Optional[CrossbarConfig] = None,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        self.mlp = mlp
+        self.config = config
+        self.analog = analog
+        self.bus = RSCBus(width_bits=config.rsc_bus_bits)
+        self._linears: List[Linear] = [
+            layer for layer in mlp.layers if isinstance(layer, Linear)
+        ]
+        if not self._linears:
+            raise ValueError("a crossbar bank needs at least one Linear layer")
+        self._tiles: List[List[List[CrossbarArray]]] = []
+        if analog:
+            self._program_analog(analog_config, rng or np.random.default_rng(0))
+
+    # -- geometry -------------------------------------------------------------------
+    def tile_counts(self) -> List[Tuple[int, int]]:
+        """(row_tiles, col_tiles) per Linear layer."""
+        return [
+            layer_tiles(layer.in_features, layer.out_features)
+            for layer in self._linears
+        ]
+
+    @property
+    def total_tiles(self) -> int:
+        return sum(rows * cols for rows, cols in self.tile_counts())
+
+    # -- analog programming -------------------------------------------------------------
+    def _program_analog(self, analog_config: Optional[CrossbarConfig], rng: np.random.Generator) -> None:
+        """Split every Linear's weights across physical crossbar tiles."""
+        base = analog_config or CrossbarConfig(rows=TILE_ROWS, cols=TILE_COLS)
+        for layer in self._linears:
+            row_tiles, col_tiles = layer_tiles(layer.in_features, layer.out_features)
+            grid: List[List[CrossbarArray]] = []
+            for row_tile in range(row_tiles):
+                row_list: List[CrossbarArray] = []
+                for col_tile in range(col_tiles):
+                    tile = CrossbarArray(base, rng=rng)
+                    block = np.zeros((base.rows, base.cols))
+                    row_lo = row_tile * base.rows
+                    col_lo = col_tile * base.cols
+                    sub = layer.weight.data[
+                        row_lo : min(row_lo + base.rows, layer.in_features),
+                        col_lo : min(col_lo + base.cols, layer.out_features),
+                    ]
+                    block[: sub.shape[0], : sub.shape[1]] = sub
+                    tile.program(block)
+                    row_list.append(tile)
+                grid.append(row_list)
+            self._tiles.append(grid)
+
+    def _analog_linear(self, layer_index: int, inputs: np.ndarray) -> np.ndarray:
+        """One Linear layer evaluated tile by tile through the analog model."""
+        layer = self._linears[layer_index]
+        grid = self._tiles[layer_index]
+        base = grid[0][0].config
+        batch = inputs.shape[0]
+        outputs = np.zeros((batch, layer.out_features))
+        for sample in range(batch):
+            padded = np.zeros(len(grid) * base.rows)
+            padded[: layer.in_features] = inputs[sample]
+            for row_tile, row_list in enumerate(grid):
+                chunk = padded[row_tile * base.rows : (row_tile + 1) * base.rows]
+                for col_tile, tile in enumerate(row_list):
+                    partial = tile.matvec(chunk)
+                    col_lo = col_tile * base.cols
+                    col_hi = min(col_lo + base.cols, layer.out_features)
+                    outputs[sample, col_lo:col_hi] += partial[: col_hi - col_lo]
+        if layer.bias is not None:
+            outputs += layer.bias.data
+        return outputs
+
+    # -- compute ---------------------------------------------------------------------
+    def forward(self, inputs: np.ndarray) -> Tuple[np.ndarray, Cost]:
+        """Run the MLP and return (outputs, hardware cost).
+
+        In digital mode the functional result is the exact MLP output; in
+        analog mode every Linear routes through its crossbar tiles
+        (activations still apply digitally, as iMARS computes them in the
+        crossbar-bank periphery).
+        """
+        activations = np.atleast_2d(np.asarray(inputs, dtype=np.float64))
+        cost = ZERO_COST
+        linear_index = 0
+        for layer in self.mlp.layers:
+            if isinstance(layer, Linear):
+                if self.analog:
+                    activations = self._analog_linear(linear_index, activations)
+                else:
+                    activations = layer(activations)
+                cost = cost.then(self._layer_cost(linear_index))
+                linear_index += 1
+            else:
+                activations = layer(activations)
+        return activations, cost
+
+    def _layer_cost(self, layer_index: int) -> Cost:
+        """Cost of one Linear layer on its tile grid.
+
+        Column tiles fire together; row tiles' partial sums accumulate
+        sequentially; the layer output streams over the RSC bus to the next
+        stage.
+        """
+        layer = self._linears[layer_index]
+        row_tiles, col_tiles = layer_tiles(layer.in_features, layer.out_features)
+        matmul = self.config.foms.crossbar_matmul
+        compute = Cost(
+            energy_pj=matmul.energy_pj * row_tiles * col_tiles,
+            latency_ns=matmul.latency_ns * row_tiles,
+        )
+        transfer = self.bus.transfer(layer.out_features * self.config.embedding_bits)
+        return compute.then(transfer)
+
+    def stack_cost(self) -> Cost:
+        """Cost of one forward pass without computing values."""
+        cost = ZERO_COST
+        for layer_index in range(len(self._linears)):
+            cost = cost.then(self._layer_cost(layer_index))
+        return cost

@@ -1,0 +1,193 @@
+"""Functional (bit-level) iMARS fabric for verification and flow tracing.
+
+While :class:`repro.core.accelerator.IMARSCostModel` prices operations
+analytically, this module actually *executes* them on CMA banks: embedding
+words live in FeFET-cell bit matrices, pooling runs through in-memory adds
+and the adder trees, and the NNS runs as a real TCAM threshold match.  The
+integration tests use it to verify that the hardware dataflow computes the
+same answers as the NumPy reference; the flow-trace experiment (E8) checks
+that a query visits the Fig. 3 steps (1a)...(2e) in the published order.
+
+It is sized for verification workloads (hundreds to thousands of entries);
+the full-scale experiments use the analytic model.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.bank import Bank
+from repro.core.buffers import CTRBuffer, ItemBuffer
+from repro.core.config import ArchitectureConfig
+from repro.core.mapping import FILTERING, RANKING, WorkloadMapping
+from repro.energy.accounting import Cost, ZERO_COST
+
+__all__ = ["IMARSFabric", "FlowTrace"]
+
+
+class FlowTrace:
+    """Ordered record of the Fig. 3 computation-flow labels."""
+
+    #: The publication's step ordering for a full query.
+    EXPECTED_ORDER = (
+        "1a", "1b*", "1b", "1c", "1d", "1d*",
+        "2a", "2b", "2b*", "2c", "2d", "2e",
+    )
+
+    def __init__(self) -> None:
+        self.steps: List[str] = []
+
+    def mark(self, label: str) -> None:
+        self.steps.append(label)
+
+    def first_occurrences(self) -> List[str]:
+        """Step labels in order of first appearance (2a..2d repeat per candidate)."""
+        seen: Dict[str, None] = {}
+        for label in self.steps:
+            seen.setdefault(label)
+        return list(seen)
+
+    def follows_published_order(self) -> bool:
+        """True when first occurrences respect the Fig. 3 ordering."""
+        firsts = self.first_occurrences()
+        expected = [label for label in self.EXPECTED_ORDER if label in firsts]
+        return firsts == expected
+
+
+class IMARSFabric:
+    """Executable fabric: per-feature CMA banks + signature bank + buffers."""
+
+    def __init__(self, mapping: WorkloadMapping, config: Optional[ArchitectureConfig] = None):
+        self.mapping = mapping
+        self.config = config or mapping.config
+        self._banks: Dict[str, Bank] = {}
+        self._signature_bank: Optional[Bank] = None
+        self._signature_bits: Optional[np.ndarray] = None
+        self.item_buffer = ItemBuffer(capacity=256, foms=self.config.foms)
+        self.ctr_buffer = CTRBuffer(capacity=256, foms=self.config.foms)
+        self.trace = FlowTrace()
+
+    # -- loading -------------------------------------------------------------------
+    def _bank_for_entries(self, num_entries: int) -> Bank:
+        """A bank sized (mats/CMAs activated) for *num_entries* rows."""
+        config = self.config
+        cmas_needed = max(1, math.ceil(num_entries / config.cma_rows))
+        mats_needed = max(1, math.ceil(cmas_needed / config.cmas_per_mat))
+        if mats_needed > config.mats_per_bank:
+            raise ValueError(
+                f"{num_entries} entries need {mats_needed} mats; a bank has "
+                f"{config.mats_per_bank}"
+            )
+        last_mat_cmas = cmas_needed - (mats_needed - 1) * config.cmas_per_mat
+        return Bank(
+            config,
+            active_mats=mats_needed,
+            active_cmas_last_mat=last_mat_cmas if last_mat_cmas < config.cmas_per_mat else None,
+        )
+
+    def load_table(self, name: str, table_int8: np.ndarray) -> Cost:
+        """Load one embedding table into its bank (one entry per CMA row)."""
+        specs = {mapping.spec.name: mapping for mapping in self.mapping.tables}
+        if name not in specs:
+            raise KeyError(f"unknown table {name!r}; mapped tables: {sorted(specs)}")
+        matrix = np.asarray(table_int8)
+        bank = self._bank_for_entries(matrix.shape[0])
+        cost = bank.load_table(matrix)
+        self._banks[name] = bank
+        return cost
+
+    def load_signatures(self, signature_bits: np.ndarray) -> Cost:
+        """Load the ItET LSH signatures into the TCAM-mode signature arrays."""
+        bits = np.asarray(signature_bits, dtype=np.uint8)
+        if bits.ndim != 2 or bits.shape[1] != self.config.lsh_signature_bits:
+            raise ValueError(
+                f"signatures must be (n, {self.config.lsh_signature_bits}), got {bits.shape}"
+            )
+        bank = self._bank_for_entries(bits.shape[0])
+        cost = ZERO_COST
+        for entry, row in enumerate(bits):
+            cost = cost.then(bank.write_signature_entry(entry, row))
+        self._signature_bank = bank
+        self._signature_bits = bits
+        return cost
+
+    def loaded_tables(self) -> List[str]:
+        return sorted(self._banks)
+
+    # -- stage operations ---------------------------------------------------------------
+    def lookup_pool(self, name: str, entry_indices: Sequence[int]) -> Tuple[np.ndarray, Cost]:
+        """Pooled embedding lookup in one table's bank (steps 1a / 2b)."""
+        if name not in self._banks:
+            raise KeyError(f"table {name!r} is not loaded")
+        return self._banks[name].pooled_lookup(entry_indices)
+
+    def stage_lookup(
+        self,
+        stage: str,
+        requests: Dict[str, Sequence[int]],
+    ) -> Tuple[Dict[str, np.ndarray], Cost]:
+        """All of a stage's table lookups, banks in parallel.
+
+        *requests* maps table name -> entry indices to pool.  Only tables
+        active in *stage* may be requested.
+        """
+        active = {mapping.spec.name for mapping in self.mapping.tables_for_stage(stage)}
+        unknown = set(requests) - active
+        if unknown:
+            raise ValueError(f"tables {sorted(unknown)} are not active in stage {stage!r}")
+        label = "1a" if stage == FILTERING else "2b"
+        self.trace.mark(label)
+        results: Dict[str, np.ndarray] = {}
+        cost = ZERO_COST
+        for name, indices in requests.items():
+            pooled, table_cost = self.lookup_pool(name, indices)
+            results[name] = pooled
+            cost = cost.alongside(table_cost)  # banks operate in parallel
+        self.trace.mark("1b*" if stage == FILTERING else "2b*")
+        return results, cost
+
+    def nns_search(self, query_signature: np.ndarray, threshold: int) -> Tuple[List[int], Cost]:
+        """Threshold TCAM search over the loaded signatures (step 1d)."""
+        if self._signature_bank is None:
+            raise RuntimeError("signatures have not been loaded")
+        self.trace.mark("1d")
+        matches, cost = self._signature_bank.search(
+            np.asarray(query_signature, dtype=np.uint8), threshold
+        )
+        store_cost = self.item_buffer.store(matches)
+        self.trace.mark("1d*")
+        return self.item_buffer.peek(), cost.then(store_cost)
+
+    def verify_signature_distances(self, query_signature: np.ndarray) -> np.ndarray:
+        """Ground-truth Hamming distances for the loaded signatures."""
+        if self._signature_bits is None:
+            raise RuntimeError("signatures have not been loaded")
+        query = np.asarray(query_signature, dtype=np.uint8)
+        return (self._signature_bits != query[None, :]).sum(axis=1)
+
+    # -- ranking-side buffers --------------------------------------------------------------
+    def score_candidate(self, item_index: int, ctr: float) -> Cost:
+        """Store one ranked candidate's CTR (step 2d)."""
+        self.trace.mark("2d")
+        return self.ctr_buffer.store(item_index, ctr)
+
+    def select_topk(self, k: int) -> Tuple[List[int], Cost]:
+        """Threshold-match top-k over the CTR buffer (step 2e)."""
+        self.trace.mark("2e")
+        return self.ctr_buffer.top_k(k)
+
+    def mark_dnn(self, stage: str, phase: str) -> None:
+        """Record the crossbar DNN steps (1b/1c filtering, 2c/2d ranking)."""
+        labels = {
+            (FILTERING, "dense"): "1b",
+            (FILTERING, "main"): "1c",
+            (RANKING, "dense"): "2c",
+            (RANKING, "start"): "2a",
+        }
+        key = (stage, phase)
+        if key not in labels:
+            raise ValueError(f"unknown DNN phase {key}")
+        self.trace.mark(labels[key])

@@ -1,0 +1,214 @@
+"""Embedding-table -> hardware mapping (Sec. III-B, Table I).
+
+Mapping rules from the paper:
+
+* each CMA row stores one ET entry; a table of ``n`` entries needs
+  ``ceil(n / R)`` CMAs (R = 256 rows);
+* the ItET additionally stores one LSH signature per entry, in a second
+  set of CMAs kept in TCAM mode ("We use a 256 LSH signature length which
+  requires 2 CMAs to store a single entry": each entry occupies one
+  RAM-mode CMA row for its embedding word and one TCAM-mode CMA row for
+  its signature);
+* a table needs ``ceil(cmas / C)`` mats (RAM-mode and TCAM-mode CMAs of the
+  ItET sit in separate mats, since the two peripheral configurations are
+  active simultaneously during filtering);
+* each sparse feature maps to its own bank, so active banks = number of
+  distinct sparse features;
+* for *capacity provisioning* the per-table CMA count is rounded up to the
+  next power of two ("the number of arrays is rounded up to the nearest
+  power-of-two value, i.e., 128"), which must fit within a bank (M x C).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Sequence
+
+from repro.core.config import ArchitectureConfig, PAPER_CONFIG
+
+__all__ = [
+    "EmbeddingTableSpec",
+    "TableMapping",
+    "WorkloadMapping",
+    "next_power_of_two",
+]
+
+#: Stage labels used throughout the repo.
+FILTERING = "filtering"
+RANKING = "ranking"
+
+
+def next_power_of_two(value: int) -> int:
+    """Smallest power of two >= value (1 maps to 1)."""
+    if value < 1:
+        raise ValueError(f"value must be positive, got {value}")
+    return 1 << (value - 1).bit_length()
+
+
+@dataclass(frozen=True)
+class EmbeddingTableSpec:
+    """One embedding table of the workload.
+
+    Attributes
+    ----------
+    name:
+        Feature name (e.g. ``"user_id"``).
+    num_entries:
+        Table cardinality (rows).
+    kind:
+        ``"uiet"`` (user-item table) or ``"itet"`` (item table, which also
+        stores LSH signatures and serves the NNS).
+    stages:
+        Which stages use the table; tables in both stages are the "shared"
+        UIETs of Table I.
+    pooling_factor:
+        Typical number of rows pooled per query (bag size); 1 for one-hot
+        features, >1 for multi-hot features such as watch history.
+    """
+
+    name: str
+    num_entries: int
+    kind: str = "uiet"
+    stages: FrozenSet[str] = frozenset({FILTERING, RANKING})
+    pooling_factor: int = 1
+
+    def __post_init__(self) -> None:
+        if self.num_entries < 1:
+            raise ValueError(f"table {self.name!r} must have >= 1 entry")
+        if self.kind not in ("uiet", "itet"):
+            raise ValueError(f"table kind must be 'uiet' or 'itet', got {self.kind!r}")
+        unknown = set(self.stages) - {FILTERING, RANKING}
+        if unknown:
+            raise ValueError(f"unknown stages for {self.name!r}: {sorted(unknown)}")
+        if not self.stages:
+            raise ValueError(f"table {self.name!r} must serve at least one stage")
+        if self.pooling_factor < 1:
+            raise ValueError("pooling factor must be >= 1")
+
+    @property
+    def is_shared(self) -> bool:
+        """True when both stages use this table."""
+        return FILTERING in self.stages and RANKING in self.stages
+
+
+@dataclass(frozen=True)
+class TableMapping:
+    """Hardware placement of one embedding table."""
+
+    spec: EmbeddingTableSpec
+    bank_index: int
+    embedding_cmas: int
+    signature_cmas: int
+    embedding_mats: int
+    signature_mats: int
+    provisioned_cmas: int
+
+    @property
+    def total_cmas(self) -> int:
+        return self.embedding_cmas + self.signature_cmas
+
+    @property
+    def total_mats(self) -> int:
+        return self.embedding_mats + self.signature_mats
+
+
+class WorkloadMapping:
+    """Full mapping of a workload's tables onto the iMARS fabric."""
+
+    def __init__(
+        self,
+        specs: Sequence[EmbeddingTableSpec],
+        config: ArchitectureConfig = PAPER_CONFIG,
+    ):
+        if not specs:
+            raise ValueError("a workload needs at least one embedding table")
+        names = [spec.name for spec in specs]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate table names in workload")
+        if len(specs) > config.num_banks:
+            raise ValueError(
+                f"{len(specs)} sparse features exceed the {config.num_banks} banks"
+            )
+        self.config = config
+        self.tables: List[TableMapping] = []
+        for bank_index, spec in enumerate(specs):
+            self.tables.append(self._map_table(spec, bank_index))
+
+    # -- per-table mapping -----------------------------------------------------------
+    def _map_table(self, spec: EmbeddingTableSpec, bank_index: int) -> TableMapping:
+        config = self.config
+        embedding_cmas = math.ceil(spec.num_entries / config.cma_rows)
+        signature_cmas = embedding_cmas if spec.kind == "itet" else 0
+        embedding_mats = math.ceil(embedding_cmas / config.cmas_per_mat)
+        signature_mats = (
+            math.ceil(signature_cmas / config.cmas_per_mat) if signature_cmas else 0
+        )
+        provisioned = next_power_of_two(embedding_cmas + signature_cmas)
+        if provisioned > config.cmas_per_bank:
+            raise ValueError(
+                f"table {spec.name!r} needs {provisioned} provisioned CMAs; a bank "
+                f"holds {config.cmas_per_bank}"
+            )
+        return TableMapping(
+            spec=spec,
+            bank_index=bank_index,
+            embedding_cmas=embedding_cmas,
+            signature_cmas=signature_cmas,
+            embedding_mats=embedding_mats,
+            signature_mats=signature_mats,
+            provisioned_cmas=provisioned,
+        )
+
+    # -- stage filtering -------------------------------------------------------------
+    def tables_for_stage(self, stage: str) -> List[TableMapping]:
+        """Mappings of the tables active during *stage*."""
+        if stage not in (FILTERING, RANKING):
+            raise ValueError(f"unknown stage {stage!r}")
+        return [table for table in self.tables if stage in table.spec.stages]
+
+    def itet(self) -> TableMapping:
+        """The item embedding table mapping (exactly one per workload)."""
+        items = [table for table in self.tables if table.spec.kind == "itet"]
+        if len(items) != 1:
+            raise ValueError(f"expected exactly one ItET, found {len(items)}")
+        return items[0]
+
+    def has_itet(self) -> bool:
+        return any(table.spec.kind == "itet" for table in self.tables)
+
+    # -- Table I aggregates -------------------------------------------------------------
+    @property
+    def active_banks(self) -> int:
+        """One bank per sparse feature."""
+        return len(self.tables)
+
+    @property
+    def active_mats(self) -> int:
+        return sum(table.total_mats for table in self.tables)
+
+    @property
+    def active_cmas(self) -> int:
+        return sum(table.total_cmas for table in self.tables)
+
+    def stage_summary(self, stage: str) -> Dict[str, int]:
+        """Banks/mats/CMAs/UIET counts active during one stage."""
+        active = self.tables_for_stage(stage)
+        uiets = [table for table in active if table.spec.kind == "uiet"]
+        shared = [table for table in uiets if table.spec.is_shared]
+        return {
+            "banks": len(active),
+            "mats": sum(table.total_mats for table in active),
+            "cmas": sum(table.total_cmas for table in active),
+            "uiet_tables": len(uiets),
+            "shared_uiet_tables": len(shared),
+            "itet_tables": len(active) - len(uiets),
+        }
+
+    def table_one_row(self) -> Dict[str, int]:
+        """The memory-mapping row of Table I for this workload."""
+        return {
+            "banks": self.active_banks,
+            "mats": self.active_mats,
+            "cmas": self.active_cmas,
+        }

@@ -1,0 +1,139 @@
+"""The mat: C independent CMAs plus an intra-mat adder tree (Fig. 3(b)).
+
+"Each mat is comprised of C CMAs that work independently as the IMC engines
+in iMARS for performing lookups, searches and additions.  To accumulate the
+outputs of the CMAs for each mat, iMARS sums up C 256-bit numbers leveraging
+a near-memory 256-bit intra-mat adder tree placed in each mat."
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.circuits.sense_amp import PriorityEncoder
+from repro.core.adder_tree import AdderTree
+from repro.core.cma import CMA
+from repro.core.config import ArchitectureConfig, PAPER_CONFIG
+from repro.energy.accounting import Cost, ZERO_COST
+
+__all__ = ["Mat", "RowLocation"]
+
+#: A (cma_index, row_index) coordinate inside a mat.
+RowLocation = Tuple[int, int]
+
+
+class Mat:
+    """C CMAs + one intra-mat adder tree + a shared priority encoder."""
+
+    def __init__(self, config: ArchitectureConfig = PAPER_CONFIG, active_cmas: int = None):
+        self.config = config
+        count = config.cmas_per_mat if active_cmas is None else active_cmas
+        if not 1 <= count <= config.cmas_per_mat:
+            raise ValueError(
+                f"active CMA count must be in [1, {config.cmas_per_mat}], got {count}"
+            )
+        self.cmas: List[CMA] = [
+            CMA(
+                rows=config.cma_rows,
+                cols=config.cma_cols,
+                lanes=config.embedding_dim,
+                lane_bits=config.embedding_bits,
+                foms=config.foms,
+            )
+            for _ in range(count)
+        ]
+        self.tree = AdderTree(
+            fan_in=max(2, count),
+            add_cost=config.foms.intra_mat_add,
+            name="intra-mat",
+        )
+        self.encoder = PriorityEncoder()
+
+    @property
+    def num_cmas(self) -> int:
+        return len(self.cmas)
+
+    @property
+    def capacity_rows(self) -> int:
+        """Entries this mat can store (one per CMA row)."""
+        return self.num_cmas * self.config.cma_rows
+
+    # -- storage -------------------------------------------------------------------
+    def locate(self, entry_index: int) -> RowLocation:
+        """Map a mat-local entry index to its (cma, row) coordinate.
+
+        Entries fill CMAs in order: entry e lives in CMA e // R, row e % R.
+        """
+        if not 0 <= entry_index < self.capacity_rows:
+            raise IndexError(
+                f"entry {entry_index} out of range for capacity {self.capacity_rows}"
+            )
+        rows = self.config.cma_rows
+        return entry_index // rows, entry_index % rows
+
+    def write_entry(self, entry_index: int, lane_values: Sequence[int]) -> Cost:
+        """Store one embedding word at a mat-local entry index."""
+        cma_index, row = self.locate(entry_index)
+        return self.cmas[cma_index].write_word(row, lane_values)
+
+    def write_signature_entry(self, entry_index: int, signature_bits: Sequence[int]) -> Cost:
+        """Store one LSH signature at a mat-local entry index."""
+        cma_index, row = self.locate(entry_index)
+        return self.cmas[cma_index].write_signature(row, signature_bits)
+
+    def read_entry(self, entry_index: int) -> Tuple[np.ndarray, Cost]:
+        """RAM-mode lookup of one embedding word."""
+        cma_index, row = self.locate(entry_index)
+        return self.cmas[cma_index].read_word(row)
+
+    # -- pooling ---------------------------------------------------------------------
+    def pooled_lookup(self, entry_indices: Sequence[int]) -> Tuple[np.ndarray, Cost]:
+        """Look up and pool several entries of this mat.
+
+        Entries in the *same* CMA pool through that array's serial in-memory
+        add chain; different CMAs run their chains concurrently; the
+        intra-mat adder tree then reduces the per-CMA partial sums.
+        """
+        indices = list(entry_indices)
+        if not indices:
+            raise ValueError("pooled lookup needs at least one entry")
+        by_cma: Dict[int, List[int]] = defaultdict(list)
+        for entry in indices:
+            cma_index, row = self.locate(entry)
+            by_cma[cma_index].append(row)
+
+        partials: List[np.ndarray] = []
+        chain_cost = ZERO_COST
+        for cma_index, rows in sorted(by_cma.items()):
+            partial, cost = self.cmas[cma_index].pool_rows(rows)
+            partials.append(partial)
+            chain_cost = chain_cost.alongside(cost)  # CMAs work concurrently
+
+        if len(partials) == 1:
+            return partials[0], chain_cost
+        total, tree_cost = self.tree.reduce(partials)
+        return total, chain_cost.then(tree_cost)
+
+    # -- search ---------------------------------------------------------------------
+    def search(self, query_bits: Sequence[int], threshold: int) -> Tuple[List[int], Cost]:
+        """Threshold search across every CMA of the mat, in parallel.
+
+        Returns mat-local entry indices of matching rows in priority order
+        (CMA-major, then row -- the predetermined drain order).
+        """
+        matches: List[int] = []
+        cost = ZERO_COST
+        rows = self.config.cma_rows
+        for cma_index, cma in enumerate(self.cmas):
+            flags, search_cost = cma.search(query_bits, threshold)
+            cost = cost.alongside(search_cost)  # all arrays search at once
+            for row in self.encoder.encode(flags):
+                matches.append(cma_index * rows + row)
+        encode_cost = Cost(
+            energy_pj=self.encoder.energy_per_index_pj * len(matches),
+            latency_ns=self.encoder.latency_per_index_ns * len(matches),
+        )
+        return matches, cost.then(encode_cost)

@@ -1,0 +1,128 @@
+"""Trace-driven bank-utilisation simulation.
+
+The iMARS mapping pins one sparse feature per bank (Sec. III-B), so a
+query stream exercises the banks unevenly: every query touches every
+active feature's bank once, but *within* the ItET bank, Zipfian item
+popularity concentrates row accesses on a few CMAs.  This simulator
+replays a query trace over a workload mapping and reports:
+
+* per-bank access counts (schedule-level load);
+* per-CMA access counts inside a chosen table (hot-row locality);
+* utilisation-balance metrics used by the trace bench.
+
+It complements the analytic cost model with the locality statistics an
+architect would examine before trusting the worst-case numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.mapping import WorkloadMapping
+
+__all__ = ["AccessTrace", "TraceSimulator"]
+
+
+@dataclass
+class AccessTrace:
+    """Aggregated access statistics of one replayed query stream."""
+
+    bank_accesses: Dict[str, int] = field(default_factory=dict)
+    cma_accesses: Dict[str, np.ndarray] = field(default_factory=dict)
+    num_queries: int = 0
+
+    def bank_balance(self) -> float:
+        """max/mean bank-access ratio (1.0 = perfectly balanced)."""
+        counts = np.array(list(self.bank_accesses.values()), dtype=np.float64)
+        if counts.size == 0 or counts.mean() == 0.0:
+            return 1.0
+        return float(counts.max() / counts.mean())
+
+    def cma_skew(self, table: str) -> float:
+        """Fraction of the table's accesses landing on its hottest CMA."""
+        counts = self.cma_accesses.get(table)
+        if counts is None or counts.sum() == 0:
+            return 0.0
+        return float(counts.max() / counts.sum())
+
+
+class TraceSimulator:
+    """Replays per-query lookup requests over a workload mapping."""
+
+    def __init__(self, mapping: WorkloadMapping):
+        self.mapping = mapping
+        self._tables = {table.spec.name: table for table in mapping.tables}
+
+    def _cma_of_entry(self, table_name: str, entry: int) -> int:
+        """CMA index (table-local) holding *entry* (one entry per row)."""
+        table = self._tables[table_name]
+        if not 0 <= entry < table.spec.num_entries:
+            raise IndexError(
+                f"entry {entry} out of range for table {table_name!r} "
+                f"({table.spec.num_entries} entries)"
+            )
+        return entry // self.mapping.config.cma_rows
+
+    def replay(self, queries: Sequence[Dict[str, Sequence[int]]]) -> AccessTrace:
+        """Replay *queries*; each query maps table name -> looked-up entries."""
+        trace = AccessTrace(
+            bank_accesses={name: 0 for name in self._tables},
+            cma_accesses={
+                name: np.zeros(table.embedding_cmas, dtype=np.int64)
+                for name, table in self._tables.items()
+            },
+        )
+        for query in queries:
+            unknown = set(query) - set(self._tables)
+            if unknown:
+                raise KeyError(f"unknown tables in query: {sorted(unknown)}")
+            for table_name, entries in query.items():
+                if not entries:
+                    continue
+                trace.bank_accesses[table_name] += 1
+                for entry in entries:
+                    cma = self._cma_of_entry(table_name, entry)
+                    trace.cma_accesses[table_name][cma] += 1
+        trace.num_queries = len(queries)
+        return trace
+
+    def synthesize_stream(
+        self,
+        num_queries: int,
+        itet_name: str,
+        pooling: int = 10,
+        zipf_exponent: float = 1.05,
+        rng: Optional[np.random.Generator] = None,
+    ) -> List[Dict[str, List[int]]]:
+        """Generate a Zipfian query stream over the mapped workload.
+
+        Every query looks up one entry per UIET (uniform index) and pools
+        ``pooling`` Zipf-popular entries from the ItET -- the access
+        pattern the filtering stage produces.
+        """
+        if num_queries < 1 or pooling < 1:
+            raise ValueError("query count and pooling must be >= 1")
+        if itet_name not in self._tables:
+            raise KeyError(f"unknown ItET {itet_name!r}")
+        generator = rng or np.random.default_rng(0)
+        itet_entries = self._tables[itet_name].spec.num_entries
+        ranks = np.arange(1, itet_entries + 1, dtype=np.float64)
+        weights = ranks ** (-zipf_exponent)
+        popularity = weights / weights.sum()
+        # Popularity assigned to a random permutation of items.
+        item_order = generator.permutation(itet_entries)
+
+        stream: List[Dict[str, List[int]]] = []
+        for _ in range(num_queries):
+            query: Dict[str, List[int]] = {}
+            for name, table in self._tables.items():
+                if name == itet_name:
+                    drawn = generator.choice(itet_entries, size=pooling, p=popularity)
+                    query[name] = [int(item_order[i]) for i in drawn]
+                else:
+                    query[name] = [int(generator.integers(0, table.spec.num_entries))]
+            stream.append(query)
+        return stream

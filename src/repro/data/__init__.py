@@ -1,0 +1,31 @@
+"""Synthetic datasets with MovieLens-1M / Criteo-Kaggle shape statistics."""
+
+from repro.data.synthetic import LatentFactorModel, sample_zipf, zipf_probabilities
+from repro.data.movielens import (
+    MOVIELENS_NUM_ITEMS,
+    MOVIELENS_NUM_USERS,
+    MovieLensDataset,
+    movielens_table_specs,
+)
+from repro.data.criteo import (
+    CRITEO_NUM_DENSE,
+    CRITEO_NUM_SPARSE,
+    CRITEO_ROWS_PER_TABLE,
+    CriteoDataset,
+    criteo_table_specs,
+)
+
+__all__ = [
+    "LatentFactorModel",
+    "sample_zipf",
+    "zipf_probabilities",
+    "MOVIELENS_NUM_ITEMS",
+    "MOVIELENS_NUM_USERS",
+    "MovieLensDataset",
+    "movielens_table_specs",
+    "CRITEO_NUM_DENSE",
+    "CRITEO_NUM_SPARSE",
+    "CRITEO_ROWS_PER_TABLE",
+    "CriteoDataset",
+    "criteo_table_specs",
+]

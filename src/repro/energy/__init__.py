@@ -1,0 +1,13 @@
+"""Energy/latency accounting: the cost algebra shared by all hardware models."""
+
+from repro.energy.accounting import Cost, Ledger, ZERO_COST
+from repro.energy.report import format_breakdown, format_comparison, format_cost_table
+
+__all__ = [
+    "Cost",
+    "Ledger",
+    "ZERO_COST",
+    "format_breakdown",
+    "format_comparison",
+    "format_cost_table",
+]

@@ -1,0 +1,74 @@
+"""Plain-text report formatting for tables and breakdowns.
+
+The benchmark harness regenerates the paper's tables as text; these helpers
+keep the formatting consistent across experiments (fixed-width columns,
+explicit units, percentage breakdowns like Fig. 2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence, Tuple
+
+from repro.energy.accounting import Cost
+
+__all__ = ["format_breakdown", "format_comparison", "format_cost_table"]
+
+
+def format_breakdown(title: str, fractions: Mapping[str, float]) -> str:
+    """Render a Fig.-2-style percentage breakdown.
+
+    Parameters
+    ----------
+    title:
+        Heading printed above the breakdown.
+    fractions:
+        Mapping of operation name to fraction (expected to sum to ~1.0).
+    """
+    lines = [title]
+    for name, fraction in fractions.items():
+        lines.append(f"  {name:<12s} {fraction * 100.0:5.1f}%")
+    return "\n".join(lines)
+
+
+def format_cost_table(title: str, rows: Mapping[str, Cost]) -> str:
+    """Render a Table-II-style per-operation figure-of-merit table."""
+    lines = [title, f"  {'Operation':<24s} {'Energy (pJ)':>12s} {'Latency (ns)':>13s}"]
+    for name, cost in rows.items():
+        lines.append(f"  {name:<24s} {cost.energy_pj:>12.1f} {cost.latency_ns:>13.1f}")
+    return "\n".join(lines)
+
+
+def format_comparison(
+    title: str,
+    rows: Sequence[Tuple[str, Cost, Cost]],
+    baseline_name: str = "GPU",
+    candidate_name: str = "iMARS",
+) -> str:
+    """Render a Table-III-style baseline-vs-candidate comparison.
+
+    Each row is ``(label, baseline_cost, candidate_cost)``; the formatter
+    computes and prints the latency speedup and energy reduction factors.
+    """
+    header = (
+        f"  {'Workload':<22s}"
+        f" {baseline_name + ' lat(us)':>14s} {candidate_name + ' lat(us)':>14s} {'Speedup':>9s}"
+        f" {baseline_name + ' E(uJ)':>12s} {candidate_name + ' E(uJ)':>12s} {'E-reduc':>9s}"
+    )
+    lines = [title, header]
+    for label, baseline, candidate in rows:
+        speedup = candidate.speedup_over(baseline)
+        reduction = candidate.energy_reduction_over(baseline)
+        lines.append(
+            f"  {label:<22s}"
+            f" {baseline.latency_us:>14.3f} {candidate.latency_us:>14.3f} {speedup:>8.1f}x"
+            f" {baseline.energy_uj:>12.3f} {candidate.energy_uj:>12.4f} {reduction:>8.1f}x"
+        )
+    return "\n".join(lines)
+
+
+def merge_breakdowns(*parts: Mapping[str, float]) -> Dict[str, float]:
+    """Average several fractional breakdowns (used for multi-run reports)."""
+    if not parts:
+        return {}
+    keys = list(parts[0])
+    return {key: sum(part.get(key, 0.0) for part in parts) / len(parts) for key in keys}

@@ -1,0 +1,73 @@
+"""A5 -- area accounting for the provisioned fabric and both workloads.
+
+Puts numbers on the paper's qualitative area statements: the fabric's area
+grows proportionally with B, M and C; the intra-bank tree's fan-in trades
+area for reduction rounds; the CMA arrays dominate the footprint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.core.area import AreaModel, fabric_area, workload_area
+from repro.core.config import PAPER_CONFIG
+from repro.core.mapping import WorkloadMapping
+from repro.data.criteo import criteo_table_specs
+from repro.data.movielens import movielens_table_specs
+from repro.experiments.common import ExperimentReport
+
+__all__ = ["run_area_study"]
+
+
+def run_area_study() -> ExperimentReport:
+    report = ExperimentReport("A5", "Area accounting (Sec. III-A scaling claims)")
+
+    full = fabric_area(PAPER_CONFIG)
+    movielens = workload_area(WorkloadMapping(movielens_table_specs()))
+    criteo = workload_area(WorkloadMapping(criteo_table_specs()))
+
+    # Plausibility: tens of mm^2 for a 4096-array 45 nm fabric.
+    report.add("fabric area in 10-500 mm^2", 1, int(10.0 < full.total_mm2 < 500.0))
+    # CMA arrays dominate the provisioned fabric.
+    report.add(
+        "CMA arrays dominate footprint",
+        1,
+        int(full.breakdown()["CMA arrays"] > 0.5),
+    )
+    # Activated area ordering matches Table I: Criteo >> MovieLens.
+    report.add(
+        "Criteo active area > 10x MovieLens",
+        1,
+        int(criteo.cma_mm2 > 10.0 * movielens.cma_mm2),
+    )
+
+    # Proportional scaling in B, M, C (the paper's claim, tested two ways).
+    double_banks = fabric_area(replace(PAPER_CONFIG, num_banks=64))
+    report.add(
+        "doubling B doubles CMA area",
+        1,
+        int(abs(double_banks.cma_mm2 / full.cma_mm2 - 2.0) < 0.01),
+    )
+    double_c = fabric_area(replace(PAPER_CONFIG, cmas_per_mat=64))
+    report.add(
+        "doubling C doubles CMA area",
+        1,
+        int(abs(double_c.cma_mm2 / full.cma_mm2 - 2.0) < 0.01),
+    )
+
+    # Fan-in/area trade-off of the intra-bank tree.
+    model = AreaModel()
+    fan4 = model.adder_tree_area_um2(4)
+    fan16 = model.adder_tree_area_um2(16)
+    report.add("fan-in-16 tree 5x fan-in-4 area", 5.0, fan16 / fan4)
+
+    report.extras["full"] = full
+    report.extras["movielens"] = movielens
+    report.extras["criteo"] = criteo
+    report.note(
+        f"Provisioned fabric: {full.total_mm2:.1f} mm^2 "
+        f"({full.breakdown()['CMA arrays'] * 100:.0f}% CMA arrays). "
+        f"Activated: MovieLens {movielens.total_mm2:.2f} mm^2, "
+        f"Criteo {criteo.total_mm2:.1f} mm^2."
+    )
+    return report

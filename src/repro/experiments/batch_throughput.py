@@ -1,0 +1,164 @@
+"""A4 -- batching extension: throughput beyond the paper's batch-1 protocol.
+
+The paper's QPS numbers (Sec. IV-C3) are 1/latency at batch size 1 -- the
+latency-oriented serving regime.  A natural question for a downstream user
+is how the comparison shifts when the GPU is allowed to batch (amortising
+its kernel-launch overhead) while iMARS pipelines queries through its
+banks.  This extension models both:
+
+* **GPU batching**: per-stage cost = fixed overhead + batch x marginal
+  work, so per-query cost falls towards the marginal term as the batch
+  grows;
+* **iMARS pipelining**: the fabric's stages (ET banks, crossbars, TCAM)
+  operate on different queries concurrently; steady-state throughput is
+  bounded by the slowest stage -- the per-candidate ranking loop.
+
+The honest outcome (asserted by the bench): iMARS dominates the
+latency-oriented regime by >10x, while large-batch GPU serving closes most
+of the throughput gap -- the classic latency/throughput trade-off the
+batch-1 protocol does not show.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.core.accelerator import IMARSCostModel
+from repro.core.mapping import WorkloadMapping
+from repro.data.movielens import movielens_table_specs
+from repro.experiments.common import ExperimentReport
+from repro.experiments.end_to_end import (
+    ML_FILTERING_INPUT,
+    ML_FILTERING_SPEC,
+    ML_RANKING_INPUT,
+    ML_RANKING_SPEC,
+    NUM_CANDIDATES,
+)
+from repro.gpu.device import GTX1080, GPUDeviceModel
+from repro.nn.mlp import mlp_flops
+
+__all__ = ["run_batch_throughput", "ThroughputPoint", "gpu_batched_query_us"]
+
+
+@dataclass
+class ThroughputPoint:
+    """Per-platform throughput at one batch size."""
+
+    batch_size: int
+    gpu_qps: float
+    imars_qps: float
+
+
+def gpu_batched_query_us(
+    batch: int,
+    num_candidates: int = NUM_CANDIDATES,
+    device: GPUDeviceModel = GTX1080,
+) -> float:
+    """Per-query GPU latency when *batch* queries are served together.
+
+    The serving loop keeps the paper's structure -- it iterates over the
+    candidate list, paying the per-candidate fixed costs (ET dispatch +
+    DNN launches) once per candidate -- but each iteration now covers the
+    same-rank candidate of all *batch* queries, so those fixed costs
+    amortise while the marginal work (gathered bytes, GEMM flops) scales
+    with the batch.  At batch 1 this reduces to the published protocol
+    (~1311 q/s).
+    """
+    if batch < 1:
+        raise ValueError("batch size must be >= 1")
+    filtering_tables, ranking_tables = 6, 7
+
+    def et_op(tables: int) -> float:
+        bytes_per_query = tables * 10 * 32 * 4
+        return (
+            device.et_base_us
+            + device.et_per_table_us * tables
+            + batch * device.transfer_time_us(bytes_per_query)
+        )
+
+    def dnn_call(input_dim: int, spec: str) -> float:
+        layers = len(spec.split("-"))
+        flops = mlp_flops(input_dim, spec) * batch
+        return layers * device.kernel_launch_us + device.gemm_time_us(flops)
+
+    nns_us = device.nns_cosine_base_us + (
+        batch * 3000 * 32 * device.nns_cosine_per_element_us
+    )
+    filtering = (
+        et_op(filtering_tables)
+        + dnn_call(ML_FILTERING_INPUT, ML_FILTERING_SPEC)
+        + nns_us
+    )
+    # Per-candidate loop: one ET op + one DNN call per candidate, covering
+    # all `batch` queries' candidate at that rank.
+    per_candidate = et_op(ranking_tables) + dnn_call(ML_RANKING_INPUT, ML_RANKING_SPEC)
+    ranking = num_candidates * per_candidate
+    topk = device.kernel_launch_us + batch * device.transfer_time_us(
+        num_candidates * 8
+    )
+    return (filtering + ranking + topk) / batch
+
+
+def imars_pipelined_qps(
+    num_candidates: int = NUM_CANDIDATES,
+    mapping: WorkloadMapping = None,
+) -> float:
+    """Steady-state iMARS throughput with stage-level pipelining.
+
+    Filtering (ET banks + crossbars + TCAM) and ranking work on different
+    queries concurrently; the bottleneck stage is the serial per-candidate
+    ranking loop, so throughput = 1 / (candidates x per-candidate time).
+    """
+    mapping = mapping or WorkloadMapping(movielens_table_specs())
+    model = IMARSCostModel(mapping)
+    filtering = model.filtering_query(
+        ML_FILTERING_INPUT, ML_FILTERING_SPEC, num_candidates
+    )
+    per_candidate = model.ranking_candidate(ML_RANKING_INPUT, ML_RANKING_SPEC)
+    ranking_stage_ns = per_candidate.latency_ns * num_candidates
+    bottleneck_ns = max(filtering.latency_ns, ranking_stage_ns)
+    return 1e9 / bottleneck_ns
+
+
+def run_batch_throughput(
+    batch_sizes: Sequence[int] = (1, 4, 16, 64, 256),
+) -> ExperimentReport:
+    """Sweep GPU batch size against the pipelined iMARS fabric."""
+    report = ExperimentReport("A4", "Batching extension: throughput trade-off")
+    imars_qps = imars_pipelined_qps()
+    points: List[ThroughputPoint] = []
+    for batch in batch_sizes:
+        gpu_qps = 1e6 / gpu_batched_query_us(batch)
+        points.append(
+            ThroughputPoint(batch_size=batch, gpu_qps=gpu_qps, imars_qps=imars_qps)
+        )
+
+    first, last = points[0], points[-1]
+    # Batch-1 reduces to the published protocol (anchor at ~1311 q/s).
+    report.add("GPU batch-1 QPS (paper protocol)", 1311.0, first.gpu_qps)
+    report.add(
+        "batch-1 iMARS throughput advantage > 10x",
+        1,
+        int(first.imars_qps / first.gpu_qps > 10.0),
+    )
+    report.add(
+        "GPU throughput grows with batch",
+        1,
+        int(last.gpu_qps > 5.0 * first.gpu_qps),
+    )
+    report.add(
+        "large-batch GPU closes (or crosses) the gap",
+        1,
+        int(last.gpu_qps > imars_qps / 3.0),
+    )
+    report.extras["points"] = points
+    report.note(
+        f"iMARS pipelined: {imars_qps:,.0f} q/s (ranking-stage bound). "
+        f"GPU: {first.gpu_qps:,.0f} q/s at batch 1 -> "
+        f"{last.gpu_qps:,.0f} q/s at batch {last.batch_size}. The paper's "
+        "batch-1 protocol sits at the left edge of this curve: iMARS's "
+        "advantage is a latency-regime result, and large-batch GPU serving "
+        "recovers throughput at the cost of per-query latency."
+    )
+    return report

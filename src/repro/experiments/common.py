@@ -1,0 +1,80 @@
+"""Shared experiment infrastructure: paper targets and comparison records.
+
+Every experiment module returns a structured result carrying the paper's
+published value next to the reproduced one, so the benchmark harness (and
+EXPERIMENTS.md) can report paper-vs-measured for every table and figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["PaperComparison", "ExperimentReport", "relative_error"]
+
+
+def relative_error(measured: float, published: float) -> float:
+    """Signed relative deviation of measured from published."""
+    if published == 0.0:
+        raise ValueError("published value must be non-zero")
+    return (measured - published) / published
+
+
+@dataclass
+class PaperComparison:
+    """One scalar reproduced against the paper."""
+
+    name: str
+    published: float
+    measured: float
+    unit: str = ""
+
+    @property
+    def error(self) -> float:
+        return relative_error(self.measured, self.published)
+
+    def within(self, tolerance: float) -> bool:
+        """True when |relative error| <= tolerance."""
+        return abs(self.error) <= tolerance
+
+    def format_row(self) -> str:
+        return (
+            f"  {self.name:<42s} paper={self.published:>12.4g} "
+            f"measured={self.measured:>12.4g} {self.unit:<6s} "
+            f"({self.error * 100.0:+6.1f}%)"
+        )
+
+
+@dataclass
+class ExperimentReport:
+    """A named collection of paper comparisons plus free-form notes."""
+
+    experiment_id: str
+    title: str
+    comparisons: List[PaperComparison] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+    extras: Dict[str, object] = field(default_factory=dict)
+
+    def add(
+        self, name: str, published: float, measured: float, unit: str = ""
+    ) -> PaperComparison:
+        comparison = PaperComparison(name, published, measured, unit)
+        self.comparisons.append(comparison)
+        return comparison
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def worst_error(self) -> Optional[float]:
+        if not self.comparisons:
+            return None
+        return max(abs(comparison.error) for comparison in self.comparisons)
+
+    def all_within(self, tolerance: float) -> bool:
+        return all(comparison.within(tolerance) for comparison in self.comparisons)
+
+    def format(self) -> str:
+        lines = [f"[{self.experiment_id}] {self.title}"]
+        lines.extend(comparison.format_row() for comparison in self.comparisons)
+        lines.extend(f"  note: {text}" for text in self.notes)
+        return "\n".join(lines)

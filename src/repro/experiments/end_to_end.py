@@ -1,0 +1,206 @@
+"""E7 -- Sec. IV-C3: end-to-end system comparison.
+
+Published results:
+
+* MovieLens (filtering + ranking): iMARS 16.8x faster and 713x more
+  energy-efficient than the GPU; 22025 queries/s vs 1311 queries/s.
+* Criteo Kaggle (ranking only, DLRM): 13.2x latency and 57.8x energy
+  improvement.
+* DNN stack alone: crossbars bring ~2.69x latency improvement over GPU.
+
+The experiment composes the per-stage operations (ET op, DNN stacks, NNS,
+top-k) into per-query costs on both platforms.  The candidate-set size is
+the one free workload parameter (the paper reports O(100) candidates but
+not the exact count); 72 candidates makes the GPU pipeline land on the
+published 1311 QPS and is used throughout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.accelerator import IMARSCostModel
+from repro.core.mapping import FILTERING, RANKING, WorkloadMapping
+from repro.data.criteo import criteo_table_specs
+from repro.data.movielens import movielens_table_specs
+from repro.energy.accounting import Cost, Ledger
+from repro.experiments.common import ExperimentReport
+from repro.gpu.kernels import (
+    gpu_dnn_stack,
+    gpu_et_operation,
+    gpu_nns_cosine,
+    gpu_topk,
+)
+from repro.metrics.throughput import queries_per_second
+
+__all__ = ["run_end_to_end", "PAPER_END_TO_END", "EndToEndResult", "NUM_CANDIDATES"]
+
+#: The candidate-set size used by the end-to-end protocol (see module doc).
+NUM_CANDIDATES = 72
+
+#: Published end-to-end numbers.
+PAPER_END_TO_END = {
+    "movielens_speedup": 16.8,
+    "movielens_energy_reduction": 713.0,
+    "movielens_gpu_qps": 1311.0,
+    "movielens_imars_qps": 22025.0,
+    "criteo_speedup": 13.2,
+    "criteo_energy_reduction": 57.8,
+    "dnn_stack_improvement": 2.69,
+}
+
+#: YouTubeDNN geometry (Table I): tower input = pooled history + 5 UIETs.
+ML_FILTERING_INPUT = 32 * 6
+ML_FILTERING_SPEC = "128-64-32"
+#: Ranking net input = user + item + 6 context embeddings.
+ML_RANKING_INPUT = 32 * 8
+ML_RANKING_SPEC = "128-1"
+
+#: DLRM geometry (Table I).
+DLRM_BOTTOM_INPUT = 13
+DLRM_BOTTOM_SPEC = "256-128-32"
+DLRM_TOP_INPUT = 383  # 351 pairwise dots + 32-d dense vector
+DLRM_TOP_SPEC = "256-64-1"
+
+
+@dataclass
+class EndToEndResult:
+    """Per-platform per-query costs for one workload."""
+
+    label: str
+    gpu: Cost
+    imars: Cost
+    gpu_ledger: Ledger
+    imars_ledger: Ledger
+
+    @property
+    def speedup(self) -> float:
+        return self.imars.speedup_over(self.gpu)
+
+    @property
+    def energy_reduction(self) -> float:
+        return self.imars.energy_reduction_over(self.gpu)
+
+
+def movielens_end_to_end(num_candidates: int = NUM_CANDIDATES) -> EndToEndResult:
+    """Full filtering + ranking query on both platforms."""
+    mapping = WorkloadMapping(movielens_table_specs())
+    model = IMARSCostModel(mapping)
+    filtering_tables = len(mapping.tables_for_stage(FILTERING))
+    ranking_tables = len(mapping.tables_for_stage(RANKING))
+    num_items = mapping.itet().spec.num_entries
+
+    gpu_ledger = Ledger(name="gpu-ml-e2e")
+    gpu_ledger.charge("ET Lookup", gpu_et_operation(filtering_tables))
+    gpu_ledger.charge("DNN Stack", gpu_dnn_stack(ML_FILTERING_INPUT, ML_FILTERING_SPEC))
+    gpu_ledger.charge("NNS", gpu_nns_cosine(num_items, 32))
+    per_candidate = gpu_et_operation(ranking_tables).then(
+        gpu_dnn_stack(ML_RANKING_INPUT, ML_RANKING_SPEC)
+    )
+    gpu_ledger.charge("Ranking", per_candidate.repeated(num_candidates))
+    gpu_ledger.charge("TopK", gpu_topk(num_candidates))
+
+    imars_ledger = Ledger(name="imars-ml-e2e")
+    imars_total = model.end_to_end(
+        ML_FILTERING_INPUT,
+        ML_FILTERING_SPEC,
+        ML_RANKING_INPUT,
+        ML_RANKING_SPEC,
+        num_candidates=num_candidates,
+        ledger=imars_ledger,
+    )
+    return EndToEndResult(
+        label="movielens",
+        gpu=gpu_ledger.total(),
+        imars=imars_total,
+        gpu_ledger=gpu_ledger,
+        imars_ledger=imars_ledger,
+    )
+
+
+def criteo_end_to_end() -> EndToEndResult:
+    """Single DLRM ranking inference on both platforms."""
+    mapping = WorkloadMapping(criteo_table_specs())
+    model = IMARSCostModel(mapping)
+    ranking_tables = len(mapping.tables_for_stage(RANKING))
+
+    gpu_ledger = Ledger(name="gpu-ck-e2e")
+    gpu_ledger.charge("ET Lookup", gpu_et_operation(ranking_tables))
+    gpu_ledger.charge("DNN Stack", gpu_dnn_stack(DLRM_BOTTOM_INPUT, DLRM_BOTTOM_SPEC))
+    gpu_ledger.charge("Interaction", gpu_topk(27 * 26 // 2))  # pairwise-dot kernel
+    gpu_ledger.charge("DNN Stack", gpu_dnn_stack(DLRM_TOP_INPUT, DLRM_TOP_SPEC))
+
+    imars_ledger = Ledger(name="imars-ck-e2e")
+    et = model.et_operation(RANKING, ledger=imars_ledger)
+    bottom = model.dnn_stack_cost(DLRM_BOTTOM_INPUT, DLRM_BOTTOM_SPEC)
+    interaction = Cost(energy_pj=500.0, latency_ns=100.0)  # near-memory dot unit
+    top = model.dnn_stack_cost(DLRM_TOP_INPUT, DLRM_TOP_SPEC)
+    imars_ledger.charge("DNN Stack", bottom.then(interaction).then(top))
+    imars_total = et.then(bottom).then(interaction).then(top)
+    return EndToEndResult(
+        label="criteo",
+        gpu=gpu_ledger.total(),
+        imars=imars_total,
+        gpu_ledger=gpu_ledger,
+        imars_ledger=imars_ledger,
+    )
+
+
+def run_end_to_end(num_candidates: int = NUM_CANDIDATES) -> ExperimentReport:
+    """Reproduce every Sec. IV-C3 headline number."""
+    report = ExperimentReport("E7", "Sec. IV-C3: end-to-end comparison")
+
+    movielens = movielens_end_to_end(num_candidates)
+    report.add(
+        "MovieLens speedup",
+        PAPER_END_TO_END["movielens_speedup"],
+        movielens.speedup,
+        "x",
+    )
+    report.add(
+        "MovieLens energy reduction",
+        PAPER_END_TO_END["movielens_energy_reduction"],
+        movielens.energy_reduction,
+        "x",
+    )
+    report.add(
+        "MovieLens GPU QPS",
+        PAPER_END_TO_END["movielens_gpu_qps"],
+        queries_per_second(movielens.gpu),
+        "q/s",
+    )
+    report.add(
+        "MovieLens iMARS QPS",
+        PAPER_END_TO_END["movielens_imars_qps"],
+        queries_per_second(movielens.imars),
+        "q/s",
+    )
+
+    criteo = criteo_end_to_end()
+    report.add("Criteo speedup", PAPER_END_TO_END["criteo_speedup"], criteo.speedup, "x")
+    report.add(
+        "Criteo energy reduction",
+        PAPER_END_TO_END["criteo_energy_reduction"],
+        criteo.energy_reduction,
+        "x",
+    )
+
+    # DNN-stack-only comparison (the ~2.69x claim).
+    mapping = WorkloadMapping(movielens_table_specs())
+    model = IMARSCostModel(mapping)
+    gpu_dnn = gpu_dnn_stack(ML_FILTERING_INPUT, ML_FILTERING_SPEC)
+    imars_dnn = model.dnn_stack_cost(ML_FILTERING_INPUT, ML_FILTERING_SPEC)
+    report.add(
+        "DNN stack latency improvement",
+        PAPER_END_TO_END["dnn_stack_improvement"],
+        imars_dnn.speedup_over(gpu_dnn),
+        "x",
+    )
+    report.note(
+        f"Candidate-set size fixed at {num_candidates} (the paper reports "
+        "O(100) but not the exact count); it is calibrated so the GPU "
+        "pipeline reproduces the published 1311 QPS."
+    )
+    report.extras["movielens"] = movielens
+    report.extras["criteo"] = criteo
+    return report

@@ -1,0 +1,46 @@
+"""E1 -- Fig. 2: operation breakdown of the two stages on the GPU.
+
+Published fractions (MovieLens, YouTubeDNN, measured with line_profiler):
+
+* filtering: ET lookup 53%, DNN stack 36%, NNS 11%;
+* ranking:   ET lookup 23%, DNN stack 65%, top-k 12%.
+
+The profiler model (see :mod:`repro.gpu.profiler`) composes kernel costs
+with per-line host dispatch overhead, matching the line_profiler
+measurement protocol.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentReport
+from repro.gpu.profiler import GPUStageProfiler
+
+__all__ = ["run_fig2", "PAPER_FIG2"]
+
+#: Published Fig. 2 fractions.
+PAPER_FIG2 = {
+    "filtering": {"ET Lookup": 0.53, "DNN Stack": 0.36, "NNS": 0.11},
+    "ranking": {"ET Lookup": 0.23, "DNN Stack": 0.65, "TopK": 0.12},
+}
+
+
+def run_fig2() -> ExperimentReport:
+    """Regenerate both stage breakdowns and compare every fraction."""
+    report = ExperimentReport("E1", "Fig. 2: GPU operation breakdown")
+    profiler = GPUStageProfiler()
+    breakdowns = profiler.breakdowns()
+    for stage, published in PAPER_FIG2.items():
+        measured = breakdowns[stage]
+        for operation, fraction in published.items():
+            report.add(
+                f"{stage} {operation} share",
+                fraction,
+                measured.get(operation, 0.0),
+                "frac",
+            )
+    report.note(
+        "Shares follow the line_profiler protocol: kernel time plus "
+        "per-profiled-line host dispatch overhead (see gpu/profiler.py)."
+    )
+    report.extras["breakdowns"] = breakdowns
+    return report

@@ -1,0 +1,84 @@
+"""E6 -- Sec. IV-C2: NNS operation comparison.
+
+The filtering stage's nearest-neighbour search on the MovieLens ItET
+(~3000 items, 32-d embeddings, 256-bit LSH signatures):
+
+* GPU, original cosine distance: 13.6 us, 0.34 mJ per input;
+* GPU, LSH 256-bit Hamming:      6.97 us, 0.15 mJ;
+* iMARS TCAM threshold search: published as 3.8e4x latency and 2.8e4x
+  energy improvement over the GPU LSH search.
+
+iMARS's search latency is one parallel array search (O(1) array time,
+Sec. IV-C2), reproduced here exactly.  On energy our dynamic model charges
+only the signature arrays' search FoM, which lands *above* the published
+improvement factor (the paper does not break down what its NNS energy
+includes); the reproduction target is the shape -- four-plus orders of
+magnitude -- and the documented gap is reported alongside.
+"""
+
+from __future__ import annotations
+
+from repro.core.accelerator import IMARSCostModel
+from repro.core.mapping import WorkloadMapping
+from repro.data.movielens import MOVIELENS_NUM_ITEMS, movielens_table_specs
+from repro.experiments.common import ExperimentReport
+from repro.gpu.kernels import gpu_nns_cosine, gpu_nns_lsh
+
+__all__ = ["run_nns_comparison", "PAPER_NNS"]
+
+#: Published Sec. IV-C2 values.
+PAPER_NNS = {
+    "gpu_cosine_us": 13.6,
+    "gpu_cosine_mj": 0.34,
+    "gpu_lsh_us": 6.97,
+    "gpu_lsh_mj": 0.15,
+    "imars_latency_improvement": 3.8e4,
+    "imars_energy_improvement": 2.8e4,
+}
+
+
+def run_nns_comparison(
+    num_items: int = MOVIELENS_NUM_ITEMS,
+    embedding_dim: int = 32,
+    signature_bits: int = 256,
+) -> ExperimentReport:
+    """Price all three NNS implementations and compare with the paper."""
+    report = ExperimentReport("E6", "Sec. IV-C2: NNS operation comparison")
+
+    gpu_cosine = gpu_nns_cosine(num_items, embedding_dim)
+    gpu_lsh = gpu_nns_lsh(num_items, signature_bits)
+    mapping = WorkloadMapping(movielens_table_specs())
+    model = IMARSCostModel(mapping)
+    imars_search = model.nns_operation(include_drain=False)
+
+    report.add("GPU cosine latency", PAPER_NNS["gpu_cosine_us"], gpu_cosine.latency_us, "us")
+    report.add("GPU cosine energy", PAPER_NNS["gpu_cosine_mj"], gpu_cosine.energy_mj, "mJ")
+    report.add("GPU LSH latency", PAPER_NNS["gpu_lsh_us"], gpu_lsh.latency_us, "us")
+    report.add("GPU LSH energy", PAPER_NNS["gpu_lsh_mj"], gpu_lsh.energy_mj, "mJ")
+
+    latency_improvement = imars_search.speedup_over(gpu_lsh)
+    energy_improvement = imars_search.energy_reduction_over(gpu_lsh)
+    report.add(
+        "iMARS latency improvement over GPU LSH",
+        PAPER_NNS["imars_latency_improvement"],
+        latency_improvement,
+        "x",
+    )
+    report.add(
+        "iMARS energy improvement over GPU LSH",
+        PAPER_NNS["imars_energy_improvement"],
+        energy_improvement,
+        "x",
+    )
+    report.note(
+        "iMARS search = one parallel TCAM threshold match across the "
+        f"{mapping.itet().signature_cmas} signature CMAs "
+        f"({imars_search.energy_pj:.1f} pJ, {imars_search.latency_ns:.2f} ns). "
+        "The energy-improvement factor exceeds the published 2.8e4x because "
+        "only dynamic search energy is charged here; the shape target "
+        "(>= 4 orders of magnitude) holds."
+    )
+    report.extras["gpu_cosine"] = gpu_cosine
+    report.extras["gpu_lsh"] = gpu_lsh
+    report.extras["imars_search"] = imars_search
+    return report

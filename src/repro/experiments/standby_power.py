@@ -1,0 +1,100 @@
+"""A7 -- standby-power study: the FeFET non-volatility benefit.
+
+Quantifies Sec. II-B's argument for FeFET CMAs over CMOS ones -- "lower
+standby power (a result of the device's non-volatility)" -- at the fabric
+level: an SRAM-based iMARS must burn retention power in all 4096 arrays
+between queries, while the FeFET fabric retains the embedding tables for
+free.  At realistic serving loads the standby term dominates an SRAM
+design's energy and is negligible for FeFET.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.accelerator import IMARSCostModel
+from repro.core.config import PAPER_CONFIG
+from repro.core.mapping import FILTERING, WorkloadMapping
+from repro.core.power import StandbyPowerModel, standby_comparison
+from repro.data.movielens import movielens_table_specs
+from repro.experiments.common import ExperimentReport
+
+__all__ = ["run_standby_power"]
+
+
+def run_standby_power(
+    queries_per_second: Sequence[float] = (10.0, 100.0, 1000.0),
+) -> ExperimentReport:
+    """Compare FeFET vs SRAM fabric energy across serving loads."""
+    report = ExperimentReport("A7", "Standby power: FeFET non-volatility benefit")
+    model = StandbyPowerModel()
+    comparison = standby_comparison(PAPER_CONFIG, idle_seconds=1.0, model=model)
+    report.add(
+        "standby advantage (SRAM/FeFET) >= 100x",
+        1,
+        int(comparison["advantage"] >= 100.0),
+    )
+
+    # Active energy per query (the Table III ET op as a proxy for the
+    # memory subsystem's dynamic work).
+    mapping = WorkloadMapping(movielens_table_specs())
+    active_per_query_uj = (
+        IMARSCostModel(mapping).et_operation(FILTERING).energy_uj
+    )
+
+    rows = []
+    for qps in queries_per_second:
+        idle_fraction = 1.0  # arrays idle essentially the whole second
+        fefet_standby = model.standby_energy(
+            PAPER_CONFIG.total_cmas, idle_fraction, "fefet"
+        ).energy_uj
+        sram_standby = model.standby_energy(
+            PAPER_CONFIG.total_cmas, idle_fraction, "sram"
+        ).energy_uj
+        active = active_per_query_uj * qps
+        rows.append(
+            {
+                "qps": qps,
+                "fefet_total_uj_per_s": active + fefet_standby,
+                "sram_total_uj_per_s": active + sram_standby,
+                "sram_standby_share": sram_standby / (active + sram_standby),
+                "fefet_standby_share": fefet_standby / (active + fefet_standby),
+            }
+        )
+
+    low_load = rows[0]
+    report.add(
+        "SRAM energy standby-dominated at low load",
+        1,
+        int(low_load["sram_standby_share"] > 0.9),
+    )
+    report.add(
+        "FeFET cuts low-load fabric energy >= 100x",
+        1,
+        int(
+            low_load["sram_total_uj_per_s"]
+            > 100.0 * low_load["fefet_total_uj_per_s"]
+        ),
+    )
+    high_load = rows[-1]
+    report.add(
+        "FeFET total energy lower at every load",
+        1,
+        int(
+            all(
+                row["fefet_total_uj_per_s"] < row["sram_total_uj_per_s"]
+                for row in rows
+            )
+        ),
+    )
+    report.extras["rows"] = rows
+    report.extras["comparison"] = comparison
+    report.note(
+        f"Fabric of {comparison['num_cmas']} CMAs: FeFET standby "
+        f"{comparison['fefet_energy_uj']:.0f} uJ/s vs SRAM "
+        f"{comparison['sram_energy_uj']:.0f} uJ/s "
+        f"({comparison['advantage']:.0f}x). At {high_load['qps']:.0f} q/s the "
+        f"FeFET fabric spends {high_load['fefet_standby_share'] * 100:.1f}% "
+        "of memory-subsystem energy on standby."
+    )
+    return report

@@ -1,0 +1,91 @@
+"""E2 -- Table I: RecSys configurations and memory mapping on iMARS.
+
+Reproduces the activated bank/mat/CMA counts for both workloads:
+
+* MovieLens (YouTubeDNN): 7 banks, 8 mats, 54 CMAs; 5 filtering UIETs
+  (all shared), 6 ranking UIETs (5 shared), 1 ItET.
+* Criteo Kaggle (DLRM): 26 banks, 104 mats, 2860 CMAs; 26 ranking UIETs,
+  no ItET.
+
+Also checks the provisioning arithmetic the paper walks through: a
+30,000-entry table needs 118 CMAs, rounded up to 128 -- exactly one bank
+(M x C = 4 x 32).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.config import PAPER_CONFIG
+from repro.core.mapping import FILTERING, RANKING, WorkloadMapping, next_power_of_two
+from repro.data.criteo import criteo_table_specs
+from repro.data.movielens import movielens_table_specs
+from repro.experiments.common import ExperimentReport
+
+__all__ = ["run_table1", "PAPER_TABLE1"]
+
+#: Published Table I memory-mapping values.
+PAPER_TABLE1 = {
+    "movielens": {"banks": 7, "mats": 8, "cmas": 54},
+    "criteo": {"banks": 26, "mats": 104, "cmas": 2860},
+    "movielens_filtering_uiets": 5,
+    "movielens_ranking_uiets": 6,
+    "movielens_shared_uiets": 5,
+    "criteo_uiets": 26,
+}
+
+
+def run_table1() -> ExperimentReport:
+    """Build both workload mappings and compare every Table I count."""
+    report = ExperimentReport("E2", "Table I: memory mapping on iMARS")
+    config = PAPER_CONFIG
+
+    movielens = WorkloadMapping(movielens_table_specs(), config)
+    row = movielens.table_one_row()
+    report.add("MovieLens banks", PAPER_TABLE1["movielens"]["banks"], row["banks"])
+    report.add("MovieLens mats", PAPER_TABLE1["movielens"]["mats"], row["mats"])
+    report.add("MovieLens CMAs", PAPER_TABLE1["movielens"]["cmas"], row["cmas"])
+
+    filtering = movielens.stage_summary(FILTERING)
+    ranking = movielens.stage_summary(RANKING)
+    report.add(
+        "MovieLens filtering UIETs",
+        PAPER_TABLE1["movielens_filtering_uiets"],
+        filtering["uiet_tables"],
+    )
+    report.add(
+        "MovieLens ranking UIETs",
+        PAPER_TABLE1["movielens_ranking_uiets"],
+        ranking["uiet_tables"],
+    )
+    report.add(
+        "MovieLens shared UIETs",
+        PAPER_TABLE1["movielens_shared_uiets"],
+        ranking["shared_uiet_tables"],
+    )
+
+    criteo = WorkloadMapping(criteo_table_specs(), config)
+    row = criteo.table_one_row()
+    report.add("Criteo banks", PAPER_TABLE1["criteo"]["banks"], row["banks"])
+    report.add("Criteo mats", PAPER_TABLE1["criteo"]["mats"], row["mats"])
+    report.add("Criteo CMAs", PAPER_TABLE1["criteo"]["cmas"], row["cmas"])
+    report.add(
+        "Criteo UIETs",
+        PAPER_TABLE1["criteo_uiets"],
+        criteo.stage_summary(RANKING)["uiet_tables"],
+    )
+
+    # The dimensioning walk-through of Sec. IV: 30k entries -> 118 -> 128 CMAs.
+    needed = math.ceil(30000 / config.cma_rows)
+    provisioned = next_power_of_two(needed)
+    report.add("30k-entry table CMAs (ceil)", 118, needed)
+    report.add("30k-entry table CMAs (provisioned)", 128, provisioned)
+    report.add("Bank capacity M x C", 128, config.cmas_per_bank)
+    report.note(
+        "Per-ET MovieLens cardinalities are not listed in the paper; "
+        "MovieLens-1M-realistic values were chosen that reproduce the "
+        "published aggregate counts exactly (see data/movielens.py)."
+    )
+    report.extras["movielens_mapping"] = movielens
+    report.extras["criteo_mapping"] = criteo
+    return report

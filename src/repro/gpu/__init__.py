@@ -1,0 +1,22 @@
+"""Calibrated GPU baseline (the paper's GTX 1080 measurements as a model)."""
+
+from repro.gpu.device import GPUDeviceModel, GTX1080
+from repro.gpu.kernels import (
+    gpu_dnn_stack,
+    gpu_et_operation,
+    gpu_nns_cosine,
+    gpu_nns_lsh,
+    gpu_topk,
+)
+from repro.gpu.profiler import GPUStageProfiler
+
+__all__ = [
+    "GPUDeviceModel",
+    "GTX1080",
+    "gpu_dnn_stack",
+    "gpu_et_operation",
+    "gpu_nns_cosine",
+    "gpu_nns_lsh",
+    "gpu_topk",
+    "GPUStageProfiler",
+]

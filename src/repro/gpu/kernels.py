@@ -1,0 +1,106 @@
+"""GPU kernel cost models: ET operations, DNN stacks, NNS, top-k.
+
+Every function returns a :class:`~repro.energy.accounting.Cost` for one
+query (batch size 1, the paper's latency protocol), computed from the
+calibrated :class:`~repro.gpu.device.GPUDeviceModel`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+from repro.energy.accounting import Cost
+from repro.gpu.device import GPUDeviceModel, GTX1080
+from repro.nn.mlp import mlp_flops, parse_layer_spec
+
+__all__ = [
+    "gpu_et_operation",
+    "gpu_dnn_stack",
+    "gpu_nns_cosine",
+    "gpu_nns_lsh",
+    "gpu_topk",
+]
+
+
+def _cost(latency_us: float, power_w: float) -> Cost:
+    """Cost from a latency and an effective board power."""
+    latency_ns = latency_us * 1e3
+    energy_pj = power_w * latency_us * 1e6  # W x us = uJ; 1 uJ = 1e6 pJ
+    return Cost(energy_pj=energy_pj, latency_ns=latency_ns)
+
+
+def gpu_et_operation(
+    num_tables: int,
+    pooling_factor: int = 10,
+    embedding_dim: int = 32,
+    device: GPUDeviceModel = GTX1080,
+) -> Cost:
+    """One stage's embedding-table lookup + pooling on the GPU.
+
+    The fitted linear model (base + per-table) dominates; the actual
+    gathered bytes add a small bandwidth term for physical consistency.
+    """
+    if num_tables < 1:
+        raise ValueError(f"need at least one table, got {num_tables}")
+    if pooling_factor < 1 or embedding_dim < 1:
+        raise ValueError("pooling factor and embedding dim must be positive")
+    gathered_bytes = num_tables * pooling_factor * embedding_dim * 4  # fp32 rows
+    latency_us = (
+        device.et_base_us
+        + device.et_per_table_us * num_tables
+        + device.transfer_time_us(gathered_bytes)
+    )
+    return _cost(latency_us, device.power_et_w)
+
+
+def gpu_dnn_stack(
+    input_dim: int,
+    spec: Union[str, Sequence[int]],
+    device: GPUDeviceModel = GTX1080,
+) -> Cost:
+    """One MLP forward pass: per-layer launch overhead + GEMM time."""
+    widths = parse_layer_spec(spec)
+    flops = mlp_flops(input_dim, widths)
+    latency_us = len(widths) * device.kernel_launch_us + device.gemm_time_us(flops)
+    return _cost(latency_us, device.power_dnn_w)
+
+
+def gpu_nns_cosine(
+    num_items: int,
+    embedding_dim: int,
+    device: GPUDeviceModel = GTX1080,
+) -> Cost:
+    """Brute-force cosine NNS over the item table (the FAISS-flat path)."""
+    if num_items < 1 or embedding_dim < 1:
+        raise ValueError("item count and dimension must be positive")
+    latency_us = (
+        device.nns_cosine_base_us
+        + num_items * embedding_dim * device.nns_cosine_per_element_us
+    )
+    return _cost(latency_us, device.power_nns_cosine_w)
+
+
+def gpu_nns_lsh(
+    num_items: int,
+    signature_bits: int,
+    device: GPUDeviceModel = GTX1080,
+) -> Cost:
+    """LSH-signature Hamming NNS on the GPU (XOR + popcount scan)."""
+    if num_items < 1 or signature_bits < 1:
+        raise ValueError("item count and signature length must be positive")
+    latency_us = (
+        device.nns_lsh_base_us + num_items * signature_bits * device.nns_lsh_per_bit_us
+    )
+    return _cost(latency_us, device.power_nns_lsh_w)
+
+
+def gpu_topk(
+    num_candidates: int,
+    device: GPUDeviceModel = GTX1080,
+) -> Cost:
+    """Top-k selection over the scored candidates (one small kernel)."""
+    if num_candidates < 1:
+        raise ValueError("candidate count must be positive")
+    scan_bytes = num_candidates * 8  # score + index
+    latency_us = device.kernel_launch_us + device.transfer_time_us(scan_bytes)
+    return _cost(latency_us, device.power_dnn_w)

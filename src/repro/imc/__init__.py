@@ -1,0 +1,16 @@
+"""Functional in-memory-computing kernels: TCAM, GPCiM, analog crossbar."""
+
+from repro.imc.tcam import TCAMArray, DONT_CARE
+from repro.imc.gpcim import GPCiMArray, ripple_add_bits, pack_lanes, unpack_lanes
+from repro.imc.crossbar import CrossbarArray, CrossbarConfig
+
+__all__ = [
+    "TCAMArray",
+    "DONT_CARE",
+    "GPCiMArray",
+    "ripple_add_bits",
+    "pack_lanes",
+    "unpack_lanes",
+    "CrossbarArray",
+    "CrossbarConfig",
+]

@@ -1,0 +1,193 @@
+"""General-purpose compute-in-memory (GPCiM) functional model.
+
+GPCiM arrays (Sec. II-B, paper refs. [7], [15]) activate two wordlines
+simultaneously; the bitline sense amplifier compares the combined current
+against one or more references to produce Boolean logic, and a lightweight
+peripheral accumulator composes those micro-ops into integer arithmetic.
+iMARS uses the GPCiM mode for the *pooling* of embedding rows: "Pooling
+operations are performed with in-memory additions (through an accumulator
+placed next to the RAM SA)" (Sec. III-A1).
+
+This module provides:
+
+* :class:`GPCiMArray` -- a word-organised memory supporting dual-row
+  bitwise AND / OR / XOR (the dual-reference sensing result) and row
+  addition into a peripheral accumulator;
+* :func:`ripple_add_bits` -- the bit-serial in-memory addition algorithm
+  (XOR for sum, AND-then-shift for carry), used to validate that composing
+  the Boolean micro-ops really yields binary addition, which is the
+  correctness argument behind the single "Addition" FoM row in Table II.
+
+Embedding words are *lane-structured*: a 256-bit row holds 32 int8 lanes
+(Sec. III-A1).  The accumulator accumulates per-lane at a configurable
+wider precision so multi-row pooling does not overflow, then requantises.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["GPCiMArray", "ripple_add_bits", "pack_lanes", "unpack_lanes"]
+
+
+def ripple_add_bits(word_a: np.ndarray, word_b: np.ndarray) -> Tuple[np.ndarray, int]:
+    """Bit-serial in-memory addition of two little-endian bit vectors.
+
+    Implements addition purely from the Boolean micro-ops a GPCiM senses
+    (XOR and AND): ``sum = a ^ b ^ carry``, ``carry' = majority(a, b,
+    carry)``.  Returns the sum bits (same width, wrap-around) and the final
+    carry-out.
+    """
+    bits_a = np.asarray(word_a, dtype=np.int8)
+    bits_b = np.asarray(word_b, dtype=np.int8)
+    if bits_a.shape != bits_b.shape or bits_a.ndim != 1:
+        raise ValueError("operands must be 1-D bit vectors of equal length")
+    if not (np.isin(bits_a, (0, 1)).all() and np.isin(bits_b, (0, 1)).all()):
+        raise ValueError("operands must be bit vectors over {0, 1}")
+    result = np.zeros_like(bits_a)
+    carry = 0
+    for position in range(bits_a.shape[0]):
+        a_bit = int(bits_a[position])
+        b_bit = int(bits_b[position])
+        result[position] = a_bit ^ b_bit ^ carry
+        carry = (a_bit & b_bit) | (a_bit & carry) | (b_bit & carry)
+    return result, carry
+
+
+def pack_lanes(values: Sequence[int], lane_bits: int = 8) -> np.ndarray:
+    """Pack signed lane values into a little-endian bit vector.
+
+    Each lane is stored two's-complement in ``lane_bits`` bits; a 32-lane
+    int8 embedding therefore packs into the 256-bit row format used by the
+    CMA and the adder trees.
+    """
+    lanes = np.asarray(values, dtype=np.int64)
+    low, high = -(1 << (lane_bits - 1)), (1 << (lane_bits - 1)) - 1
+    if lanes.min(initial=0) < low or lanes.max(initial=0) > high:
+        raise ValueError(f"lane values out of int{lane_bits} range [{low}, {high}]")
+    unsigned = np.where(lanes < 0, lanes + (1 << lane_bits), lanes)
+    bits = np.zeros(lanes.shape[0] * lane_bits, dtype=np.int8)
+    for lane_index, value in enumerate(unsigned):
+        for bit_index in range(lane_bits):
+            bits[lane_index * lane_bits + bit_index] = (int(value) >> bit_index) & 1
+    return bits
+
+
+def unpack_lanes(bits: np.ndarray, lane_bits: int = 8) -> np.ndarray:
+    """Inverse of :func:`pack_lanes`: bit vector -> signed lane values."""
+    word = np.asarray(bits, dtype=np.int64)
+    if word.ndim != 1 or word.shape[0] % lane_bits != 0:
+        raise ValueError(f"bit vector length must be a multiple of {lane_bits}")
+    lanes = word.shape[0] // lane_bits
+    values = np.zeros(lanes, dtype=np.int64)
+    for lane_index in range(lanes):
+        value = 0
+        for bit_index in range(lane_bits):
+            value |= int(word[lane_index * lane_bits + bit_index]) << bit_index
+        if value >= 1 << (lane_bits - 1):
+            value -= 1 << lane_bits
+        values[lane_index] = value
+    return values
+
+
+class GPCiMArray:
+    """Word-organised RAM with dual-row Boolean ops and lane-wise pooling.
+
+    Rows store signed integer lanes (default: 32 lanes x int8 = one 256-bit
+    embedding word).  Dual-row Boolean operations work on the packed bit
+    representation, matching what the dual-reference sense amplifier
+    produces; :meth:`accumulate_rows` models the peripheral accumulator
+    used for pooling.
+    """
+
+    def __init__(self, rows: int, lanes: int = 32, lane_bits: int = 8):
+        if rows < 1:
+            raise ValueError(f"row count must be positive, got {rows}")
+        if lanes < 1 or lane_bits < 2:
+            raise ValueError("lanes must be >= 1 and lane_bits >= 2")
+        self.rows = rows
+        self.lanes = lanes
+        self.lane_bits = lane_bits
+        self._data = np.zeros((rows, lanes), dtype=np.int64)
+        self._valid = np.zeros(rows, dtype=bool)
+
+    @property
+    def word_bits(self) -> int:
+        """Width of one packed row in bits (256 for the default shape)."""
+        return self.lanes * self.lane_bits
+
+    # -- RAM path --------------------------------------------------------------
+    def write_row(self, row: int, lanes: Sequence[int]) -> None:
+        self._check_row(row)
+        values = np.asarray(lanes, dtype=np.int64)
+        if values.shape != (self.lanes,):
+            raise ValueError(f"expected {self.lanes} lanes, got shape {values.shape}")
+        low, high = self._lane_range()
+        if values.min() < low or values.max() > high:
+            raise ValueError(f"lane values out of int{self.lane_bits} range")
+        self._data[row] = values
+        self._valid[row] = True
+
+    def read_row(self, row: int) -> np.ndarray:
+        self._check_row(row)
+        if not self._valid[row]:
+            raise ValueError(f"row {row} has not been written")
+        return self._data[row].copy()
+
+    # -- Boolean micro-ops -------------------------------------------------------
+    def bitwise(self, row_a: int, row_b: int, op: str) -> np.ndarray:
+        """Dual-wordline Boolean operation over the packed bit vectors."""
+        bits_a = pack_lanes(self.read_row(row_a), self.lane_bits)
+        bits_b = pack_lanes(self.read_row(row_b), self.lane_bits)
+        if op == "and":
+            return bits_a & bits_b
+        if op == "or":
+            return bits_a | bits_b
+        if op == "xor":
+            return bits_a ^ bits_b
+        raise ValueError(f"unsupported Boolean op: {op!r} (expected and/or/xor)")
+
+    def add_rows(self, row_a: int, row_b: int) -> np.ndarray:
+        """In-memory lane-wise addition of two rows (saturating per lane).
+
+        Functionally the composition of the XOR/AND micro-ops per lane
+        (see :func:`ripple_add_bits`); lanes saturate at the int range just
+        like a fixed-width in-memory adder would.
+        """
+        total = self.read_row(row_a) + self.read_row(row_b)
+        low, high = self._lane_range()
+        return np.clip(total, low, high)
+
+    # -- pooling accumulator --------------------------------------------------
+    def accumulate_rows(
+        self,
+        row_indices: Sequence[int],
+        saturate: bool = False,
+    ) -> np.ndarray:
+        """Pool (sum) several rows through the peripheral accumulator.
+
+        With ``saturate=False`` (default) the accumulator is wide enough to
+        hold the exact sum -- the configuration iMARS uses before the adder
+        trees requantise.  With ``saturate=True`` each step clamps to the
+        lane range, modelling a minimal-width accumulator.
+        """
+        indices = list(row_indices)
+        if not indices:
+            return np.zeros(self.lanes, dtype=np.int64)
+        total = np.zeros(self.lanes, dtype=np.int64)
+        low, high = self._lane_range()
+        for row in indices:
+            total = total + self.read_row(row)
+            if saturate:
+                total = np.clip(total, low, high)
+        return total
+
+    # -- helpers -----------------------------------------------------------------
+    def _lane_range(self) -> Tuple[int, int]:
+        return -(1 << (self.lane_bits - 1)), (1 << (self.lane_bits - 1)) - 1
+
+    def _check_row(self, row: int) -> None:
+        if not 0 <= row < self.rows:
+            raise IndexError(f"row {row} out of range for {self.rows}-row array")

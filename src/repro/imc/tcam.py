@@ -1,0 +1,162 @@
+"""Functional ternary CAM (TCAM) array model.
+
+A TCAM array with ``r`` rows and ``c`` columns performs a parallel search of
+a query against every stored row in O(1) array time (Sec. II-B): each cell
+XORs its stored bit with the query bit and the matchline wire-ANDs the cells
+of a row.  iMARS uses the *threshold-match* mode -- a row matches when its
+Hamming distance to the query is at or below a programmable threshold set by
+the dummy-cell reference current -- to realise fixed-radius nearest-
+neighbour search over LSH signatures (Sec. III-B).
+
+This module is the bit-accurate functional model; the per-search energy and
+latency are charged at the CMA level from the Table II FoMs.  An optional
+analog-noise knob perturbs the sensed distances to emulate matchline current
+variation, which the robustness tests and the threshold-margin ablation use.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["TCAMArray", "DONT_CARE"]
+
+#: Sentinel stored-cell value for don't-care (X).
+DONT_CARE = 2
+
+
+class TCAMArray:
+    """A ternary CAM array storing ``rows`` words of ``cols`` ternary cells.
+
+    Storage is an int8 matrix over {0, 1, DONT_CARE}; unwritten rows are
+    tracked by a validity mask and never match.
+    """
+
+    def __init__(self, rows: int, cols: int):
+        if rows < 1 or cols < 1:
+            raise ValueError(f"array dimensions must be positive, got {rows}x{cols}")
+        self.rows = rows
+        self.cols = cols
+        self._cells = np.full((rows, cols), DONT_CARE, dtype=np.int8)
+        self._valid = np.zeros(rows, dtype=bool)
+
+    # -- write path ----------------------------------------------------------
+    def write_row(self, row: int, bits: Sequence[int], care_mask: Optional[Sequence[bool]] = None) -> None:
+        """Store *bits* at *row*; cells where ``care_mask`` is False become X."""
+        self._check_row(row)
+        word = np.asarray(bits, dtype=np.int8)
+        if word.shape != (self.cols,):
+            raise ValueError(f"expected {self.cols} bits, got shape {word.shape}")
+        if not np.isin(word, (0, 1)).all():
+            raise ValueError("stored bits must be 0 or 1 (use care_mask for X)")
+        if care_mask is not None:
+            mask = np.asarray(care_mask, dtype=bool)
+            if mask.shape != (self.cols,):
+                raise ValueError(f"care mask must have {self.cols} entries")
+            word = np.where(mask, word, DONT_CARE).astype(np.int8)
+        self._cells[row] = word
+        self._valid[row] = True
+
+    def write_rows(self, start_row: int, matrix: np.ndarray) -> None:
+        """Bulk-store a (n, cols) bit matrix starting at *start_row*."""
+        matrix = np.asarray(matrix, dtype=np.int8)
+        if matrix.ndim != 2 or matrix.shape[1] != self.cols:
+            raise ValueError(f"expected (n, {self.cols}) matrix, got {matrix.shape}")
+        end = start_row + matrix.shape[0]
+        if start_row < 0 or end > self.rows:
+            raise ValueError(f"rows [{start_row}, {end}) out of range for {self.rows}-row array")
+        if not np.isin(matrix, (0, 1)).all():
+            raise ValueError("stored bits must be 0 or 1")
+        self._cells[start_row:end] = matrix
+        self._valid[start_row:end] = True
+
+    def invalidate_row(self, row: int) -> None:
+        """Mark a row empty; it will no longer participate in searches."""
+        self._check_row(row)
+        self._valid[row] = False
+        self._cells[row] = DONT_CARE
+
+    @property
+    def valid_rows(self) -> np.ndarray:
+        """Boolean mask of rows that currently hold data."""
+        return self._valid.copy()
+
+    def stored_row(self, row: int) -> np.ndarray:
+        """Ternary contents of *row* (over {0, 1, DONT_CARE})."""
+        self._check_row(row)
+        return self._cells[row].copy()
+
+    # -- search path ----------------------------------------------------------
+    def hamming_distances(
+        self,
+        query: Sequence[int],
+        noise_sigma: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> np.ndarray:
+        """Per-row Hamming distance to *query* (X cells never mismatch).
+
+        With ``noise_sigma > 0`` a Gaussian perturbation is added to each
+        row's analog distance before it is returned, emulating matchline
+        current variation; invalid rows report ``cols + 1`` (worse than any
+        possible distance) so they can never match.
+        """
+        word = self._check_query(query)
+        mismatches = (self._cells != word[None, :]) & (self._cells != DONT_CARE)
+        distances = mismatches.sum(axis=1).astype(np.float64)
+        if noise_sigma > 0.0:
+            generator = rng or np.random.default_rng(0)
+            distances = distances + generator.normal(0.0, noise_sigma, size=self.rows)
+        distances[~self._valid] = float(self.cols + 1)
+        return distances
+
+    def search_exact(self, query: Sequence[int]) -> np.ndarray:
+        """Exact-match flags per row (threshold 0)."""
+        return self.search_threshold(query, threshold=0)
+
+    def search_threshold(
+        self,
+        query: Sequence[int],
+        threshold: int,
+        noise_sigma: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> np.ndarray:
+        """Threshold-match flags: distance(row, query) <= threshold.
+
+        This is the CAM mode iMARS uses for fixed-radius NNS; the threshold
+        corresponds to the dummy-cell reference current setting.
+        """
+        if threshold < 0:
+            raise ValueError(f"threshold must be non-negative, got {threshold}")
+        distances = self.hamming_distances(query, noise_sigma=noise_sigma, rng=rng)
+        return distances <= threshold + 0.5 if noise_sigma > 0.0 else distances <= threshold
+
+    def matching_rows(self, query: Sequence[int], threshold: int = 0) -> List[int]:
+        """Priority-encoded (ascending) indices of matching rows."""
+        flags = self.search_threshold(query, threshold)
+        return [int(index) for index in np.flatnonzero(flags)]
+
+    def nearest_row(self, query: Sequence[int]) -> int:
+        """Row index with the minimum Hamming distance (-1 if array empty).
+
+        Realised in hardware by sweeping the threshold upward until the
+        first match appears; functionally equivalent to an argmin over
+        valid rows.
+        """
+        if not self._valid.any():
+            return -1
+        distances = self.hamming_distances(query)
+        return int(np.argmin(distances))
+
+    # -- helpers ---------------------------------------------------------------
+    def _check_row(self, row: int) -> None:
+        if not 0 <= row < self.rows:
+            raise IndexError(f"row {row} out of range for {self.rows}-row array")
+
+    def _check_query(self, query: Sequence[int]) -> np.ndarray:
+        word = np.asarray(query, dtype=np.int8)
+        if word.shape != (self.cols,):
+            raise ValueError(f"query must have {self.cols} bits, got shape {word.shape}")
+        if not np.isin(word, (0, 1)).all():
+            raise ValueError("query bits must be 0 or 1")
+        return word

@@ -1,0 +1,20 @@
+"""Locality-sensitive hashing for the IMC-friendly NNS (Sec. III-B)."""
+
+from repro.lsh.hyperplane import RandomHyperplaneLSH, expected_collision_probability
+from repro.lsh.hamming import (
+    hamming_distance,
+    hamming_matrix,
+    pack_bits,
+    pairwise_hamming,
+    unpack_bits,
+)
+
+__all__ = [
+    "RandomHyperplaneLSH",
+    "expected_collision_probability",
+    "hamming_distance",
+    "hamming_matrix",
+    "pack_bits",
+    "pairwise_hamming",
+    "unpack_bits",
+]

@@ -1,0 +1,65 @@
+"""Hamming-distance utilities over bit matrices.
+
+These are the software counterparts of the TCAM match operation: packed
+XOR + popcount for speed on the GPU-baseline side, and plain bit-matrix
+distances for cross-checking the CMA search results.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "pack_bits",
+    "unpack_bits",
+    "hamming_distance",
+    "pairwise_hamming",
+    "hamming_matrix",
+]
+
+
+def pack_bits(bits: np.ndarray) -> np.ndarray:
+    """Pack a (n, b) 0/1 matrix into (n, ceil(b/8)) uint8 rows."""
+    matrix = np.atleast_2d(np.asarray(bits, dtype=np.uint8))
+    if not np.isin(matrix, (0, 1)).all():
+        raise ValueError("bit matrix must contain only 0/1")
+    return np.packbits(matrix, axis=1)
+
+
+def unpack_bits(packed: np.ndarray, num_bits: int) -> np.ndarray:
+    """Inverse of :func:`pack_bits`, trimming pad bits to *num_bits*."""
+    matrix = np.atleast_2d(np.asarray(packed, dtype=np.uint8))
+    unpacked = np.unpackbits(matrix, axis=1)
+    if num_bits > unpacked.shape[1]:
+        raise ValueError(f"cannot recover {num_bits} bits from {unpacked.shape[1]}")
+    return unpacked[:, :num_bits]
+
+
+_POPCOUNT_TABLE = np.array([bin(value).count("1") for value in range(256)], dtype=np.uint8)
+
+
+def hamming_distance(bits_a: np.ndarray, bits_b: np.ndarray) -> int:
+    """Hamming distance between two equal-length 0/1 vectors."""
+    first = np.asarray(bits_a, dtype=np.uint8)
+    second = np.asarray(bits_b, dtype=np.uint8)
+    if first.shape != second.shape:
+        raise ValueError(f"shape mismatch: {first.shape} vs {second.shape}")
+    return int((first != second).sum())
+
+
+def pairwise_hamming(query_bits: np.ndarray, item_bits: np.ndarray) -> np.ndarray:
+    """Distances from one query to each row of a bit matrix (XOR+popcount)."""
+    query_packed = pack_bits(np.asarray(query_bits).reshape(1, -1))
+    items_packed = pack_bits(item_bits)
+    xored = np.bitwise_xor(items_packed, query_packed)
+    return _POPCOUNT_TABLE[xored].sum(axis=1).astype(np.int64)
+
+
+def hamming_matrix(bits_a: np.ndarray, bits_b: np.ndarray) -> np.ndarray:
+    """Full (n, m) distance matrix between two bit matrices."""
+    first = np.atleast_2d(np.asarray(bits_a, dtype=np.uint8))
+    second = np.atleast_2d(np.asarray(bits_b, dtype=np.uint8))
+    if first.shape[1] != second.shape[1]:
+        raise ValueError("bit widths differ")
+    # (n, 1, b) != (1, m, b) -> (n, m, b); fine for the table sizes used here.
+    return (first[:, None, :] != second[None, :, :]).sum(axis=2).astype(np.int64)

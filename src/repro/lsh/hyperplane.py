@@ -1,0 +1,68 @@
+"""Random-hyperplane (SimHash) locality-sensitive hashing.
+
+"To facilitate the Hamming distance search, we employ a locality-sensitive
+hashing (LSH) technique on the ItET ... We use a 256 LSH signature length"
+(Sec. III-B).  Random-hyperplane LSH is the standard choice for cosine
+similarity: each signature bit is the sign of a projection onto a random
+hyperplane, and for two vectors at angle theta,
+
+    P[bit differs] = theta / pi,
+
+so the expected Hamming distance between signatures is monotone in the
+cosine distance -- which is exactly the property that lets a TCAM
+threshold-match over signatures stand in for a cosine nearest-neighbour
+search.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["RandomHyperplaneLSH", "expected_collision_probability"]
+
+
+def expected_collision_probability(cosine_similarity: float) -> float:
+    """Per-bit agreement probability for two vectors with given cosine.
+
+    ``P[bits agree] = 1 - arccos(cos_sim) / pi`` -- the SimHash guarantee
+    used by the property tests to validate the LSH implementation.
+    """
+    clipped = float(np.clip(cosine_similarity, -1.0, 1.0))
+    return 1.0 - np.arccos(clipped) / np.pi
+
+
+class RandomHyperplaneLSH:
+    """SimHash signatures of a fixed length over a fixed input dimension."""
+
+    def __init__(self, input_dim: int, signature_bits: int = 256, seed: int = 0):
+        if input_dim < 1:
+            raise ValueError(f"input dimension must be positive, got {input_dim}")
+        if signature_bits < 1:
+            raise ValueError(f"signature length must be positive, got {signature_bits}")
+        self.input_dim = input_dim
+        self.signature_bits = signature_bits
+        rng = np.random.default_rng(seed)
+        # One unit-normal hyperplane per signature bit.
+        self._planes = rng.normal(0.0, 1.0, size=(input_dim, signature_bits))
+
+    def signatures(self, vectors: np.ndarray) -> np.ndarray:
+        """Signatures (n, signature_bits) over {0, 1} for row vectors."""
+        matrix = np.atleast_2d(np.asarray(vectors, dtype=np.float64))
+        if matrix.shape[1] != self.input_dim:
+            raise ValueError(
+                f"expected vectors of dimension {self.input_dim}, got {matrix.shape[1]}"
+            )
+        projections = matrix @ self._planes
+        return (projections >= 0.0).astype(np.uint8)
+
+    def signature(self, vector: np.ndarray) -> np.ndarray:
+        """Single-vector convenience wrapper around :meth:`signatures`."""
+        return self.signatures(np.asarray(vector).reshape(1, -1))[0]
+
+    def hamming_to_items(self, query: np.ndarray, item_signatures: np.ndarray) -> np.ndarray:
+        """Hamming distances from one query signature to each item row."""
+        query_bits = np.asarray(query, dtype=np.uint8).reshape(1, -1)
+        items = np.asarray(item_signatures, dtype=np.uint8)
+        if query_bits.shape[1] != items.shape[1]:
+            raise ValueError("signature lengths differ between query and items")
+        return (query_bits != items).sum(axis=1)

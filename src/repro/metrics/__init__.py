@@ -1,0 +1,13 @@
+"""Evaluation metrics: accuracy (HR/recall/AUC) and throughput/improvement."""
+
+from repro.metrics.accuracy import auc_score, hit_rate, recall_at_k
+from repro.metrics.throughput import energy_reduction, queries_per_second, speedup
+
+__all__ = [
+    "auc_score",
+    "hit_rate",
+    "recall_at_k",
+    "energy_reduction",
+    "queries_per_second",
+    "speedup",
+]

@@ -1,0 +1,77 @@
+"""Accuracy metrics: hit rate (the paper's Sec. IV-B metric), recall, AUC."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["hit_rate", "recall_at_k", "auc_score"]
+
+
+def hit_rate(retrieved: Sequence[Sequence[int]], positives: Sequence[int]) -> float:
+    """The paper's HR: '# of hits (correct predictions) / # of test users'.
+
+    A user scores a hit when their held-out positive item appears in the
+    retrieved candidate set.
+    """
+    if len(retrieved) != len(positives):
+        raise ValueError("retrieved sets and positives must align")
+    if len(positives) == 0:
+        raise ValueError("need at least one test user")
+    hits = sum(
+        1 for candidates, positive in zip(retrieved, positives) if positive in set(candidates)
+    )
+    return hits / len(positives)
+
+
+def recall_at_k(
+    retrieved: Sequence[Sequence[int]],
+    relevant: Sequence[Sequence[int]],
+    k: int,
+) -> float:
+    """Mean fraction of relevant items inside the top-k retrieved."""
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    if len(retrieved) != len(relevant):
+        raise ValueError("retrieved and relevant sets must align")
+    if not retrieved:
+        raise ValueError("need at least one query")
+    scores = []
+    for candidates, truths in zip(retrieved, relevant):
+        truth_set = set(truths)
+        if not truth_set:
+            continue
+        top = list(candidates)[:k]
+        scores.append(len(truth_set.intersection(top)) / len(truth_set))
+    if not scores:
+        raise ValueError("no queries with relevant items")
+    return float(np.mean(scores))
+
+
+def auc_score(labels: np.ndarray, scores: np.ndarray) -> float:
+    """ROC AUC via the rank-sum (Mann-Whitney) formulation."""
+    y = np.asarray(labels, dtype=np.float64).reshape(-1)
+    s = np.asarray(scores, dtype=np.float64).reshape(-1)
+    if y.shape != s.shape:
+        raise ValueError("labels and scores must align")
+    positives = int((y == 1).sum())
+    negatives = int((y == 0).sum())
+    if positives == 0 or negatives == 0:
+        raise ValueError("AUC needs both classes present")
+    order = np.argsort(s, kind="stable")
+    ranks = np.empty_like(order, dtype=np.float64)
+    ranks[order] = np.arange(1, y.shape[0] + 1)
+    # Average ranks over score ties for an unbiased estimate.
+    sorted_scores = s[order]
+    start = 0
+    for end in range(1, len(sorted_scores) + 1):
+        if end == len(sorted_scores) or sorted_scores[end] != sorted_scores[start]:
+            mean_rank = 0.5 * (start + 1 + end)
+            ranks[order[start:end]] = mean_rank
+            start = end
+    positive_rank_sum = ranks[y == 1].sum()
+    return float(
+        (positive_rank_sum - positives * (positives + 1) / 2.0)
+        / (positives * negatives)
+    )

@@ -1,0 +1,28 @@
+"""Throughput and comparison metrics (QPS, speedups, improvement factors)."""
+
+from __future__ import annotations
+
+from repro.energy.accounting import Cost
+
+__all__ = ["queries_per_second", "speedup", "energy_reduction"]
+
+
+def queries_per_second(per_query: Cost) -> float:
+    """QPS at a given per-query latency (the Sec. IV-C3 metric)."""
+    if per_query.latency_ns <= 0.0:
+        raise ValueError("per-query latency must be positive")
+    return 1e9 / per_query.latency_ns
+
+
+def speedup(baseline: Cost, candidate: Cost) -> float:
+    """Latency improvement of candidate over baseline."""
+    if candidate.latency_ns <= 0.0:
+        raise ValueError("candidate latency must be positive")
+    return baseline.latency_ns / candidate.latency_ns
+
+
+def energy_reduction(baseline: Cost, candidate: Cost) -> float:
+    """Energy improvement of candidate over baseline."""
+    if candidate.energy_pj <= 0.0:
+        raise ValueError("candidate energy must be positive")
+    return baseline.energy_pj / candidate.energy_pj

@@ -1,0 +1,13 @@
+"""RecSys models: YouTubeDNN (filtering + ranking) and Facebook DLRM."""
+
+from repro.models.youtube_dnn import YouTubeDNNConfig, YouTubeDNNFiltering, YouTubeDNNRanking
+from repro.models.dlrm import DLRM, DLRMConfig, interaction_features
+
+__all__ = [
+    "YouTubeDNNConfig",
+    "YouTubeDNNFiltering",
+    "YouTubeDNNRanking",
+    "DLRM",
+    "DLRMConfig",
+    "interaction_features",
+]

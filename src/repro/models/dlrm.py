@@ -1,0 +1,244 @@
+"""Facebook DLRM (Naumov et al., 2019) -- the Criteo ranking model.
+
+Architecture (Table I: bottom MLP 256-128-32, top MLP 256-64-1):
+
+1. dense features -> bottom MLP -> a 32-d dense vector;
+2. each of the 26 categorical features -> an EmbeddingBag lookup (the
+   UIETs of the Criteo workload);
+3. feature interaction: pairwise dot products between the dense vector and
+   every embedding (and among embeddings), concatenated with the dense
+   vector;
+4. top MLP -> sigmoid -> CTR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.nn.layers import EmbeddingBag
+from repro.nn.losses import BCEWithLogitsLoss
+from repro.nn.mlp import build_mlp
+from repro.nn.module import Module
+from repro.nn.optim import Adam
+
+__all__ = ["DLRMConfig", "DLRM", "interaction_features"]
+
+
+@dataclass(frozen=True)
+class DLRMConfig:
+    """Model geometry (paper defaults for the Criteo Kaggle workload)."""
+
+    num_dense: int = 13
+    categorical_cardinalities: Tuple[int, ...] = tuple([28000] * 26)
+    embedding_dim: int = 32
+    bottom_spec: str = "256-128-32"
+    top_spec: str = "256-64-1"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_dense < 1:
+            raise ValueError("need at least one dense feature")
+        if not self.categorical_cardinalities:
+            raise ValueError("need at least one categorical feature")
+        if any(card < 1 for card in self.categorical_cardinalities):
+            raise ValueError("categorical cardinalities must be positive")
+        if self.embedding_dim < 1:
+            raise ValueError("embedding dimension must be positive")
+
+    @property
+    def num_sparse(self) -> int:
+        return len(self.categorical_cardinalities)
+
+    @property
+    def interaction_dim(self) -> int:
+        """Pairwise dots among (1 dense + num_sparse) vectors, plus dense."""
+        vectors = 1 + self.num_sparse
+        bottom_out = int(self.bottom_spec.split("-")[-1])
+        return vectors * (vectors - 1) // 2 + bottom_out
+
+
+def interaction_features(dense_vector: np.ndarray, embeddings: np.ndarray) -> np.ndarray:
+    """DLRM pairwise-dot interaction.
+
+    Parameters
+    ----------
+    dense_vector:
+        (batch, dim) output of the bottom MLP.
+    embeddings:
+        (batch, num_sparse, dim) pooled categorical embeddings.
+
+    Returns
+    -------
+    (batch, interaction_dim): lower-triangle pairwise dot products of the
+    stacked vectors, concatenated after the dense vector.
+    """
+    dense = np.atleast_2d(np.asarray(dense_vector, dtype=np.float64))
+    sparse = np.asarray(embeddings, dtype=np.float64)
+    if sparse.ndim != 3 or sparse.shape[0] != dense.shape[0]:
+        raise ValueError("embeddings must be (batch, num_sparse, dim)")
+    if sparse.shape[2] != dense.shape[1]:
+        raise ValueError("dense and sparse dimensions differ")
+    stacked = np.concatenate([dense[:, None, :], sparse], axis=1)
+    gram = np.einsum("bnd,bmd->bnm", stacked, stacked)
+    count = stacked.shape[1]
+    lower_i, lower_j = np.tril_indices(count, k=-1)
+    pairwise = gram[:, lower_i, lower_j]
+    return np.concatenate([dense, pairwise], axis=1)
+
+
+class DLRM(Module):
+    """The full DLRM model over NumPy modules."""
+
+    def __init__(self, config: Optional[DLRMConfig] = None):
+        super().__init__()
+        self.config = config or DLRMConfig()
+        rng = np.random.default_rng(self.config.seed)
+        dim = self.config.embedding_dim
+        self.bottom = build_mlp(self.config.num_dense, self.config.bottom_spec, rng=rng)
+        self.embedding_bags: List[EmbeddingBag] = []
+        for index, cardinality in enumerate(self.config.categorical_cardinalities):
+            bag = EmbeddingBag(cardinality, dim, mode="sum", rng=rng)
+            self._modules[f"bag{index}"] = bag
+            self.embedding_bags.append(bag)
+        self.top = build_mlp(self.config.interaction_dim, self.config.top_spec, rng=rng)
+
+    # -- forward ---------------------------------------------------------------------
+    def _pooled_embeddings(self, sparse_indices: np.ndarray) -> np.ndarray:
+        """Pooled per-feature embeddings: (batch, num_sparse, dim).
+
+        ``sparse_indices`` is (batch, num_sparse) for the one-index-per-
+        feature Criteo layout; multi-hot bags go through the EmbeddingBag
+        API directly.
+        """
+        indices = np.asarray(sparse_indices, dtype=np.int64)
+        if indices.ndim != 2 or indices.shape[1] != self.config.num_sparse:
+            raise ValueError(
+                f"sparse indices must be (batch, {self.config.num_sparse})"
+            )
+        batch = indices.shape[0]
+        out = np.zeros((batch, self.config.num_sparse, self.config.embedding_dim))
+        for feature, bag in enumerate(self.embedding_bags):
+            out[:, feature, :] = bag.weight.data[indices[:, feature]]
+        return out
+
+    def _pooled_bags(self, sparse_bags) -> np.ndarray:
+        """Pooled embeddings for multi-hot bags: (batch, num_sparse, dim).
+
+        ``sparse_bags[sample][feature]`` is a (possibly empty) sequence of
+        indices pooled by the feature's EmbeddingBag -- the general sparse
+        layout DLRM supports (and the layout iMARS pools with its in-memory
+        adders).
+        """
+        batch = len(sparse_bags)
+        out = np.zeros((batch, self.config.num_sparse, self.config.embedding_dim))
+        for feature, bag_module in enumerate(self.embedding_bags):
+            bags = []
+            for sample in sparse_bags:
+                if len(sample) != self.config.num_sparse:
+                    raise ValueError(
+                        f"each sample needs {self.config.num_sparse} bags, "
+                        f"got {len(sample)}"
+                    )
+                bags.append(sample[feature])
+            out[:, feature, :] = bag_module(bags)
+        return out
+
+    def logits(self, dense: np.ndarray, sparse_indices: np.ndarray) -> np.ndarray:
+        """Raw CTR logits for a batch of (dense, sparse) inputs."""
+        dense = np.atleast_2d(np.asarray(dense, dtype=np.float64))
+        if dense.shape[1] != self.config.num_dense:
+            raise ValueError(f"dense input must have {self.config.num_dense} features")
+        bottom_out = self.bottom(dense)
+        pooled = self._pooled_embeddings(sparse_indices)
+        interacted = interaction_features(bottom_out, pooled)
+        return self.top(interacted).reshape(-1)
+
+    def logits_bags(self, dense: np.ndarray, sparse_bags) -> np.ndarray:
+        """Raw CTR logits with multi-hot categorical bags per feature."""
+        dense = np.atleast_2d(np.asarray(dense, dtype=np.float64))
+        if dense.shape[1] != self.config.num_dense:
+            raise ValueError(f"dense input must have {self.config.num_dense} features")
+        bottom_out = self.bottom(dense)
+        pooled = self._pooled_bags(sparse_bags)
+        interacted = interaction_features(bottom_out, pooled)
+        return self.top(interacted).reshape(-1)
+
+    def predict_ctr(self, dense: np.ndarray, sparse_indices: np.ndarray) -> np.ndarray:
+        """CTR predictions in [0, 1]."""
+        scores = self.logits(dense, sparse_indices)
+        return 1.0 / (1.0 + np.exp(-np.clip(scores, -60.0, 60.0)))
+
+    # -- training (full backward through interaction) -----------------------------------
+    def train_ctr(
+        self,
+        dense: np.ndarray,
+        sparse_indices: np.ndarray,
+        clicks: np.ndarray,
+        epochs: int = 3,
+        batch_size: int = 128,
+        lr: float = 0.01,
+        seed: int = 0,
+    ) -> List[float]:
+        """Train end to end with BCE; returns per-epoch mean losses."""
+        rng = np.random.default_rng(seed)
+        loss_fn = BCEWithLogitsLoss()
+        optimizer = Adam(self.parameters(), lr=lr)
+        dense = np.atleast_2d(np.asarray(dense, dtype=np.float64))
+        indices = np.asarray(sparse_indices, dtype=np.int64)
+        labels = np.asarray(clicks, dtype=np.float64).reshape(-1)
+        num_samples = labels.shape[0]
+        epoch_losses: List[float] = []
+        for _ in range(epochs):
+            order = rng.permutation(num_samples)
+            batch_losses: List[float] = []
+            for start in range(0, num_samples, batch_size):
+                batch = order[start : start + batch_size]
+                optimizer.zero_grad()
+                loss = self._train_step(dense[batch], indices[batch], labels[batch], loss_fn)
+                optimizer.step()
+                batch_losses.append(loss)
+            epoch_losses.append(float(np.mean(batch_losses)))
+        return epoch_losses
+
+    def _train_step(
+        self,
+        dense: np.ndarray,
+        indices: np.ndarray,
+        labels: np.ndarray,
+        loss_fn: BCEWithLogitsLoss,
+    ) -> float:
+        """One forward/backward pass, manually chaining the interaction."""
+        bottom_out = self.bottom(dense)
+        pooled = self._pooled_embeddings(indices)
+        stacked = np.concatenate([bottom_out[:, None, :], pooled], axis=1)
+        interacted = interaction_features(bottom_out, pooled)
+        logits = self.top(interacted).reshape(-1)
+        loss = loss_fn(logits, labels)
+
+        grad_logits = loss_fn.backward().reshape(-1, 1)
+        grad_interacted = self.top.backward(grad_logits)
+
+        # Split the interaction gradient back into dense and pairwise parts.
+        bottom_dim = bottom_out.shape[1]
+        grad_dense_direct = grad_interacted[:, :bottom_dim]
+        grad_pairs = grad_interacted[:, bottom_dim:]
+        count = stacked.shape[1]
+        lower_i, lower_j = np.tril_indices(count, k=-1)
+        grad_stacked = np.zeros_like(stacked)
+        for pair, (row, col) in enumerate(zip(lower_i, lower_j)):
+            coeff = grad_pairs[:, pair][:, None]
+            grad_stacked[:, row, :] += coeff * stacked[:, col, :]
+            grad_stacked[:, col, :] += coeff * stacked[:, row, :]
+
+        grad_bottom = grad_stacked[:, 0, :] + grad_dense_direct
+        self.bottom.backward(grad_bottom)
+        for feature, bag in enumerate(self.embedding_bags):
+            np.add.at(
+                bag.weight.grad,
+                indices[:, feature],
+                grad_stacked[:, feature + 1, :],
+            )
+        return loss

@@ -1,0 +1,302 @@
+"""YouTubeDNN (Covington et al., RecSys'16) -- filtering + ranking models.
+
+The paper evaluates YouTubeDNN on MovieLens-1M for *both* stages
+(Table I):
+
+* **Filtering tower** ("candidate generation"): pooled watch-history item
+  embeddings + demographic (UIET) embeddings -> MLP 128-64-32 -> an
+  L2-normalised 32-d user embedding; candidates come from an NNS of that
+  embedding against the item embedding table.  Trained with sampled
+  softmax: the positive is the held-out next watch.
+* **Ranking model**: user embedding + candidate-item embedding + ranking
+  UIET embeddings -> MLP 128-1 -> sigmoid CTR.
+
+Both models are built on the NumPy nn substrate; the item embedding table
+doubles as the ItET that iMARS stores in CMAs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.nn.layers import Embedding
+from repro.nn.losses import BCEWithLogitsLoss, SampledSoftmaxLoss
+from repro.nn.mlp import build_mlp
+from repro.nn.module import Module
+from repro.nn.optim import Adam
+
+__all__ = ["YouTubeDNNConfig", "YouTubeDNNFiltering", "YouTubeDNNRanking"]
+
+
+@dataclass(frozen=True)
+class YouTubeDNNConfig:
+    """Model geometry (Table I defaults).
+
+    ``demographic_cardinalities`` lists the UIET sizes used by the
+    filtering stage; ``ranking_extra_cardinalities`` the ranking-only
+    UIETs.
+    """
+
+    num_items: int = 3000
+    embedding_dim: int = 32
+    demographic_cardinalities: Tuple[int, ...] = (6040, 3, 7, 21, 450)
+    ranking_extra_cardinalities: Tuple[int, ...] = (18,)
+    filtering_spec: str = "128-64-32"
+    ranking_spec: str = "128-1"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_items < 2:
+            raise ValueError("need at least two items")
+        if self.embedding_dim < 1:
+            raise ValueError("embedding dimension must be positive")
+        if not self.demographic_cardinalities:
+            raise ValueError("need at least one demographic feature")
+        tower_output = int(self.filtering_spec.split("-")[-1])
+        if tower_output != self.embedding_dim:
+            raise ValueError(
+                "the filtering tower's output width must equal the item "
+                f"embedding dimension for the NNS to work: got {tower_output} "
+                f"vs {self.embedding_dim}"
+            )
+
+
+class YouTubeDNNFiltering(Module):
+    """The candidate-generation (filtering) tower."""
+
+    def __init__(self, config: Optional[YouTubeDNNConfig] = None):
+        super().__init__()
+        self.config = config or YouTubeDNNConfig()
+        rng = np.random.default_rng(self.config.seed)
+        dim = self.config.embedding_dim
+        self.item_embeddings = Embedding(self.config.num_items, dim, rng=rng)
+        self.demographic_embeddings: List[Embedding] = []
+        for index, cardinality in enumerate(self.config.demographic_cardinalities):
+            table = Embedding(cardinality, dim, rng=rng)
+            self._modules[f"demographic{index}"] = table
+            self.demographic_embeddings.append(table)
+        tower_input = dim * (1 + len(self.config.demographic_cardinalities))
+        self.tower = build_mlp(tower_input, self.config.filtering_spec, head="l2norm", rng=rng)
+        self._history_cache: Optional[Sequence[Sequence[int]]] = None
+        self._demographics_cache: Optional[np.ndarray] = None
+
+    # -- forward -------------------------------------------------------------------
+    def user_embedding(
+        self,
+        histories: Sequence[Sequence[int]],
+        demographics: np.ndarray,
+    ) -> np.ndarray:
+        """User embeddings for a batch.
+
+        Parameters
+        ----------
+        histories:
+            Per-user watch history (item indices); pooled by mean.
+        demographics:
+            (batch, num_demographic_features) integer matrix.
+        """
+        demo = np.asarray(demographics, dtype=np.int64)
+        if demo.ndim != 2 or demo.shape[1] != len(self.demographic_embeddings):
+            raise ValueError(
+                f"demographics must be (batch, {len(self.demographic_embeddings)})"
+            )
+        if len(histories) != demo.shape[0]:
+            raise ValueError("history and demographic batch sizes differ")
+        dim = self.config.embedding_dim
+        pooled = np.zeros((len(histories), dim))
+        for row, history in enumerate(histories):
+            indices = np.asarray(list(history), dtype=np.int64)
+            if indices.size == 0:
+                continue
+            pooled[row] = self.item_embeddings.weight.data[indices].mean(axis=0)
+        parts = [pooled]
+        for column, table in enumerate(self.demographic_embeddings):
+            parts.append(table.weight.data[demo[:, column]])
+        features = np.concatenate(parts, axis=1)
+        self._history_cache = histories
+        self._demographics_cache = demo
+        self._features_cache = features
+        return self.tower(features)
+
+    def forward(self, inputs) -> np.ndarray:  # pragma: no cover - convenience alias
+        histories, demographics = inputs
+        return self.user_embedding(histories, demographics)
+
+    def _backward_tower(self, grad_users: np.ndarray) -> None:
+        """Push the sampled-softmax gradient through the tower + embeddings."""
+        grad_features = self.tower.backward(grad_users)
+        dim = self.config.embedding_dim
+        grad_pooled = grad_features[:, :dim]
+        for row, history in enumerate(self._history_cache):
+            indices = np.asarray(list(history), dtype=np.int64)
+            if indices.size == 0:
+                continue
+            np.add.at(
+                self.item_embeddings.weight.grad,
+                indices,
+                grad_pooled[row] / indices.size,
+            )
+        for column, table in enumerate(self.demographic_embeddings):
+            segment = grad_features[:, dim * (column + 1) : dim * (column + 2)]
+            np.add.at(
+                table.weight.grad,
+                self._demographics_cache[:, column],
+                segment,
+            )
+
+    # -- training ---------------------------------------------------------------------
+    def train_retrieval(
+        self,
+        histories: Sequence[Sequence[int]],
+        demographics: np.ndarray,
+        positives: np.ndarray,
+        epochs: int = 5,
+        batch_size: int = 64,
+        num_negatives: int = 20,
+        lr: float = 0.01,
+        seed: int = 0,
+    ) -> List[float]:
+        """Train with sampled softmax; returns the per-epoch mean loss."""
+        rng = np.random.default_rng(seed)
+        loss_fn = SampledSoftmaxLoss()
+        optimizer = Adam(self.parameters(), lr=lr)
+        targets = np.asarray(positives, dtype=np.int64)
+        num_samples = targets.shape[0]
+        demo = np.asarray(demographics, dtype=np.int64)
+        epoch_losses: List[float] = []
+        for _ in range(epochs):
+            order = rng.permutation(num_samples)
+            batch_losses: List[float] = []
+            for start in range(0, num_samples, batch_size):
+                batch = order[start : start + batch_size]
+                batch_histories = [histories[index] for index in batch]
+                batch_demo = demo[batch]
+                batch_targets = targets[batch]
+                negatives = rng.integers(
+                    0, self.config.num_items, size=(batch.shape[0], num_negatives)
+                )
+                candidate_ids = np.concatenate(
+                    [batch_targets[:, None], negatives], axis=1
+                )
+                optimizer.zero_grad()
+                users = self.user_embedding(batch_histories, batch_demo)
+                candidates = self.item_embeddings.weight.data[candidate_ids]
+                loss = loss_fn(users, candidates)
+                grad_users, grad_items = loss_fn.backward()
+                self._backward_tower(grad_users)
+                flat_ids = candidate_ids.reshape(-1)
+                flat_grads = grad_items.reshape(-1, self.config.embedding_dim)
+                np.add.at(self.item_embeddings.weight.grad, flat_ids, flat_grads)
+                optimizer.step()
+                batch_losses.append(loss)
+            epoch_losses.append(float(np.mean(batch_losses)))
+        return epoch_losses
+
+    def item_table(self) -> np.ndarray:
+        """The trained item embedding matrix (the ItET contents)."""
+        return self.item_embeddings.weight.data.copy()
+
+
+class YouTubeDNNRanking(Module):
+    """The ranking model: (user, candidate item, context) -> CTR."""
+
+    def __init__(self, config: Optional[YouTubeDNNConfig] = None):
+        super().__init__()
+        self.config = config or YouTubeDNNConfig()
+        rng = np.random.default_rng(self.config.seed + 1)
+        dim = self.config.embedding_dim
+        cardinalities = (
+            self.config.demographic_cardinalities
+            + self.config.ranking_extra_cardinalities
+        )
+        self.context_embeddings: List[Embedding] = []
+        for index, cardinality in enumerate(cardinalities):
+            table = Embedding(cardinality, dim, rng=rng)
+            self._modules[f"context{index}"] = table
+            self.context_embeddings.append(table)
+        net_input = dim * (2 + len(cardinalities))  # user + item + contexts
+        self.net = build_mlp(net_input, self.config.ranking_spec, head="none", rng=rng)
+
+    def _features(
+        self,
+        user_embeddings: np.ndarray,
+        item_embeddings: np.ndarray,
+        context: np.ndarray,
+    ) -> np.ndarray:
+        users = np.atleast_2d(np.asarray(user_embeddings, dtype=np.float64))
+        items = np.atleast_2d(np.asarray(item_embeddings, dtype=np.float64))
+        ctx = np.asarray(context, dtype=np.int64)
+        if users.shape != items.shape:
+            raise ValueError("user and item embedding batches must match")
+        if ctx.ndim != 2 or ctx.shape[1] != len(self.context_embeddings):
+            raise ValueError(
+                f"context must be (batch, {len(self.context_embeddings)})"
+            )
+        parts = [users, items]
+        for column, table in enumerate(self.context_embeddings):
+            parts.append(table.weight.data[ctx[:, column]])
+        return np.concatenate(parts, axis=1)
+
+    def logits(
+        self,
+        user_embeddings: np.ndarray,
+        item_embeddings: np.ndarray,
+        context: np.ndarray,
+    ) -> np.ndarray:
+        """Raw CTR logits for (user, item, context) triples."""
+        return self.net(self._features(user_embeddings, item_embeddings, context)).reshape(-1)
+
+    def predict_ctr(
+        self,
+        user_embeddings: np.ndarray,
+        item_embeddings: np.ndarray,
+        context: np.ndarray,
+    ) -> np.ndarray:
+        """Click-through-rate predictions in [0, 1]."""
+        scores = self.logits(user_embeddings, item_embeddings, context)
+        return 1.0 / (1.0 + np.exp(-np.clip(scores, -60.0, 60.0)))
+
+    def train_ctr(
+        self,
+        user_embeddings: np.ndarray,
+        item_embeddings: np.ndarray,
+        context: np.ndarray,
+        clicks: np.ndarray,
+        epochs: int = 5,
+        batch_size: int = 128,
+        lr: float = 0.01,
+        seed: int = 0,
+    ) -> List[float]:
+        """Train the MLP with BCE on observed clicks (embeddings are fixed
+        inputs here; the context tables train end to end)."""
+        rng = np.random.default_rng(seed)
+        loss_fn = BCEWithLogitsLoss()
+        optimizer = Adam(self.parameters(), lr=lr)
+        labels = np.asarray(clicks, dtype=np.float64).reshape(-1)
+        users = np.atleast_2d(user_embeddings)
+        items = np.atleast_2d(item_embeddings)
+        ctx = np.asarray(context, dtype=np.int64)
+        num_samples = labels.shape[0]
+        epoch_losses: List[float] = []
+        for _ in range(epochs):
+            order = rng.permutation(num_samples)
+            batch_losses: List[float] = []
+            for start in range(0, num_samples, batch_size):
+                batch = order[start : start + batch_size]
+                optimizer.zero_grad()
+                features = self._features(users[batch], items[batch], ctx[batch])
+                logits = self.net(features).reshape(-1)
+                loss = loss_fn(logits, labels[batch])
+                grad_logits = loss_fn.backward().reshape(-1, 1)
+                grad_features = self.net.backward(grad_logits)
+                dim = self.config.embedding_dim
+                for column, table in enumerate(self.context_embeddings):
+                    segment = grad_features[:, dim * (column + 2) : dim * (column + 3)]
+                    np.add.at(table.weight.grad, ctx[batch][:, column], segment)
+                optimizer.step()
+                batch_losses.append(loss)
+            epoch_losses.append(float(np.mean(batch_losses)))
+        return epoch_losses

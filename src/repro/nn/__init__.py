@@ -1,0 +1,38 @@
+"""NumPy neural-network substrate (offline replacement for PyTorch)."""
+
+from repro.nn.module import Module, Parameter, Sequential
+from repro.nn.layers import (
+    Embedding,
+    EmbeddingBag,
+    L2Normalize,
+    Linear,
+    ReLU,
+    Sigmoid,
+    Tanh,
+)
+from repro.nn.losses import BCEWithLogitsLoss, SampledSoftmaxLoss
+from repro.nn.optim import SGD, Adam
+from repro.nn.mlp import build_mlp, mlp_flops, parse_layer_spec
+from repro.nn.io import load_module, save_module
+
+__all__ = [
+    "load_module",
+    "save_module",
+    "Module",
+    "Parameter",
+    "Sequential",
+    "Embedding",
+    "EmbeddingBag",
+    "L2Normalize",
+    "Linear",
+    "ReLU",
+    "Sigmoid",
+    "Tanh",
+    "BCEWithLogitsLoss",
+    "SampledSoftmaxLoss",
+    "SGD",
+    "Adam",
+    "build_mlp",
+    "mlp_flops",
+    "parse_layer_spec",
+]

@@ -1,0 +1,55 @@
+"""Model (de)serialisation: save/load trained parameters as ``.npz``.
+
+A downstream user trains once and serves many times; these helpers persist
+any :class:`~repro.nn.module.Module`'s ``state_dict`` to a compressed npz
+archive and restore it with shape checking.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Union
+
+import numpy as np
+
+from repro.nn.module import Module
+
+__all__ = ["save_module", "load_module"]
+
+#: Key prefix guarding against loading arbitrary npz files as models.
+_PREFIX = "param::"
+
+
+def save_module(module: Module, path: Union[str, pathlib.Path]) -> pathlib.Path:
+    """Write the module's parameters to *path* (``.npz`` appended if missing)."""
+    target = pathlib.Path(path)
+    if target.suffix != ".npz":
+        target = target.with_suffix(target.suffix + ".npz")
+    state = module.state_dict()
+    if not state:
+        raise ValueError("module has no parameters to save")
+    np.savez_compressed(
+        target, **{_PREFIX + name: value for name, value in state.items()}
+    )
+    return target
+
+
+def load_module(module: Module, path: Union[str, pathlib.Path]) -> Module:
+    """Restore parameters saved by :func:`save_module` into *module*.
+
+    The module must already have the right architecture; shapes are
+    validated by ``load_state_dict``.
+    """
+    source = pathlib.Path(path)
+    if not source.exists():
+        raise FileNotFoundError(f"no saved model at {source}")
+    with np.load(source) as archive:
+        state = {}
+        for key in archive.files:
+            if not key.startswith(_PREFIX):
+                raise ValueError(
+                    f"{source} is not a saved module (unexpected key {key!r})"
+                )
+            state[key[len(_PREFIX):]] = archive[key]
+    module.load_state_dict(state)
+    return module

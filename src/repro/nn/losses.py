@@ -1,0 +1,99 @@
+"""Loss functions for RecSys training.
+
+* :class:`BCEWithLogitsLoss` -- binary cross-entropy on logits, the CTR
+  training objective of the ranking stage (DLRM and YouTubeDNN ranking).
+* :class:`SampledSoftmaxLoss` -- the retrieval objective of the YouTubeDNN
+  filtering tower: classify the next-watched item among a sampled set of
+  negatives, using inner products between the user embedding and item
+  embeddings.
+
+Each loss returns a scalar value from ``forward`` and produces the gradient
+w.r.t. its inputs from ``backward``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = ["BCEWithLogitsLoss", "SampledSoftmaxLoss"]
+
+
+class BCEWithLogitsLoss:
+    """Numerically-stable binary cross-entropy over logits."""
+
+    def __init__(self) -> None:
+        self._logits: Optional[np.ndarray] = None
+        self._targets: Optional[np.ndarray] = None
+
+    def forward(self, logits: np.ndarray, targets: np.ndarray) -> float:
+        logits = np.asarray(logits, dtype=np.float64).reshape(-1)
+        targets = np.asarray(targets, dtype=np.float64).reshape(-1)
+        if logits.shape != targets.shape:
+            raise ValueError(f"shape mismatch: {logits.shape} vs {targets.shape}")
+        if ((targets < 0.0) | (targets > 1.0)).any():
+            raise ValueError("targets must lie in [0, 1]")
+        self._logits, self._targets = logits, targets
+        # log(1 + exp(-|z|)) formulation avoids overflow for large |z|.
+        losses = np.maximum(logits, 0.0) - logits * targets + np.log1p(np.exp(-np.abs(logits)))
+        return float(losses.mean())
+
+    def backward(self) -> np.ndarray:
+        """Gradient of the mean loss w.r.t. the logits: (sigmoid(z) - y)/n."""
+        if self._logits is None or self._targets is None:
+            raise RuntimeError("backward called before forward")
+        probabilities = 1.0 / (1.0 + np.exp(-np.clip(self._logits, -60.0, 60.0)))
+        return (probabilities - self._targets) / self._logits.shape[0]
+
+    def __call__(self, logits: np.ndarray, targets: np.ndarray) -> float:
+        return self.forward(logits, targets)
+
+
+class SampledSoftmaxLoss:
+    """Sampled-softmax over (user, positive item, sampled negatives).
+
+    ``forward`` takes the user embeddings ``(batch, dim)`` and the item
+    embeddings of the candidates ``(batch, 1 + negatives, dim)`` where
+    column 0 is the positive item.  Scores are inner products scaled by a
+    temperature; the loss is cross-entropy against class 0.
+
+    ``backward`` returns ``(grad_users, grad_items)``.
+    """
+
+    def __init__(self, temperature: float = 1.0):
+        if temperature <= 0.0:
+            raise ValueError("temperature must be positive")
+        self.temperature = temperature
+        self._users: Optional[np.ndarray] = None
+        self._items: Optional[np.ndarray] = None
+        self._probabilities: Optional[np.ndarray] = None
+
+    def forward(self, users: np.ndarray, items: np.ndarray) -> float:
+        users = np.asarray(users, dtype=np.float64)
+        items = np.asarray(items, dtype=np.float64)
+        if users.ndim != 2 or items.ndim != 3 or items.shape[0] != users.shape[0]:
+            raise ValueError("expected users (b, d) and items (b, k, d)")
+        if items.shape[2] != users.shape[1]:
+            raise ValueError("embedding dimensions of users and items differ")
+        scores = np.einsum("bd,bkd->bk", users, items) / self.temperature
+        scores = scores - scores.max(axis=1, keepdims=True)
+        exp_scores = np.exp(scores)
+        probabilities = exp_scores / exp_scores.sum(axis=1, keepdims=True)
+        self._users, self._items, self._probabilities = users, items, probabilities
+        # Cross-entropy against class 0 (the positive item).
+        return float(-np.log(probabilities[:, 0] + 1e-12).mean())
+
+    def backward(self) -> Tuple[np.ndarray, np.ndarray]:
+        if self._probabilities is None or self._users is None or self._items is None:
+            raise RuntimeError("backward called before forward")
+        batch = self._users.shape[0]
+        grad_scores = self._probabilities.copy()
+        grad_scores[:, 0] -= 1.0
+        grad_scores /= batch * self.temperature
+        grad_users = np.einsum("bk,bkd->bd", grad_scores, self._items)
+        grad_items = np.einsum("bk,bd->bkd", grad_scores, self._users)
+        return grad_users, grad_items
+
+    def __call__(self, users: np.ndarray, items: np.ndarray) -> float:
+        return self.forward(users, items)

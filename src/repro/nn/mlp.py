@@ -1,0 +1,81 @@
+"""MLP builder matching the paper's Table I layer-size notation.
+
+Table I specifies DNN stacks as dash-separated widths: the YouTubeDNN
+filtering tower is "128-64-32", its ranking net "128-1", DLRM's bottom MLP
+"256-128-32" and top MLP "256-64-1".  :func:`build_mlp` turns such a spec
+into a :class:`~repro.nn.module.Sequential` of Linear + ReLU layers with a
+configurable head.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.nn.layers import L2Normalize, Linear, ReLU, Sigmoid
+from repro.nn.module import Module, Sequential
+
+__all__ = ["build_mlp", "parse_layer_spec", "mlp_flops"]
+
+
+def parse_layer_spec(spec: Union[str, Sequence[int]]) -> List[int]:
+    """Parse "128-64-32" (or a list of ints) into layer widths."""
+    if isinstance(spec, str):
+        try:
+            widths = [int(part) for part in spec.split("-")]
+        except ValueError as error:
+            raise ValueError(f"malformed layer spec {spec!r}") from error
+    else:
+        widths = [int(width) for width in spec]
+    if not widths or any(width < 1 for width in widths):
+        raise ValueError(f"layer widths must be positive, got {widths}")
+    return widths
+
+
+def build_mlp(
+    input_dim: int,
+    spec: Union[str, Sequence[int]],
+    head: str = "none",
+    rng: Optional[np.random.Generator] = None,
+) -> Sequential:
+    """Build an MLP: Linear(+ReLU) per hidden width, then an optional head.
+
+    Parameters
+    ----------
+    input_dim:
+        Width of the input activation.
+    spec:
+        Table-I style width list; the last width is the output size.
+    head:
+        ``"none"`` (linear output), ``"sigmoid"`` (CTR probability) or
+        ``"l2norm"`` (normalised user embedding, YouTubeDNN filtering).
+    """
+    widths = parse_layer_spec(spec)
+    generator = rng or np.random.default_rng(0)
+    layers: List[Module] = []
+    previous = input_dim
+    for position, width in enumerate(widths):
+        layers.append(Linear(previous, width, rng=generator))
+        is_last = position == len(widths) - 1
+        if not is_last:
+            layers.append(ReLU())
+        previous = width
+    if head == "sigmoid":
+        layers.append(Sigmoid())
+    elif head == "l2norm":
+        layers.append(L2Normalize())
+    elif head != "none":
+        raise ValueError(f"unknown head {head!r} (expected none/sigmoid/l2norm)")
+    return Sequential(layers)
+
+
+def mlp_flops(input_dim: int, spec: Union[str, Sequence[int]]) -> int:
+    """Multiply-accumulate count of one forward pass (used by the GPU model)."""
+    widths = parse_layer_spec(spec)
+    total = 0
+    previous = input_dim
+    for width in widths:
+        total += 2 * previous * width  # multiply + add per weight
+        previous = width
+    return total

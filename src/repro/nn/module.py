@@ -1,0 +1,146 @@
+"""Minimal NumPy neural-network module system.
+
+The paper trains/serves two small RecSys models (YouTubeDNN and DLRM) whose
+DNN stacks are 2-3 layer MLPs.  With no deep-learning framework available
+offline, this package implements the required subset from scratch: modules
+with explicit ``forward``/``backward`` passes, trainable
+:class:`Parameter` objects, and containers.
+
+Conventions
+-----------
+* Activations are ``(batch, features)`` float64 arrays.
+* ``forward`` caches whatever ``backward`` needs; ``backward`` receives the
+  gradient of the loss w.r.t. the module output and returns the gradient
+  w.r.t. the module input, accumulating parameter gradients in
+  ``Parameter.grad``.
+* Gradient correctness is enforced by finite-difference tests in
+  ``tests/nn/test_gradients.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Sequence
+
+import numpy as np
+
+__all__ = ["Parameter", "Module", "Sequential"]
+
+
+class Parameter:
+    """A trainable tensor with an accumulated gradient."""
+
+    def __init__(self, data: np.ndarray, name: str = "param"):
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad = np.zeros_like(self.data)
+        self.name = name
+
+    @property
+    def shape(self):
+        return self.data.shape
+
+    def zero_grad(self) -> None:
+        self.grad[...] = 0.0
+
+    def __repr__(self) -> str:
+        return f"Parameter(name={self.name!r}, shape={self.data.shape})"
+
+
+class Module:
+    """Base class: tracks child modules and parameters automatically."""
+
+    def __init__(self) -> None:
+        self._parameters: Dict[str, Parameter] = {}
+        self._modules: Dict[str, "Module"] = {}
+        self.training = True
+
+    # -- registration (mirrors the torch idiom, via attribute assignment) ----
+    def __setattr__(self, key: str, value) -> None:
+        if isinstance(value, Parameter):
+            self.__dict__.setdefault("_parameters", {})[key] = value
+        elif isinstance(value, Module):
+            self.__dict__.setdefault("_modules", {})[key] = value
+        object.__setattr__(self, key, value)
+
+    def parameters(self) -> List[Parameter]:
+        """All parameters of this module and its children, depth-first."""
+        found: List[Parameter] = list(self._parameters.values())
+        for child in self._modules.values():
+            found.extend(child.parameters())
+        return found
+
+    def named_parameters(self, prefix: str = "") -> Iterator:
+        for name, parameter in self._parameters.items():
+            yield (f"{prefix}{name}", parameter)
+        for child_name, child in self._modules.items():
+            yield from child.named_parameters(prefix=f"{prefix}{child_name}.")
+
+    def zero_grad(self) -> None:
+        for parameter in self.parameters():
+            parameter.zero_grad()
+
+    def train(self) -> "Module":
+        self.training = True
+        for child in self._modules.values():
+            child.train()
+        return self
+
+    def eval(self) -> "Module":
+        self.training = False
+        for child in self._modules.values():
+            child.eval()
+        return self
+
+    # -- compute ---------------------------------------------------------------
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def __call__(self, inputs: np.ndarray) -> np.ndarray:
+        return self.forward(inputs)
+
+    # -- (de)serialisation -------------------------------------------------------
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        return {name: parameter.data.copy() for name, parameter in self.named_parameters()}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        if missing:
+            raise KeyError(f"state dict missing parameters: {sorted(missing)}")
+        for name, parameter in own.items():
+            value = np.asarray(state[name], dtype=np.float64)
+            if value.shape != parameter.data.shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: expected {parameter.data.shape}, got {value.shape}"
+                )
+            parameter.data = value.copy()
+
+
+class Sequential(Module):
+    """Chain of modules applied in order."""
+
+    def __init__(self, layers: Sequence[Module]):
+        super().__init__()
+        self.layers: List[Module] = list(layers)
+        for index, layer in enumerate(self.layers):
+            self._modules[f"layer{index}"] = layer
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        activation = inputs
+        for layer in self.layers:
+            activation = layer(activation)
+        return activation
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        grad = grad_output
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __getitem__(self, index: int) -> Module:
+        return self.layers[index]

@@ -1,0 +1,112 @@
+"""Optimisers for the NumPy module system: SGD (with momentum) and Adam."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.nn.module import Parameter
+
+__all__ = ["SGD", "Adam"]
+
+
+class _Optimizer:
+    """Shared bookkeeping: parameter list, zero_grad, step interface."""
+
+    def __init__(self, parameters: Sequence[Parameter], lr: float):
+        if lr <= 0.0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.parameters: List[Parameter] = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer needs at least one parameter")
+        self.lr = lr
+
+    def zero_grad(self) -> None:
+        for parameter in self.parameters:
+            parameter.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+class SGD(_Optimizer):
+    """Stochastic gradient descent with optional momentum and weight decay."""
+
+    def __init__(
+        self,
+        parameters: Sequence[Parameter],
+        lr: float = 0.01,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(parameters, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        if weight_decay < 0.0:
+            raise ValueError("weight decay must be non-negative")
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity: Dict[int, np.ndarray] = {}
+
+    def step(self) -> None:
+        for parameter in self.parameters:
+            gradient = parameter.grad
+            if self.weight_decay > 0.0:
+                gradient = gradient + self.weight_decay * parameter.data
+            if self.momentum > 0.0:
+                key = id(parameter)
+                velocity = self._velocity.get(key)
+                if velocity is None:
+                    velocity = np.zeros_like(parameter.data)
+                velocity = self.momentum * velocity + gradient
+                self._velocity[key] = velocity
+                gradient = velocity
+            parameter.data -= self.lr * gradient
+
+
+class Adam(_Optimizer):
+    """Adam (Kingma & Ba) with bias correction."""
+
+    def __init__(
+        self,
+        parameters: Sequence[Parameter],
+        lr: float = 0.001,
+        betas: tuple = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(parameters, lr)
+        beta1, beta2 = betas
+        if not (0.0 <= beta1 < 1.0 and 0.0 <= beta2 < 1.0):
+            raise ValueError(f"betas must be in [0, 1), got {betas}")
+        if eps <= 0.0:
+            raise ValueError("eps must be positive")
+        self.beta1, self.beta2 = beta1, beta2
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._step_count = 0
+        self._first_moment: Dict[int, np.ndarray] = {}
+        self._second_moment: Dict[int, np.ndarray] = {}
+
+    def step(self) -> None:
+        self._step_count += 1
+        bias1 = 1.0 - self.beta1 ** self._step_count
+        bias2 = 1.0 - self.beta2 ** self._step_count
+        for parameter in self.parameters:
+            gradient = parameter.grad
+            if self.weight_decay > 0.0:
+                gradient = gradient + self.weight_decay * parameter.data
+            key = id(parameter)
+            first = self._first_moment.get(key)
+            second = self._second_moment.get(key)
+            if first is None:
+                first = np.zeros_like(parameter.data)
+                second = np.zeros_like(parameter.data)
+            first = self.beta1 * first + (1.0 - self.beta1) * gradient
+            second = self.beta2 * second + (1.0 - self.beta2) * gradient * gradient
+            self._first_moment[key] = first
+            self._second_moment[key] = second
+            corrected_first = first / bias1
+            corrected_second = second / bias2
+            parameter.data -= self.lr * corrected_first / (np.sqrt(corrected_second) + self.eps)

@@ -1,0 +1,25 @@
+"""Nearest-neighbour search: exact (FAISS-flat substitute), LSH, fixed radius."""
+
+from repro.nns.exact import (
+    cosine_similarities,
+    cosine_topk,
+    inner_product_topk,
+    topk_indices,
+)
+from repro.nns.lsh_search import LSHHammingIndex
+from repro.nns.fixed_radius import (
+    calibrate_population_radius,
+    cap_candidates,
+    fixed_radius_candidates,
+)
+
+__all__ = [
+    "cosine_similarities",
+    "cosine_topk",
+    "inner_product_topk",
+    "topk_indices",
+    "LSHHammingIndex",
+    "calibrate_population_radius",
+    "cap_candidates",
+    "fixed_radius_candidates",
+]

@@ -1,0 +1,76 @@
+"""Fixed-radius near-neighbour selection policies.
+
+iMARS replaces the filtering stage's top-k candidate selection with "a
+fixed-radius near neighbor search instead of top-k search" (Sec. III-B)
+because the TCAM threshold match returns *all* rows within a Hamming radius
+in one array operation.  The radius plays the role the candidate count k
+plays in the baseline; these helpers calibrate a population-level radius so
+that the *average* candidate count matches a target, and clamp per-query
+candidate sets for the ranking stage.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["calibrate_population_radius", "fixed_radius_candidates", "cap_candidates"]
+
+
+def calibrate_population_radius(
+    distance_rows: Sequence[np.ndarray],
+    target_mean_candidates: float,
+    max_radius: int,
+) -> int:
+    """Radius whose mean candidate count best matches the target.
+
+    Parameters
+    ----------
+    distance_rows:
+        One Hamming-distance vector per calibration query.
+    target_mean_candidates:
+        Desired average candidate-set size (the paper's O(100)).
+    max_radius:
+        Upper bound (the signature length).
+    """
+    if target_mean_candidates <= 0.0:
+        raise ValueError("target candidate count must be positive")
+    if max_radius < 0:
+        raise ValueError("max radius must be non-negative")
+    rows = [np.asarray(row, dtype=np.int64) for row in distance_rows]
+    if not rows:
+        raise ValueError("need at least one calibration query")
+    best_radius, best_gap = 0, float("inf")
+    for radius in range(max_radius + 1):
+        mean_count = float(np.mean([(row <= radius).sum() for row in rows]))
+        gap = abs(mean_count - target_mean_candidates)
+        if gap < best_gap:
+            best_radius, best_gap = radius, gap
+        if mean_count >= target_mean_candidates and gap > best_gap:
+            break  # counts grow monotonically; past the target the gap only grows
+    return best_radius
+
+
+def fixed_radius_candidates(distances: np.ndarray, radius: int) -> np.ndarray:
+    """Indices within *radius*, in ascending index (priority-encoder) order."""
+    if radius < 0:
+        raise ValueError(f"radius must be non-negative, got {radius}")
+    return np.flatnonzero(np.asarray(distances, dtype=np.int64) <= radius)
+
+
+def cap_candidates(candidates: np.ndarray, distances: np.ndarray, cap: int) -> np.ndarray:
+    """Keep at most *cap* candidates, preferring smaller distances.
+
+    The item buffer has finite capacity; when the threshold match returns
+    more rows than the buffer holds, the closest candidates are retained
+    (realised in hardware by stepping the reference current down).
+    """
+    if cap < 1:
+        raise ValueError(f"cap must be >= 1, got {cap}")
+    chosen = np.asarray(candidates, dtype=np.int64)
+    if chosen.shape[0] <= cap:
+        return chosen
+    all_distances = np.asarray(distances, dtype=np.int64)
+    order = np.argsort(all_distances[chosen], kind="stable")
+    return np.sort(chosen[order[:cap]])

@@ -1,0 +1,87 @@
+"""LSH-Hamming nearest-neighbour search index.
+
+This is the software-reference version of what iMARS executes in hardware:
+item embeddings are hashed once to LSH signatures (stored alongside the
+ItET rows, Sec. III-B); a query embedding is hashed and compared by Hamming
+distance.  Both the top-k and the fixed-radius ("threshold match") query
+styles are provided; iMARS uses the latter because it maps directly onto
+the TCAM threshold-match mode.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.lsh.hyperplane import RandomHyperplaneLSH
+from repro.lsh.hamming import pairwise_hamming
+from repro.nns.exact import topk_indices
+
+__all__ = ["LSHHammingIndex"]
+
+
+class LSHHammingIndex:
+    """An immutable LSH index over a fixed item-embedding matrix."""
+
+    def __init__(
+        self,
+        item_embeddings: np.ndarray,
+        signature_bits: int = 256,
+        seed: int = 0,
+        hasher: Optional[RandomHyperplaneLSH] = None,
+    ):
+        items = np.asarray(item_embeddings, dtype=np.float64)
+        if items.ndim != 2 or items.shape[0] < 1:
+            raise ValueError(f"item embeddings must be a non-empty 2-D matrix, got {items.shape}")
+        self.num_items, self.dim = items.shape
+        self.hasher = hasher or RandomHyperplaneLSH(self.dim, signature_bits, seed=seed)
+        if self.hasher.input_dim != self.dim:
+            raise ValueError("hasher input dimension does not match item embeddings")
+        self.signature_bits = self.hasher.signature_bits
+        self._item_signatures = self.hasher.signatures(items)
+
+    @property
+    def item_signatures(self) -> np.ndarray:
+        """The stored (n, bits) signature matrix (what the ItET rows hold)."""
+        return self._item_signatures.copy()
+
+    def query_signature(self, query_embedding: np.ndarray) -> np.ndarray:
+        """Hash a query embedding to its signature."""
+        return self.hasher.signature(query_embedding)
+
+    def distances(self, query_embedding: np.ndarray) -> np.ndarray:
+        """Hamming distances from the hashed query to every stored item."""
+        signature = self.query_signature(query_embedding)
+        return pairwise_hamming(signature, self._item_signatures)
+
+    def search_topk(self, query_embedding: np.ndarray, k: int) -> Tuple[np.ndarray, np.ndarray]:
+        """k items with the smallest Hamming distance: (indices, distances)."""
+        distances = self.distances(query_embedding)
+        winners = topk_indices(-distances.astype(np.float64), k)
+        return winners, distances[winners]
+
+    def search_radius(self, query_embedding: np.ndarray, radius: int) -> np.ndarray:
+        """Fixed-radius search: indices with distance <= radius (ascending).
+
+        This matches the TCAM threshold-match semantics: all rows whose
+        mismatch count is within the programmed threshold flag
+        simultaneously; the priority encoder then drains them in row order.
+        """
+        if radius < 0:
+            raise ValueError(f"radius must be non-negative, got {radius}")
+        distances = self.distances(query_embedding)
+        return np.flatnonzero(distances <= radius)
+
+    def calibrate_radius(self, query_embedding: np.ndarray, target_count: int) -> int:
+        """Smallest radius returning at least *target_count* candidates.
+
+        The paper sets the dummy-cell reference so the filtering stage
+        yields O(100) candidates; this helper performs that calibration for
+        a given query (and the experiments calibrate on a validation set).
+        """
+        if target_count < 1:
+            raise ValueError("target count must be >= 1")
+        distances = np.sort(self.distances(query_embedding))
+        cutoff = min(target_count, distances.shape[0]) - 1
+        return int(distances[cutoff])

@@ -1,0 +1,17 @@
+"""Int8 quantisation of embedding tables (Sec. III-B)."""
+
+from repro.quant.int8 import (
+    QuantizedTensor,
+    dequantize,
+    quantization_error,
+    quantize_asymmetric,
+    quantize_symmetric,
+)
+
+__all__ = [
+    "QuantizedTensor",
+    "dequantize",
+    "quantization_error",
+    "quantize_asymmetric",
+    "quantize_symmetric",
+]

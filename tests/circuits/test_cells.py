@@ -1,0 +1,101 @@
+"""Tests for the TCAM / RAM / dummy-reference FeFET cell models."""
+
+import pytest
+
+from repro.circuits.cells import DummyReferenceCell, RAMCell, TCAMCell, TernaryValue
+
+
+class TestTernaryValue:
+    def test_from_bit(self):
+        assert TernaryValue.from_bit(0) is TernaryValue.ZERO
+        assert TernaryValue.from_bit(1) is TernaryValue.ONE
+
+    def test_from_invalid_bit(self):
+        with pytest.raises(ValueError):
+            TernaryValue.from_bit(3)
+
+
+class TestTCAMCell:
+    def test_stored_one_matches_query_one(self):
+        cell = TCAMCell()
+        cell.write(TernaryValue.ONE)
+        assert cell.matches(1)
+        assert not cell.matches(0)
+
+    def test_stored_zero_matches_query_zero(self):
+        cell = TCAMCell()
+        cell.write(TernaryValue.ZERO)
+        assert cell.matches(0)
+        assert not cell.matches(1)
+
+    def test_dont_care_matches_both(self):
+        cell = TCAMCell()
+        cell.write(TernaryValue.DONT_CARE)
+        assert cell.matches(0)
+        assert cell.matches(1)
+
+    def test_mismatch_draws_more_current_than_match(self):
+        cell = TCAMCell()
+        cell.write(TernaryValue.ONE)
+        match_current = cell.mismatch_current_ma(1)
+        mismatch_current = cell.mismatch_current_ma(0)
+        assert mismatch_current > match_current
+
+    def test_dont_care_draws_negligible_current(self):
+        cell = TCAMCell()
+        cell.write(TernaryValue.DONT_CARE)
+        reference = DummyReferenceCell().reference_current_ma(threshold_bits=0.0)
+        assert cell.mismatch_current_ma(0) < reference
+        assert cell.mismatch_current_ma(1) < reference
+
+    def test_invalid_query_bit_rejected(self):
+        with pytest.raises(ValueError):
+            TCAMCell().mismatch_current_ma(2)
+
+    def test_analog_row_distance_equals_digital_hamming(self):
+        """Summed cell currents, thresholded, recover the Hamming distance."""
+        stored = [1, 0, 1, 1, 0, 0, 1, 0]
+        query = [1, 1, 0, 1, 0, 1, 1, 1]
+        cells = []
+        for bit in stored:
+            cell = TCAMCell()
+            cell.write(TernaryValue.from_bit(bit))
+            cells.append(cell)
+        row_current = sum(cell.mismatch_current_ma(q) for cell, q in zip(cells, query))
+        unit = DummyReferenceCell().reference_current_ma(threshold_bits=0.0) * 2.0
+        analog_distance = round(row_current / unit)
+        digital_distance = sum(s != q for s, q in zip(stored, query))
+        assert analog_distance == digital_distance
+
+
+class TestRAMCell:
+    def test_roundtrip(self):
+        cell = RAMCell()
+        for bit in (1, 0, 1):
+            cell.write(bit)
+            assert cell.read() == bit
+
+    def test_one_conducts_more_than_zero(self):
+        cell = RAMCell()
+        cell.write(1)
+        on_current = cell.read_current_ma()
+        cell.write(0)
+        off_current = cell.read_current_ma()
+        assert on_current > off_current
+
+
+class TestDummyReferenceCell:
+    def test_reference_scales_with_threshold(self):
+        dummy = DummyReferenceCell()
+        assert dummy.reference_current_ma(4.0) > dummy.reference_current_ma(1.0)
+
+    def test_half_bit_margin(self):
+        """Threshold t sits between t and t+1 mismatching cells."""
+        dummy = DummyReferenceCell()
+        unit = dummy.reference_current_ma(0.0) * 2.0  # one cell's current
+        reference = dummy.reference_current_ma(threshold_bits=2.0)
+        assert 2.0 * unit < reference < 3.0 * unit
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            DummyReferenceCell().reference_current_ma(-1.0)

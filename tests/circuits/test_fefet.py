@@ -1,0 +1,111 @@
+"""Tests for the Preisach FeFET device model."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.fefet import FeFET, FeFETParams, memory_window
+
+
+class TestParams:
+    def test_defaults_valid(self):
+        FeFETParams()
+
+    def test_negative_ps_rejected(self):
+        with pytest.raises(ValueError):
+            FeFETParams(ps_uc_cm2=-1.0)
+
+    def test_pr_above_ps_rejected(self):
+        with pytest.raises(ValueError):
+            FeFETParams(ps_uc_cm2=10.0, pr_uc_cm2=20.0)
+
+    def test_nonpositive_coercive_rejected(self):
+        with pytest.raises(ValueError):
+            FeFETParams(vc_v=0.0)
+
+
+class TestHysteresis:
+    def test_initial_state_is_erased(self):
+        device = FeFET()
+        assert device.stored_bit == 0
+        assert device.polarisation_uc_cm2 < 0.0
+
+    def test_program_flips_polarisation_positive(self):
+        device = FeFET()
+        device.program()
+        assert device.polarisation_uc_cm2 > 0.0
+        assert device.stored_bit == 1
+
+    def test_erase_after_program_restores_zero(self):
+        device = FeFET()
+        device.program()
+        device.erase()
+        assert device.stored_bit == 0
+
+    def test_write_bit_roundtrip(self):
+        device = FeFET()
+        for bit in (1, 0, 1, 1, 0):
+            device.write_bit(bit)
+            assert device.stored_bit == bit
+
+    def test_write_invalid_bit_rejected(self):
+        with pytest.raises(ValueError):
+            FeFET().write_bit(2)
+
+    def test_sub_coercive_pulse_barely_moves_state(self):
+        device = FeFET()
+        device.erase()
+        before = device.polarisation_uc_cm2
+        device.apply_pulse(0.1)  # well below Vc = 1 V
+        after = device.polarisation_uc_cm2
+        assert abs(after - before) < 0.1 * device.params.ps_uc_cm2
+
+    def test_saturating_pulse_reaches_near_ps(self):
+        device = FeFET()
+        device.apply_pulse(5.0)
+        assert device.polarisation_uc_cm2 > 0.95 * device.params.ps_uc_cm2
+
+    def test_hysteresis_is_history_dependent(self):
+        # Ascending to +2V from erased vs from programmed must differ.
+        from_erased = FeFET()
+        from_erased.apply_pulse(1.2)
+        from_programmed = FeFET()
+        from_programmed.program()
+        from_programmed.apply_pulse(1.2)
+        assert from_programmed.polarisation_uc_cm2 > from_erased.polarisation_uc_cm2
+
+    def test_polarisation_monotone_under_increasing_pulses(self):
+        device = FeFET()
+        values = []
+        for amplitude in np.linspace(0.0, 4.0, 9):
+            device.apply_pulse(float(amplitude))
+            values.append(device.polarisation_uc_cm2)
+        assert all(b >= a - 1e-12 for a, b in zip(values, values[1:]))
+
+
+class TestSensing:
+    def test_programmed_device_conducts_more(self):
+        device = FeFET()
+        device.erase()
+        off_current = device.read_current_ma()
+        device.program()
+        on_current = device.read_current_ma()
+        assert on_current > off_current
+
+    def test_below_threshold_cuts_off(self):
+        device = FeFET()
+        device.erase()  # high VT
+        assert device.read_current_ma(vgs_v=0.2) == 0.0
+
+    def test_memory_window_positive_and_near_spec(self):
+        window = memory_window()
+        params = FeFETParams()
+        assert window > 0.0
+        assert window == pytest.approx(params.window_v, rel=0.15)
+
+    def test_vth_variation_applied(self):
+        params = FeFETParams(vth_sigma_v=0.1)
+        rng_a = np.random.default_rng(1)
+        rng_b = np.random.default_rng(2)
+        first = FeFET(params, rng=rng_a)
+        second = FeFET(params, rng=rng_b)
+        assert first.vth_v != second.vth_v

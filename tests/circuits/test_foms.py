@@ -1,0 +1,70 @@
+"""Tests for the Table II FoM registry and derivation."""
+
+import pytest
+
+from repro.circuits.foms import (
+    TABLE_II,
+    ArrayFoMs,
+    derive_foms,
+    intra_bank_tree,
+    intra_mat_tree,
+)
+from repro.energy.accounting import Cost
+
+
+class TestRegistry:
+    def test_pinned_values_match_table_ii(self):
+        assert TABLE_II.cma_write == Cost(49.1, 10.0)
+        assert TABLE_II.cma_read == Cost(3.2, 0.3)
+        assert TABLE_II.cma_add == Cost(108.0, 8.1)
+        assert TABLE_II.cma_search == Cost(13.8, 0.2)
+        assert TABLE_II.intra_mat_add == Cost(137.0, 14.7)
+        assert TABLE_II.intra_bank_add == Cost(956.0, 44.2)
+        assert TABLE_II.crossbar_matmul == Cost(13.8, 225.0)
+
+    def test_as_table_has_all_seven_rows(self):
+        assert len(TABLE_II.as_table()) == 7
+
+    def test_with_overrides_replaces_selected(self):
+        modified = TABLE_II.with_overrides(cma_read=Cost(1.0, 1.0))
+        assert modified.cma_read == Cost(1.0, 1.0)
+        assert modified.cma_write == TABLE_II.cma_write
+
+    def test_search_is_fastest_operation(self):
+        """O(1) parallel search is the cheapest-latency CMA op (Table II)."""
+        table = TABLE_II
+        assert table.cma_search.latency_ns < table.cma_read.latency_ns
+        assert table.cma_read.latency_ns < table.cma_add.latency_ns
+        assert table.cma_add.latency_ns < table.cma_write.latency_ns
+
+
+class TestDerivation:
+    def test_default_derivation_close_to_published(self):
+        derived = derive_foms()
+        assert derived.intra_mat_add.energy_pj == pytest.approx(137.0, rel=0.03)
+        assert derived.intra_mat_add.latency_ns == pytest.approx(14.7, rel=0.03)
+        assert derived.intra_bank_add.energy_pj == pytest.approx(956.0, rel=0.03)
+        assert derived.intra_bank_add.latency_ns == pytest.approx(44.2, rel=0.03)
+
+    def test_derivation_preserves_cma_rows(self):
+        derived = derive_foms()
+        assert derived.cma_read == TABLE_II.cma_read
+        assert derived.crossbar_matmul == TABLE_II.crossbar_matmul
+
+    def test_larger_intra_mat_fan_in_is_slower(self):
+        small = derive_foms(intra_mat_fan_in=8)
+        large = derive_foms(intra_mat_fan_in=64)
+        assert large.intra_mat_add.latency_ns > small.intra_mat_add.latency_ns
+
+    def test_intra_mat_tree_span_scales_with_fan_in(self):
+        assert intra_mat_tree(64).span_mm == pytest.approx(0.8)
+        assert intra_mat_tree(16).span_mm == pytest.approx(0.2)
+
+    def test_intra_bank_tree_span_fixed(self):
+        assert intra_bank_tree(2).span_mm == intra_bank_tree(16).span_mm
+
+    def test_invalid_fan_ins_rejected(self):
+        with pytest.raises(ValueError):
+            intra_mat_tree(1)
+        with pytest.raises(ValueError):
+            intra_bank_tree(0)

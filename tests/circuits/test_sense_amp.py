@@ -1,0 +1,66 @@
+"""Tests for the CAM / RAM sense amplifiers and the priority encoder."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.sense_amp import CAMSenseAmp, PriorityEncoder, RAMSenseAmp
+
+
+class TestCAMSenseAmp:
+    def test_current_below_reference_is_match(self):
+        amp = CAMSenseAmp()
+        assert amp.decide(mismatch_current_ma=0.1, reference_current_ma=0.5)
+
+    def test_current_above_reference_is_mismatch(self):
+        amp = CAMSenseAmp()
+        assert not amp.decide(mismatch_current_ma=0.9, reference_current_ma=0.5)
+
+    def test_negative_reference_rejected(self):
+        with pytest.raises(ValueError):
+            CAMSenseAmp().decide(0.1, -0.5)
+
+    def test_vectorised_rows(self):
+        amp = CAMSenseAmp()
+        flags = amp.decide_rows([0.1, 0.9, 0.3], reference_current_ma=0.5)
+        assert flags.tolist() == [True, False, True]
+
+
+class TestRAMSenseAmp:
+    def test_single_reference_binary_decision(self):
+        amp = RAMSenseAmp()
+        assert amp.sense_bit(amp.reference_low_ma * 2.0) == 1
+        assert amp.sense_bit(amp.reference_low_ma * 0.5) == 0
+
+    def test_dual_reference_counts_cells(self):
+        amp = RAMSenseAmp()
+        assert amp.sense_dual(0.0) == 0
+        assert amp.sense_dual(0.05) == 1
+        assert amp.sense_dual(0.1) == 2
+
+    def test_dual_sense_implements_boolean_logic(self):
+        """count==2 is AND, count>=1 is OR, count==1 is XOR."""
+        amp = RAMSenseAmp()
+        cell_on = 0.05  # one conducting cell's current
+        for a in (0, 1):
+            for b in (0, 1):
+                count = amp.sense_dual(cell_on * (a + b))
+                assert (count == 2) == bool(a and b)
+                assert (count >= 1) == bool(a or b)
+                assert (count == 1) == bool(a ^ b)
+
+
+class TestPriorityEncoder:
+    def test_encodes_ascending_indices(self):
+        encoder = PriorityEncoder()
+        assert encoder.encode([False, True, False, True]) == [1, 3]
+
+    def test_first_returns_lowest_index(self):
+        encoder = PriorityEncoder()
+        assert encoder.first([False, False, True, True]) == 2
+
+    def test_first_with_no_match(self):
+        assert PriorityEncoder().first([False, False]) == -1
+
+    def test_accepts_numpy_flags(self):
+        flags = np.array([True, False, True])
+        assert PriorityEncoder().encode(flags) == [0, 2]

@@ -1,0 +1,90 @@
+"""Tests for the adder-tree / serial-bus synthesis estimator."""
+
+import pytest
+
+from repro.circuits.synthesis import AdderTreeSynthesis, SerialBusSynthesis
+
+
+class TestAdderTreeStructure:
+    def test_fan_in_f_needs_f_minus_1_adders(self):
+        tree = AdderTreeSynthesis(fan_in=8)
+        assert tree.num_adders == 7
+
+    def test_balanced_depth(self):
+        assert AdderTreeSynthesis(fan_in=2).num_levels == 1
+        assert AdderTreeSynthesis(fan_in=4).num_levels == 2
+        assert AdderTreeSynthesis(fan_in=32).num_levels == 5
+        assert AdderTreeSynthesis(fan_in=33).num_levels == 6
+
+    def test_fan_in_below_two_rejected(self):
+        with pytest.raises(ValueError):
+            AdderTreeSynthesis(fan_in=1)
+
+    def test_negative_span_rejected(self):
+        with pytest.raises(ValueError):
+            AdderTreeSynthesis(fan_in=4, span_mm=-1.0)
+
+    def test_area_scales_with_fan_in_and_width(self):
+        small = AdderTreeSynthesis(fan_in=4, width_bits=64)
+        large = AdderTreeSynthesis(fan_in=8, width_bits=256)
+        assert large.area_fa_equivalents() > small.area_fa_equivalents()
+
+
+class TestCalibratedDesignPoints:
+    """The estimator is fitted to land on the paper's two Table II trees."""
+
+    def test_intra_mat_point(self):
+        tree = AdderTreeSynthesis(fan_in=32, width_bits=256, span_mm=0.4)
+        cost = tree.add_cost()
+        assert cost.energy_pj == pytest.approx(137.0, rel=0.03)
+        assert cost.latency_ns == pytest.approx(14.7, rel=0.03)
+
+    def test_intra_bank_point(self):
+        tree = AdderTreeSynthesis(fan_in=4, width_bits=256, span_mm=4.4)
+        cost = tree.add_cost()
+        assert cost.energy_pj == pytest.approx(956.0, rel=0.03)
+        assert cost.latency_ns == pytest.approx(44.2, rel=0.03)
+
+    def test_wire_span_dominates_bank_tree(self):
+        """The fan-in-4 bank tree is slower than the fan-in-32 mat tree
+        purely because of its physical span -- the paper's counterintuitive
+        Table II ordering."""
+        short_span = AdderTreeSynthesis(fan_in=4, width_bits=256, span_mm=0.4)
+        long_span = AdderTreeSynthesis(fan_in=4, width_bits=256, span_mm=4.4)
+        assert long_span.add_cost().latency_ns > short_span.add_cost().latency_ns
+        mat_tree = AdderTreeSynthesis(fan_in=32, width_bits=256, span_mm=0.4)
+        assert long_span.add_cost().latency_ns > mat_tree.add_cost().latency_ns
+
+
+class TestSerialBus:
+    def test_beats_round_up(self):
+        bus = SerialBusSynthesis(width_bits=256)
+        assert bus.beats_for(256) == 1
+        assert bus.beats_for(257) == 2
+        assert bus.beats_for(0) == 0
+
+    def test_zero_payload_is_free(self):
+        bus = SerialBusSynthesis(width_bits=256)
+        cost = bus.transfer_cost(0)
+        assert cost.energy_pj == 0.0
+        assert cost.latency_ns == 0.0
+
+    def test_narrow_bus_serialises(self):
+        narrow = SerialBusSynthesis(width_bits=64)
+        wide = SerialBusSynthesis(width_bits=512)
+        payload = 1024
+        assert narrow.transfer_cost(payload).latency_ns > wide.transfer_cost(payload).latency_ns
+
+    def test_energy_scales_with_payload_not_width(self):
+        bus = SerialBusSynthesis(width_bits=128)
+        assert bus.transfer_cost(2048).energy_pj == pytest.approx(
+            2.0 * bus.transfer_cost(1024).energy_pj
+        )
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ValueError):
+            SerialBusSynthesis(width_bits=0)
+
+    def test_negative_payload_rejected(self):
+        with pytest.raises(ValueError):
+            SerialBusSynthesis(width_bits=64).beats_for(-1)

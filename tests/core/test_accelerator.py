@@ -1,0 +1,172 @@
+"""Tests for the iMARS analytic cost model."""
+
+import pytest
+
+from repro.core.accelerator import IMARSCostModel
+from repro.core.calibration import ZERO_PERIPHERAL
+from repro.core.mapping import FILTERING, RANKING, WorkloadMapping
+from repro.data.criteo import criteo_table_specs
+from repro.data.movielens import movielens_table_specs
+from repro.energy.accounting import Ledger
+
+
+def _ml_model(**kwargs):
+    return IMARSCostModel(WorkloadMapping(movielens_table_specs()), **kwargs)
+
+
+def _ck_model(**kwargs):
+    return IMARSCostModel(WorkloadMapping(criteo_table_specs()), **kwargs)
+
+
+class TestETOperation:
+    def test_movielens_filtering_latency_near_published(self):
+        cost = _ml_model().et_operation(FILTERING)
+        assert cost.latency_us == pytest.approx(0.21, rel=0.10)
+
+    def test_criteo_latency_near_published(self):
+        cost = _ck_model().et_operation(RANKING)
+        assert cost.latency_us == pytest.approx(0.24, rel=0.05)
+
+    def test_criteo_slower_than_movielens(self):
+        """More banks -> longer RSC serialisation (the Table III ordering)."""
+        ml = _ml_model().et_operation(FILTERING)
+        ck = _ck_model().et_operation(RANKING)
+        assert ck.latency_ns > ml.latency_ns
+
+    def test_latency_independent_of_peripheral(self):
+        fitted = _ml_model().et_operation(FILTERING)
+        dynamic = _ml_model(peripheral=ZERO_PERIPHERAL).et_operation(FILTERING)
+        assert fitted.latency_ns == pytest.approx(dynamic.latency_ns)
+        assert fitted.energy_pj > dynamic.energy_pj
+
+    def test_pooling_factor_drives_latency(self):
+        shallow = _ml_model(worst_case_pooling=2).et_operation(FILTERING)
+        deep = _ml_model(worst_case_pooling=20).et_operation(FILTERING)
+        assert deep.latency_ns > shallow.latency_ns
+
+    def test_ledger_records_category(self):
+        ledger = Ledger()
+        _ml_model().et_operation(FILTERING, ledger=ledger)
+        assert "ET Lookup" in ledger.categories()
+
+    def test_invalid_pooling_rejected(self):
+        with pytest.raises(ValueError):
+            IMARSCostModel(
+                WorkloadMapping(movielens_table_specs()), worst_case_pooling=0
+            )
+
+
+class TestNNSOperation:
+    def test_search_is_one_array_latency(self):
+        model = _ml_model()
+        cost = model.nns_operation()
+        assert cost.latency_ns == pytest.approx(0.2)
+
+    def test_search_energy_scales_with_signature_cmas(self):
+        model = _ml_model()
+        cost = model.nns_operation()
+        signature_cmas = model.mapping.itet().signature_cmas
+        foms = model.config.foms
+        assert cost.energy_pj == pytest.approx(
+            signature_cmas * foms.cma_search.energy_pj
+        )
+
+    def test_drain_adds_per_candidate_cost(self):
+        model = _ml_model()
+        bare = model.nns_operation()
+        drained = model.nns_operation(include_drain=True, num_candidates=50)
+        assert drained.latency_ns > bare.latency_ns
+        assert drained.energy_pj > bare.energy_pj
+
+    def test_nns_without_itet_rejected(self):
+        with pytest.raises(ValueError):
+            _ck_model().nns_operation()
+
+
+class TestDNNStack:
+    def test_single_tile_layers(self):
+        model = _ml_model()
+        cost = model.dnn_stack_cost(192, "128-64-32")
+        matmul = model.config.foms.crossbar_matmul
+        assert cost.latency_ns >= 3 * matmul.latency_ns
+
+    def test_row_tiles_add_latency(self):
+        model = _ml_model()
+        small = model.dnn_stack_cost(256, "64")
+        tall = model.dnn_stack_cost(512, "64")
+        assert tall.latency_ns > small.latency_ns
+
+    def test_lsh_projection_single_row_tile(self):
+        model = _ml_model()
+        cost = model.lsh_projection_cost()
+        matmul = model.config.foms.crossbar_matmul
+        assert cost.latency_ns == pytest.approx(matmul.latency_ns)
+        assert cost.energy_pj == pytest.approx(2 * matmul.energy_pj)  # 2 col tiles
+
+
+class TestComposedPipelines:
+    def test_end_to_end_dominated_by_ranking(self):
+        """Sec. IV-C3: per-candidate ranking dominates the query."""
+        model = _ml_model()
+        ledger = Ledger()
+        model.end_to_end(192, "128-64-32", 256, "128-1", num_candidates=72, ledger=ledger)
+        fractions = ledger.latency_breakdown()
+        assert fractions["Ranking"] > 0.8
+
+    def test_more_candidates_cost_more(self):
+        model = _ml_model()
+        few = model.end_to_end(192, "128-64-32", 256, "128-1", num_candidates=10)
+        many = model.end_to_end(192, "128-64-32", 256, "128-1", num_candidates=100)
+        assert many.latency_ns > few.latency_ns
+        assert many.energy_pj > few.energy_pj
+
+    def test_filtering_query_includes_all_steps(self):
+        model = _ml_model()
+        ledger = Ledger()
+        model.filtering_query(192, "128-64-32", num_candidates=72, ledger=ledger)
+        assert set(ledger.categories()) == {"ET Lookup", "DNN Stack", "NNS"}
+
+    def test_topk_cost_bounded_by_k(self):
+        model = _ml_model()
+        foms = model.config.foms
+        cost = model.topk_operation(100, k=10)
+        ceiling = 10 * (foms.cma_search.latency_ns + foms.cma_read.latency_ns)
+        assert cost.latency_ns <= ceiling + 1e-9
+
+    def test_invalid_candidate_count_rejected(self):
+        model = _ml_model()
+        with pytest.raises(ValueError):
+            model.filtering_query(192, "128-64-32", num_candidates=0)
+
+    def test_ranking_only_query_matches_criteo_protocol(self):
+        model = _ck_model()
+        ledger = Ledger()
+        cost = model.ranking_only_query(13, "256-128-32", ledger=ledger)
+        assert cost.latency_ns > 0
+        assert "ET Lookup" in ledger.categories()
+
+
+class TestCombineModes:
+    def test_add_charges_inter_bank_tree(self):
+        model = _ml_model(peripheral=ZERO_PERIPHERAL)
+        concat = model.et_operation(RANKING, combine="concat")
+        added = model.et_operation(RANKING, combine="add")
+        foms = model.config.foms
+        # 7 tables through a fan-in-4 tree: 2 rounds.
+        expected_extra = 2 * foms.intra_bank_add.latency_ns
+        assert added.latency_ns - concat.latency_ns == pytest.approx(expected_extra)
+
+    def test_concat_is_default(self):
+        model = _ml_model(peripheral=ZERO_PERIPHERAL)
+        assert model.et_operation(RANKING) == model.et_operation(
+            RANKING, combine="concat"
+        )
+
+    def test_invalid_combine_rejected(self):
+        with pytest.raises(ValueError):
+            _ml_model().et_operation(RANKING, combine="multiply")
+
+    def test_calibration_unaffected_by_add_mode(self):
+        """Table III anchors use concat; the fit must not drift."""
+        model = _ml_model()
+        assert model.et_operation(FILTERING).energy_uj == pytest.approx(0.40, rel=0.01)

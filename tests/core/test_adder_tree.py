@@ -1,0 +1,78 @@
+"""Tests for the near-memory adder trees."""
+
+import numpy as np
+import pytest
+
+from repro.core.adder_tree import AdderTree, reduction_rounds
+from repro.energy.accounting import Cost
+
+
+class TestReductionRounds:
+    def test_single_input_is_free(self):
+        assert reduction_rounds(1, 4) == 0
+        assert reduction_rounds(0, 4) == 0
+
+    def test_within_fan_in_one_round(self):
+        assert reduction_rounds(2, 4) == 1
+        assert reduction_rounds(4, 4) == 1
+
+    def test_paper_k_gt_4_needs_extra_rounds(self):
+        """Sec. III-A1: K > 4 mats need multiple intra-bank rounds."""
+        assert reduction_rounds(5, 4) == 2
+        assert reduction_rounds(7, 4) == 2
+        assert reduction_rounds(8, 4) == 3
+        assert reduction_rounds(10, 4) == 3
+
+    def test_binary_tree_rounds(self):
+        assert reduction_rounds(8, 2) == 7  # each round retires one input
+
+    def test_invalid_fan_in_rejected(self):
+        with pytest.raises(ValueError):
+            reduction_rounds(4, 1)
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            reduction_rounds(-1, 4)
+
+
+class TestAdderTree:
+    def test_exact_sum(self):
+        tree = AdderTree(fan_in=4, add_cost=Cost(1.0, 1.0))
+        words = [np.array([1, -2, 300]), np.array([4, 5, -6]), np.array([7, 8, 9])]
+        total, _ = tree.reduce(words)
+        np.testing.assert_array_equal(total, [12, 11, 303])
+
+    def test_single_input_costs_nothing(self):
+        tree = AdderTree(fan_in=4, add_cost=Cost(10.0, 10.0))
+        total, cost = tree.reduce([np.array([5, 5])])
+        assert cost.energy_pj == 0.0
+        np.testing.assert_array_equal(total, [5, 5])
+
+    def test_cost_matches_round_count(self):
+        tree = AdderTree(fan_in=4, add_cost=Cost(956.0, 44.2))
+        _, cost = tree.reduce([np.ones(2)] * 10)
+        assert cost.latency_ns == pytest.approx(3 * 44.2)
+        assert cost.energy_pj == pytest.approx(3 * 956.0)
+
+    def test_cost_for_agrees_with_reduce(self):
+        tree = AdderTree(fan_in=4, add_cost=Cost(2.0, 3.0))
+        for count in (1, 2, 4, 5, 9, 17):
+            _, measured = tree.reduce([np.zeros(1)] * count)
+            assert measured == tree.cost_for(count)
+
+    def test_mismatched_shapes_rejected(self):
+        tree = AdderTree(fan_in=2, add_cost=Cost(1.0, 1.0))
+        with pytest.raises(ValueError):
+            tree.reduce([np.zeros(2), np.zeros(3)])
+
+    def test_empty_input_rejected(self):
+        tree = AdderTree(fan_in=2, add_cost=Cost(1.0, 1.0))
+        with pytest.raises(ValueError):
+            tree.reduce([])
+
+    def test_sum_order_independent(self):
+        rng = np.random.default_rng(0)
+        words = [rng.integers(-100, 100, size=4) for _ in range(11)]
+        tree = AdderTree(fan_in=4, add_cost=Cost(1.0, 1.0))
+        total, _ = tree.reduce(words)
+        np.testing.assert_array_equal(total, np.sum(words, axis=0))

@@ -1,0 +1,84 @@
+"""Tests for the fabric area model."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.area import AreaModel, fabric_area, workload_area
+from repro.core.config import PAPER_CONFIG
+from repro.core.mapping import WorkloadMapping
+from repro.data.criteo import criteo_table_specs
+from repro.data.movielens import movielens_table_specs
+
+
+class TestAreaModel:
+    def test_component_areas_positive(self):
+        model = AreaModel()
+        assert model.cma_area_um2() > 0.0
+        assert model.adder_tree_area_um2(4) > 0.0
+        assert model.crossbar_area_um2() > 0.0
+        assert model.bus_area_um2(256, 2.0) > 0.0
+
+    def test_tree_area_linear_in_fan_in_minus_one(self):
+        model = AreaModel()
+        assert model.adder_tree_area_um2(5) == pytest.approx(
+            4.0 / 3.0 * model.adder_tree_area_um2(4)
+        )
+
+    def test_invalid_args_rejected(self):
+        model = AreaModel()
+        with pytest.raises(ValueError):
+            model.cma_area_um2(rows=0)
+        with pytest.raises(ValueError):
+            model.adder_tree_area_um2(1)
+        with pytest.raises(ValueError):
+            model.bus_area_um2(0, 1.0)
+        with pytest.raises(ValueError):
+            AreaModel(cma_cell_um2=0.0)
+
+
+class TestFabricArea:
+    def test_total_is_component_sum(self):
+        area = fabric_area()
+        components = (
+            area.cma_mm2
+            + area.intra_mat_trees_mm2
+            + area.intra_bank_trees_mm2
+            + area.crossbars_mm2
+            + area.interconnect_mm2
+        )
+        assert area.total_mm2 == pytest.approx(components)
+
+    def test_breakdown_sums_to_one(self):
+        assert sum(fabric_area().breakdown().values()) == pytest.approx(1.0)
+
+    def test_cma_arrays_dominate(self):
+        assert fabric_area().breakdown()["CMA arrays"] > 0.5
+
+    def test_area_proportional_to_banks(self):
+        """'Area footprint increases proportionally to B, M and C.'"""
+        base = fabric_area(PAPER_CONFIG)
+        doubled = fabric_area(replace(PAPER_CONFIG, num_banks=64))
+        assert doubled.cma_mm2 == pytest.approx(2.0 * base.cma_mm2)
+
+    def test_area_proportional_to_c(self):
+        base = fabric_area(PAPER_CONFIG)
+        doubled = fabric_area(replace(PAPER_CONFIG, cmas_per_mat=64))
+        assert doubled.cma_mm2 == pytest.approx(2.0 * base.cma_mm2)
+
+    def test_plausible_total(self):
+        assert 10.0 < fabric_area().total_mm2 < 500.0
+
+
+class TestWorkloadArea:
+    def test_activated_matches_table_one_ratio(self):
+        """Criteo activates 2860/54 ~ 53x the MovieLens CMA area."""
+        movielens = workload_area(WorkloadMapping(movielens_table_specs()))
+        criteo = workload_area(WorkloadMapping(criteo_table_specs()))
+        assert criteo.cma_mm2 / movielens.cma_mm2 == pytest.approx(
+            2860.0 / 54.0, rel=0.01
+        )
+
+    def test_activated_less_than_provisioned(self):
+        movielens = workload_area(WorkloadMapping(movielens_table_specs()))
+        assert movielens.total_mm2 < fabric_area().total_mm2

@@ -1,0 +1,143 @@
+"""Tests for the CMA bank (mats + IBC + intra-bank adder tree)."""
+
+import numpy as np
+import pytest
+
+from repro.core.bank import Bank
+from repro.core.config import ArchitectureConfig
+
+
+def _small_config(**overrides):
+    defaults = dict(cma_rows=8, cmas_per_mat=2, mats_per_bank=4)
+    defaults.update(overrides)
+    return ArchitectureConfig(**defaults)
+
+
+class TestGeometry:
+    def test_full_bank(self):
+        bank = Bank(_small_config())
+        assert bank.num_mats == 4
+        assert bank.num_cmas == 8
+        assert bank.capacity_rows == 64
+
+    def test_partial_mats(self):
+        bank = Bank(_small_config(), active_mats=2)
+        assert bank.num_mats == 2
+        assert bank.capacity_rows == 32
+
+    def test_partial_last_mat(self):
+        """Criteo-style activation: 3 full mats + a 14-CMA final mat."""
+        bank = Bank(_small_config(), active_mats=3, active_cmas_last_mat=1)
+        assert bank.num_cmas == 2 + 2 + 1
+
+    def test_invalid_activation_rejected(self):
+        with pytest.raises(ValueError):
+            Bank(_small_config(), active_mats=0)
+        with pytest.raises(ValueError):
+            Bank(_small_config(), active_mats=5)
+
+    def test_locate_spans_mats(self):
+        bank = Bank(_small_config())
+        assert bank.locate(0) == (0, 0)
+        assert bank.locate(15) == (0, 15)
+        assert bank.locate(16) == (1, 0)
+        assert bank.locate(63) == (3, 15)
+
+    def test_locate_out_of_range_rejected(self):
+        bank = Bank(_small_config())
+        with pytest.raises(IndexError):
+            bank.locate(64)
+        with pytest.raises(IndexError):
+            bank.locate(-1)
+
+
+class TestStorage:
+    def test_load_table_roundtrip(self):
+        bank = Bank(_small_config())
+        rng = np.random.default_rng(0)
+        table = rng.integers(-60, 60, size=(40, 32))
+        bank.load_table(table)
+        for entry in (0, 15, 16, 39):
+            read, _ = bank.read_entry(entry)
+            np.testing.assert_array_equal(read, table[entry])
+
+    def test_oversized_table_rejected(self):
+        bank = Bank(_small_config())
+        with pytest.raises(ValueError):
+            bank.load_table(np.zeros((65, 32), dtype=int))
+
+    def test_wrong_dim_table_rejected(self):
+        bank = Bank(_small_config())
+        with pytest.raises(ValueError):
+            bank.load_table(np.zeros((4, 16), dtype=int))
+
+    def test_load_cost_scales_with_entries(self):
+        bank = Bank(_small_config())
+        cost = bank.load_table(np.zeros((10, 32), dtype=int))
+        foms = bank.config.foms
+        assert cost.energy_pj == pytest.approx(
+            10 * foms.cma_write.energy_pj, rel=0.1
+        )
+
+
+class TestPooling:
+    def test_pooling_exact_across_mats(self):
+        bank = Bank(_small_config())
+        rng = np.random.default_rng(1)
+        table = rng.integers(-30, 30, size=(64, 32))
+        bank.load_table(table)
+        entries = [0, 17, 33, 50]  # one entry in each mat
+        total, _ = bank.pooled_lookup(entries)
+        np.testing.assert_array_equal(total, table[entries].sum(axis=0))
+
+    def test_single_mat_pooling_skips_bank_tree(self):
+        bank = Bank(_small_config())
+        bank.load_table(np.ones((64, 32), dtype=int))
+        _, within = bank.pooled_lookup([0, 1])  # one CMA chain
+        foms = bank.config.foms
+        assert within.latency_ns < foms.intra_bank_add.latency_ns + 20.0
+
+    def test_multi_mat_pooling_charges_bank_tree(self):
+        bank = Bank(_small_config())
+        bank.load_table(np.ones((64, 32), dtype=int))
+        _, across = bank.pooled_lookup([0, 17, 33, 50])
+        foms = bank.config.foms
+        assert across.latency_ns >= foms.intra_bank_add.latency_ns
+
+    def test_mats_work_in_parallel(self):
+        """Four one-read mats cost ~one read + delivery + tree, not four."""
+        bank = Bank(_small_config())
+        bank.load_table(np.ones((64, 32), dtype=int))
+        _, cost = bank.pooled_lookup([0, 17, 33, 50])
+        foms = bank.config.foms
+        ceiling = (
+            foms.cma_read.latency_ns
+            + foms.intra_bank_add.latency_ns
+            + 10.0  # IBC + controller margin
+        )
+        assert cost.latency_ns <= ceiling
+
+    def test_empty_pool_rejected(self):
+        with pytest.raises(ValueError):
+            Bank(_small_config()).pooled_lookup([])
+
+
+class TestSearch:
+    def test_search_returns_bank_local_indices(self):
+        bank = Bank(_small_config())
+        signature = np.zeros(256, dtype=np.uint8)
+        for entry in (2, 20, 45):
+            bank.write_signature_entry(entry, signature)
+        matches, _ = bank.search(signature, threshold=0)
+        assert matches == [2, 20, 45]
+
+    def test_search_threshold_behaviour(self):
+        bank = Bank(_small_config())
+        near = np.zeros(256, dtype=np.uint8)
+        far = np.ones(256, dtype=np.uint8)
+        bank.write_signature_entry(0, near)
+        bank.write_signature_entry(1, far)
+        query = np.zeros(256, dtype=np.uint8)
+        query[:5] = 1  # distance 5 to near, 251 to far
+        assert bank.search(query, 10)[0] == [0]
+        assert bank.search(query, 255)[0] == [0, 1]

@@ -1,0 +1,100 @@
+"""Tests for the item buffer and the CTR buffer."""
+
+import pytest
+
+from repro.circuits.foms import TABLE_II
+from repro.core.buffers import CTRBuffer, ItemBuffer
+
+
+class TestItemBuffer:
+    def test_store_and_drain(self):
+        buffer = ItemBuffer(capacity=8)
+        buffer.store([4, 9, 1])
+        items, _ = buffer.drain()
+        assert items == [4, 9, 1]
+
+    def test_capacity_truncates(self):
+        buffer = ItemBuffer(capacity=2)
+        buffer.store([1, 2, 3, 4])
+        assert len(buffer) == 2
+        assert buffer.peek() == [1, 2]
+
+    def test_store_cost_per_entry(self):
+        buffer = ItemBuffer(capacity=16)
+        cost = buffer.store([1, 2, 3])
+        assert cost.energy_pj == pytest.approx(3 * TABLE_II.cma_write.energy_pj)
+
+    def test_restore_replaces(self):
+        buffer = ItemBuffer(capacity=8)
+        buffer.store([1, 2])
+        buffer.store([7])
+        assert buffer.peek() == [7]
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            ItemBuffer(capacity=0)
+
+
+class TestCTRBuffer:
+    def test_topk_returns_best_ctrs(self):
+        buffer = CTRBuffer(capacity=16)
+        scores = {10: 0.2, 11: 0.9, 12: 0.5, 13: 0.7}
+        for item, ctr in scores.items():
+            buffer.store(item, ctr)
+        winners, _ = buffer.top_k(2)
+        assert winners == [11, 13]
+
+    def test_topk_all_when_k_exceeds_entries(self):
+        buffer = CTRBuffer()
+        buffer.store(1, 0.5)
+        winners, _ = buffer.top_k(10)
+        assert winners == [1]
+
+    def test_topk_of_empty_buffer(self):
+        winners, cost = CTRBuffer().top_k(3)
+        assert winners == []
+        assert cost.energy_pj == 0.0
+
+    def test_tie_break_by_insertion_order(self):
+        """Equal quantised scores drain in priority (insertion) order."""
+        buffer = CTRBuffer()
+        buffer.store(5, 0.5)
+        buffer.store(9, 0.5)
+        winners, _ = buffer.top_k(2)
+        assert winners == [5, 9]
+
+    def test_threshold_sweep_cost_counts_searches(self):
+        buffer = CTRBuffer()
+        for item, ctr in enumerate((0.1, 0.4, 0.9)):
+            buffer.store(item, ctr)
+        _, cost = buffer.top_k(2)
+        # Two distinct quantised score levels stepped through.
+        assert cost.energy_pj == pytest.approx(2 * TABLE_II.cma_search.energy_pj)
+
+    def test_quantisation_affects_ordering_granularity(self):
+        """Scores closer than one fixed-point step become ties."""
+        buffer = CTRBuffer(score_bits=4)  # 15 levels
+        buffer.store(0, 0.50)
+        buffer.store(1, 0.52)  # same 4-bit level as 0.50
+        winners, _ = buffer.top_k(1)
+        assert winners == [0]  # insertion order wins the tie
+
+    def test_ctr_range_enforced(self):
+        with pytest.raises(ValueError):
+            CTRBuffer().store(0, 1.5)
+
+    def test_capacity_overflow_rejected(self):
+        buffer = CTRBuffer(capacity=1)
+        buffer.store(0, 0.5)
+        with pytest.raises(RuntimeError):
+            buffer.store(1, 0.5)
+
+    def test_clear(self):
+        buffer = CTRBuffer()
+        buffer.store(0, 0.5)
+        buffer.clear()
+        assert len(buffer) == 0
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(ValueError):
+            CTRBuffer().top_k(0)

@@ -1,0 +1,72 @@
+"""Tests for the fitted peripheral-energy model."""
+
+import pytest
+
+from repro.core.accelerator import IMARSCostModel
+from repro.core.calibration import (
+    PeripheralModel,
+    ZERO_PERIPHERAL,
+    default_peripheral,
+    fit_peripheral_model,
+)
+from repro.core.mapping import FILTERING, RANKING, WorkloadMapping
+from repro.data.criteo import criteo_table_specs
+from repro.data.movielens import movielens_table_specs
+from repro.energy.accounting import Cost
+
+
+class TestPeripheralModel:
+    def test_zero_model_charges_nothing(self):
+        assert ZERO_PERIPHERAL.energy_pj(100, 10, 1000.0) == 0.0
+
+    def test_energy_linear_in_arrays_and_time(self):
+        model = PeripheralModel(pj_per_cma_ns=2.0, pj_per_bank_ns=10.0)
+        assert model.energy_pj(5, 2, 100.0) == pytest.approx((10.0 + 20.0) * 100.0)
+
+    def test_charge_preserves_latency(self):
+        model = PeripheralModel(pj_per_cma_ns=1.0, pj_per_bank_ns=0.0)
+        charged = model.charge(Cost(10.0, 50.0), active_cmas=4, active_banks=1)
+        assert charged.latency_ns == 50.0
+        assert charged.energy_pj == pytest.approx(10.0 + 4 * 50.0)
+
+    def test_negative_coefficients_rejected(self):
+        with pytest.raises(ValueError):
+            PeripheralModel(pj_per_cma_ns=-1.0)
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            ZERO_PERIPHERAL.energy_pj(-1, 0, 1.0)
+
+
+class TestFit:
+    def test_anchors_reproduced_exactly(self):
+        """The fitted model lands on both Table III anchor energies."""
+        peripheral = fit_peripheral_model()
+        ml = IMARSCostModel(
+            WorkloadMapping(movielens_table_specs()), peripheral=peripheral
+        )
+        ck = IMARSCostModel(
+            WorkloadMapping(criteo_table_specs()), peripheral=peripheral
+        )
+        assert ml.et_operation(FILTERING).energy_uj == pytest.approx(0.40, rel=0.01)
+        assert ck.et_operation(RANKING).energy_uj == pytest.approx(6.88, rel=0.01)
+
+    def test_held_out_validation_within_five_percent(self):
+        """MovieLens ranking (0.46 uJ) is NOT an anchor -- prediction check."""
+        peripheral = fit_peripheral_model()
+        ml = IMARSCostModel(
+            WorkloadMapping(movielens_table_specs()), peripheral=peripheral
+        )
+        assert ml.et_operation(RANKING).energy_uj == pytest.approx(0.46, rel=0.05)
+
+    def test_coefficients_positive(self):
+        peripheral = fit_peripheral_model()
+        assert peripheral.pj_per_cma_ns > 0.0
+        assert peripheral.pj_per_bank_ns > 0.0
+
+    def test_default_peripheral_cached(self):
+        assert default_peripheral() is default_peripheral()
+
+    def test_unreachable_targets_rejected(self):
+        with pytest.raises(RuntimeError):
+            fit_peripheral_model(target_a_uj=1e-9, target_b_uj=1e-9)

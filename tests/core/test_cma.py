@@ -1,0 +1,152 @@
+"""Tests for the configurable memory array (CMA)."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.foms import TABLE_II
+from repro.core.cma import CMA, CMAMode
+
+
+def _small_cma(rows=16):
+    return CMA(rows=rows, cols=256, lanes=32, lane_bits=8)
+
+
+class TestConstruction:
+    def test_lane_word_must_fit_columns(self):
+        with pytest.raises(ValueError):
+            CMA(rows=4, cols=128, lanes=32, lane_bits=8)  # 256 bits > 128 cols
+
+    def test_default_mode_is_ram(self):
+        assert _small_cma().mode is CMAMode.RAM
+
+
+class TestRAMMode:
+    def test_word_roundtrip(self):
+        cma = _small_cma()
+        word = np.arange(32) - 16
+        cma.write_word(3, word)
+        read, _ = cma.read_word(3)
+        np.testing.assert_array_equal(read, word)
+
+    def test_write_cost_is_table_ii(self):
+        cma = _small_cma()
+        cost = cma.write_word(0, np.zeros(32, dtype=int))
+        assert cost.energy_pj == pytest.approx(TABLE_II.cma_write.energy_pj)
+        assert cost.latency_ns == pytest.approx(TABLE_II.cma_write.latency_ns)
+
+    def test_read_cost_is_table_ii(self):
+        cma = _small_cma()
+        cma.write_word(0, np.zeros(32, dtype=int))
+        _, cost = cma.read_word(0)
+        assert cost.energy_pj == pytest.approx(TABLE_II.cma_read.energy_pj)
+
+    def test_unwritten_row_read_rejected(self):
+        with pytest.raises(ValueError):
+            _small_cma().read_word(0)
+
+    def test_out_of_range_row_rejected(self):
+        with pytest.raises(IndexError):
+            _small_cma(rows=4).write_word(4, np.zeros(32, dtype=int))
+
+    def test_wrong_lane_count_rejected(self):
+        with pytest.raises(ValueError):
+            _small_cma().write_word(0, np.zeros(16, dtype=int))
+
+
+class TestGPCiMMode:
+    def test_pooling_exact_sum(self):
+        cma = _small_cma()
+        rng = np.random.default_rng(0)
+        words = [rng.integers(-40, 40, size=32) for _ in range(5)]
+        for row, word in enumerate(words):
+            cma.write_word(row, word)
+        total, _ = cma.pool_rows(range(5))
+        np.testing.assert_array_equal(total, np.sum(words, axis=0))
+
+    def test_pooling_chain_cost_structure(self):
+        """L lookups: L-1 x (add + write) after a mode switch (IV-C1)."""
+        cma = _small_cma()
+        for row in range(10):
+            cma.write_word(row, np.zeros(32, dtype=int))
+        cma.switch_mode(CMAMode.GPCIM)  # pre-switch so chain cost is pure
+        _, cost = cma.pool_rows(range(10))
+        expected = 9 * (TABLE_II.cma_add.latency_ns + TABLE_II.cma_write.latency_ns)
+        assert cost.latency_ns == pytest.approx(expected)
+
+    def test_single_row_pool_is_a_read(self):
+        cma = _small_cma()
+        cma.write_word(2, np.ones(32, dtype=int))
+        _, cost = cma.pool_rows([2])
+        assert cost.latency_ns == pytest.approx(TABLE_II.cma_read.latency_ns, abs=0.6)
+
+    def test_empty_pool_rejected(self):
+        with pytest.raises(ValueError):
+            _small_cma().pool_rows([])
+
+
+class TestTCAMMode:
+    def test_signature_search_threshold(self):
+        cma = CMA(rows=8, cols=64, lanes=4, lane_bits=8)
+        rng = np.random.default_rng(1)
+        signatures = rng.integers(0, 2, size=(8, 64)).astype(np.uint8)
+        for row in range(8):
+            cma.write_signature(row, signatures[row])
+        query = signatures[5].copy()
+        query[:3] ^= 1  # distance 3 to row 5
+        flags, _ = cma.search(query, threshold=3)
+        assert flags[5]
+        flags_tight, _ = cma.search(query, threshold=2)
+        assert not flags_tight[5]
+
+    def test_search_cost_is_table_ii(self):
+        cma = CMA(rows=4, cols=64, lanes=4, lane_bits=8)
+        cma.write_signature(0, np.zeros(64, dtype=np.uint8))
+        _, cost = cma.search(np.zeros(64, dtype=np.uint8), threshold=0)
+        assert cost.energy_pj == pytest.approx(TABLE_II.cma_search.energy_pj)
+
+    def test_unwritten_rows_never_match(self):
+        cma = CMA(rows=4, cols=64, lanes=4, lane_bits=8)
+        cma.write_signature(1, np.zeros(64, dtype=np.uint8))
+        flags, _ = cma.search(np.zeros(64, dtype=np.uint8), threshold=64)
+        assert flags.tolist() == [False, True, False, False]
+
+    def test_hamming_distances_verification_helper(self):
+        cma = CMA(rows=2, cols=8, lanes=1, lane_bits=8)
+        cma.write_signature(0, [0, 0, 0, 0, 1, 1, 1, 1])
+        distances = cma.hamming_distances([1, 1, 1, 1, 1, 1, 1, 1])
+        assert distances[0] == 4
+        assert distances[1] == 9  # invalid row: cols + 1
+
+    def test_invalid_query_rejected(self):
+        cma = CMA(rows=2, cols=8, lanes=1, lane_bits=8)
+        with pytest.raises(ValueError):
+            cma.search([0, 1], threshold=0)
+        with pytest.raises(ValueError):
+            cma.search([2] * 8, threshold=0)
+
+
+class TestModeSwitching:
+    def test_same_mode_switch_free(self):
+        cma = _small_cma()
+        assert cma.switch_mode(CMAMode.RAM).latency_ns == 0.0
+
+    def test_switch_charges_cost(self):
+        cma = _small_cma()
+        cost = cma.switch_mode(CMAMode.TCAM)
+        assert cost.latency_ns > 0.0
+        assert cma.mode is CMAMode.TCAM
+
+    def test_operations_switch_modes_implicitly(self):
+        cma = _small_cma()
+        cma.write_word(0, np.zeros(32, dtype=int))
+        assert cma.mode is CMAMode.RAM
+        cma.write_word(1, np.zeros(32, dtype=int))
+        cma.pool_rows([0, 1])
+        assert cma.mode is CMAMode.GPCIM
+
+    def test_valid_row_count(self):
+        cma = _small_cma()
+        assert cma.valid_row_count == 0
+        cma.write_word(0, np.zeros(32, dtype=int))
+        cma.write_word(5, np.zeros(32, dtype=int))
+        assert cma.valid_row_count == 2

@@ -1,0 +1,57 @@
+"""Tests for the architecture configuration."""
+
+import pytest
+
+from repro.circuits.foms import TABLE_II
+from repro.core.config import ArchitectureConfig, PAPER_CONFIG
+from repro.energy.accounting import Cost
+
+
+class TestPaperConfig:
+    def test_paper_dimensioning(self):
+        """Sec. IV: B=32, M=4, C=32, 256x256 CMAs, fan-in-4 bank tree."""
+        config = PAPER_CONFIG
+        assert config.num_banks == 32
+        assert config.mats_per_bank == 4
+        assert config.cmas_per_mat == 32
+        assert config.cma_rows == config.cma_cols == 256
+        assert config.intra_bank_fan_in == 4
+
+    def test_word_geometry(self):
+        """32 dims x int8 = one 256-bit word per CMA row."""
+        assert PAPER_CONFIG.word_bits == 256
+        assert PAPER_CONFIG.word_bits <= PAPER_CONFIG.cma_cols
+
+    def test_bank_capacity_is_128_cmas(self):
+        assert PAPER_CONFIG.cmas_per_bank == 128
+
+    def test_ibc_moves_four_words(self):
+        assert PAPER_CONFIG.ibc_payload_bits // PAPER_CONFIG.word_bits == 4
+
+    def test_total_capacity(self):
+        assert PAPER_CONFIG.total_cmas == 32 * 128
+        assert PAPER_CONFIG.rows_per_bank == 128 * 256
+        assert PAPER_CONFIG.total_capacity_entries() == 32 * 128 * 256
+
+    def test_default_foms_are_table_ii(self):
+        assert PAPER_CONFIG.foms == TABLE_II
+
+
+class TestValidation:
+    def test_zero_banks_rejected(self):
+        with pytest.raises(ValueError):
+            ArchitectureConfig(num_banks=0)
+
+    def test_fan_in_below_two_rejected(self):
+        with pytest.raises(ValueError):
+            ArchitectureConfig(intra_bank_fan_in=1)
+
+    def test_word_wider_than_row_rejected(self):
+        with pytest.raises(ValueError):
+            ArchitectureConfig(embedding_dim=64, embedding_bits=8, cma_cols=256)
+
+    def test_with_foms_override(self):
+        modified = TABLE_II.with_overrides(cma_read=Cost(1.0, 1.0))
+        config = PAPER_CONFIG.with_foms(modified)
+        assert config.foms.cma_read == Cost(1.0, 1.0)
+        assert PAPER_CONFIG.foms.cma_read == TABLE_II.cma_read  # original intact

@@ -1,0 +1,76 @@
+"""Tests for the counter-based controller and its fixed schedule."""
+
+import pytest
+
+from repro.core.controller import Controller, ScheduleEntry
+
+
+class TestMatGroups:
+    def test_groups_of_four(self):
+        controller = Controller(group_size=4)
+        assert controller.mat_groups(10) == [(0, 1, 2, 3), (4, 5, 6, 7), (8, 9)]
+
+    def test_exact_multiple(self):
+        controller = Controller(group_size=4)
+        assert controller.mat_groups(8) == [(0, 1, 2, 3), (4, 5, 6, 7)]
+
+    def test_zero_mats_empty(self):
+        assert Controller().mat_groups(0) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Controller().mat_groups(-1)
+
+
+class TestSchedule:
+    def test_predetermined_order(self):
+        """Banks in order; within a bank, Mat-1, Mat-2, ... in groups of 4
+        (the router-free guarantee of Sec. III-A3)."""
+        controller = Controller(group_size=4)
+        entries = list(controller.schedule([2, 0, 5]))
+        assert entries == [
+            ScheduleEntry(bank=0, mats=(0, 1)),
+            ScheduleEntry(bank=2, mats=(0, 1, 2, 3)),
+            ScheduleEntry(bank=2, mats=(4,)),
+        ]
+
+    def test_deactivated_banks_skipped(self):
+        controller = Controller()
+        entries = list(controller.schedule([0, 0, 1]))
+        assert all(entry.bank == 2 for entry in entries)
+
+    def test_no_conflicting_mat_assignments(self):
+        """Every (bank, mat) pair appears exactly once."""
+        controller = Controller(group_size=4)
+        seen = set()
+        for entry in controller.schedule([3, 7, 4]):
+            for mat in entry.mats:
+                key = (entry.bank, mat)
+                assert key not in seen
+                seen.add(key)
+        assert len(seen) == 3 + 7 + 4
+
+    def test_negative_mat_count_rejected(self):
+        with pytest.raises(ValueError):
+            list(Controller().schedule([-1]))
+
+
+class TestSequencingCost:
+    def test_scales_with_entries(self):
+        controller = Controller(cycle_energy_pj=0.35, cycle_ns=0.5)
+        cost = controller.sequencing_cost(10)
+        assert cost.energy_pj == pytest.approx(3.5)
+        assert cost.latency_ns == pytest.approx(5.0)
+
+    def test_zero_entries_free(self):
+        assert Controller().sequencing_cost(0).energy_pj == 0.0
+
+    def test_negative_entries_rejected(self):
+        with pytest.raises(ValueError):
+            Controller().sequencing_cost(-1)
+
+    def test_invalid_construction_rejected(self):
+        with pytest.raises(ValueError):
+            Controller(group_size=0)
+        with pytest.raises(ValueError):
+            Controller(cycle_ns=0.0)

@@ -1,0 +1,100 @@
+"""Tests for the crossbar-bank DNN stack."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import PAPER_CONFIG
+from repro.core.dnn_stack import CrossbarBank, layer_tiles
+from repro.nn.mlp import build_mlp
+
+
+class TestLayerTiles:
+    def test_small_layer_one_tile(self):
+        assert layer_tiles(128, 64) == (1, 1)
+
+    def test_wide_output_splits_columns(self):
+        assert layer_tiles(13, 256) == (1, 2)
+
+    def test_tall_input_splits_rows(self):
+        assert layer_tiles(383, 256) == (2, 2)
+
+    def test_invalid_dims_rejected(self):
+        with pytest.raises(ValueError):
+            layer_tiles(0, 10)
+
+
+class TestDigitalForward:
+    def test_matches_reference_mlp(self):
+        rng = np.random.default_rng(0)
+        mlp = build_mlp(20, "16-8", rng=rng)
+        bank = CrossbarBank(mlp)
+        x = rng.normal(size=(3, 20))
+        outputs, _ = bank.forward(x)
+        np.testing.assert_allclose(outputs, mlp(x))
+
+    def test_cost_counts_layers_and_tiles(self):
+        mlp = build_mlp(192, "128-64-32")
+        bank = CrossbarBank(mlp)
+        matmul = PAPER_CONFIG.foms.crossbar_matmul
+        cost = bank.stack_cost()
+        # Three single-row-tile layers: 3 x 225 ns plus bus transfers.
+        assert cost.latency_ns >= 3 * matmul.latency_ns
+        assert cost.latency_ns < 3 * matmul.latency_ns + 20.0
+
+    def test_row_tiles_serialise_latency(self):
+        narrow = CrossbarBank(build_mlp(256, "64"))
+        tall = CrossbarBank(build_mlp(512, "64"))  # 2 row tiles
+        assert tall.stack_cost().latency_ns > narrow.stack_cost().latency_ns
+
+    def test_col_tiles_parallel_latency_but_energy(self):
+        narrow = CrossbarBank(build_mlp(64, "128"))
+        wide = CrossbarBank(build_mlp(64, "256"))  # 2 col tiles
+        assert wide.stack_cost().energy_pj > narrow.stack_cost().energy_pj
+        # Column tiles fire together: compute latency is identical; only
+        # the wider output's bus serialisation (4 extra beats) differs.
+        assert wide.stack_cost().latency_ns == pytest.approx(
+            narrow.stack_cost().latency_ns, abs=5.0
+        )
+
+    def test_total_tiles(self):
+        bank = CrossbarBank(build_mlp(383, "256-64-1"))
+        # 383->256: 2x2=4; 256->64: 1x1; 64->1: 1x1.
+        assert bank.total_tiles == 6
+
+    def test_forward_cost_equals_stack_cost(self):
+        mlp = build_mlp(16, "8-4")
+        bank = CrossbarBank(mlp)
+        _, forward_cost = bank.forward(np.zeros((1, 16)))
+        assert forward_cost == bank.stack_cost()
+
+    def test_mlp_without_linear_rejected(self):
+        from repro.nn.layers import ReLU
+        from repro.nn.module import Sequential
+
+        with pytest.raises(ValueError):
+            CrossbarBank(Sequential([ReLU()]))
+
+
+class TestAnalogForward:
+    def test_analog_close_to_digital(self):
+        rng = np.random.default_rng(1)
+        mlp = build_mlp(24, "16-8", rng=rng)
+        digital = CrossbarBank(mlp)
+        analog = CrossbarBank(mlp, analog=True)
+        x = rng.normal(size=(2, 24))
+        exact, _ = digital.forward(x)
+        approx, _ = analog.forward(x)
+        # 8-bit converters: small but nonzero deviation.
+        assert np.abs(approx - exact).max() < 0.25 * np.abs(exact).max() + 0.1
+        assert np.corrcoef(exact.reshape(-1), approx.reshape(-1))[0, 1] > 0.99
+
+    def test_analog_multi_tile_layer(self):
+        """Layers wider than one tile still compute correctly."""
+        rng = np.random.default_rng(2)
+        mlp = build_mlp(300, "200", rng=rng)  # 2 row tiles x 2 col tiles
+        digital = CrossbarBank(mlp)
+        analog = CrossbarBank(mlp, analog=True)
+        x = rng.normal(size=(1, 300))
+        exact, _ = digital.forward(x)
+        approx, _ = analog.forward(x)
+        assert np.corrcoef(exact.reshape(-1), approx.reshape(-1))[0, 1] > 0.99

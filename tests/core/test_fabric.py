@@ -1,0 +1,170 @@
+"""Tests for the executable fabric and the flow trace."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import ArchitectureConfig
+from repro.core.fabric import FlowTrace, IMARSFabric
+from repro.core.mapping import FILTERING, RANKING, EmbeddingTableSpec, WorkloadMapping
+
+
+def _toy_fabric():
+    config = ArchitectureConfig()
+    specs = [
+        EmbeddingTableSpec("user", 32),
+        EmbeddingTableSpec("item", 64, kind="itet"),
+    ]
+    mapping = WorkloadMapping(specs, config)
+    return IMARSFabric(mapping, config), config
+
+
+class TestFlowTrace:
+    def test_empty_trace_valid(self):
+        assert FlowTrace().follows_published_order()
+
+    def test_in_order_steps_pass(self):
+        trace = FlowTrace()
+        for label in ("1a", "1b*", "1b", "1c", "1d"):
+            trace.mark(label)
+        assert trace.follows_published_order()
+
+    def test_out_of_order_steps_fail(self):
+        trace = FlowTrace()
+        trace.mark("2e")
+        trace.mark("1a")
+        assert not trace.follows_published_order()
+
+    def test_repeats_allowed(self):
+        """Per-candidate 2a..2d repetitions keep first-occurrence order."""
+        trace = FlowTrace()
+        for label in ("1a", "2a", "2b", "2a", "2b", "2e"):
+            trace.mark(label)
+        assert trace.first_occurrences() == ["1a", "2a", "2b", "2e"]
+        assert trace.follows_published_order()
+
+
+class TestFabricStorage:
+    def test_load_and_lookup(self):
+        fabric, _ = _toy_fabric()
+        table = np.arange(32 * 32).reshape(32, 32) % 100 - 50
+        fabric.load_table("user", table)
+        pooled, _ = fabric.lookup_pool("user", [3])
+        np.testing.assert_array_equal(pooled, table[3])
+
+    def test_unknown_table_rejected(self):
+        fabric, _ = _toy_fabric()
+        with pytest.raises(KeyError):
+            fabric.load_table("nope", np.zeros((4, 32), dtype=int))
+
+    def test_lookup_before_load_rejected(self):
+        fabric, _ = _toy_fabric()
+        with pytest.raises(KeyError):
+            fabric.lookup_pool("user", [0])
+
+    def test_loaded_tables_listing(self):
+        fabric, _ = _toy_fabric()
+        fabric.load_table("user", np.zeros((4, 32), dtype=int))
+        assert fabric.loaded_tables() == ["user"]
+
+    def test_signature_shape_enforced(self):
+        fabric, _ = _toy_fabric()
+        with pytest.raises(ValueError):
+            fabric.load_signatures(np.zeros((4, 100), dtype=np.uint8))
+
+
+class TestFabricOperations:
+    def test_stage_lookup_pools_exactly(self):
+        fabric, _ = _toy_fabric()
+        rng = np.random.default_rng(0)
+        user_table = rng.integers(-20, 20, size=(32, 32))
+        item_table = rng.integers(-20, 20, size=(64, 32))
+        fabric.load_table("user", user_table)
+        fabric.load_table("item", item_table)
+        results, _ = fabric.stage_lookup(
+            FILTERING, {"user": [5], "item": [1, 2, 3]}
+        )
+        np.testing.assert_array_equal(results["user"], user_table[5])
+        np.testing.assert_array_equal(results["item"], item_table[1:4].sum(axis=0))
+
+    def test_stage_lookup_rejects_inactive_tables(self):
+        config = ArchitectureConfig()
+        specs = [
+            EmbeddingTableSpec("rank_only", 16, stages=frozenset({RANKING})),
+            EmbeddingTableSpec("item", 32, kind="itet"),
+        ]
+        fabric = IMARSFabric(WorkloadMapping(specs, config), config)
+        fabric.load_table("rank_only", np.zeros((16, 32), dtype=int))
+        with pytest.raises(ValueError):
+            fabric.stage_lookup(FILTERING, {"rank_only": [0]})
+
+    def test_nns_search_matches_reference_distances(self):
+        fabric, config = _toy_fabric()
+        rng = np.random.default_rng(1)
+        signatures = rng.integers(0, 2, size=(64, 256)).astype(np.uint8)
+        fabric.load_signatures(signatures)
+        query = signatures[7]
+        candidates, _ = fabric.nns_search(query, threshold=0)
+        reference = fabric.verify_signature_distances(query)
+        assert candidates == [int(i) for i in np.flatnonzero(reference == 0)]
+
+    def test_nns_before_signatures_rejected(self):
+        fabric, _ = _toy_fabric()
+        with pytest.raises(RuntimeError):
+            fabric.nns_search(np.zeros(256, dtype=np.uint8), 0)
+
+    def test_full_query_trace_order(self):
+        fabric, _ = _toy_fabric()
+        rng = np.random.default_rng(2)
+        fabric.load_table("user", rng.integers(-20, 20, size=(32, 32)))
+        fabric.load_table("item", rng.integers(-20, 20, size=(64, 32)))
+        signatures = rng.integers(0, 2, size=(64, 256)).astype(np.uint8)
+        fabric.load_signatures(signatures)
+
+        fabric.stage_lookup(FILTERING, {"user": [0], "item": [0, 1]})
+        fabric.mark_dnn(FILTERING, "dense")
+        fabric.mark_dnn(FILTERING, "main")
+        candidates, _ = fabric.nns_search(signatures[0], threshold=10)
+        for item in candidates[:3]:
+            fabric.mark_dnn(RANKING, "start")
+            fabric.stage_lookup(RANKING, {"item": [item]})
+            fabric.mark_dnn(RANKING, "dense")
+            fabric.score_candidate(item, 0.5)
+        fabric.select_topk(2)
+        assert fabric.trace.follows_published_order()
+
+    def test_score_and_topk(self):
+        fabric, _ = _toy_fabric()
+        fabric.score_candidate(10, 0.3)
+        fabric.score_candidate(11, 0.8)
+        winners, _ = fabric.select_topk(1)
+        assert winners == [11]
+
+    def test_unknown_dnn_phase_rejected(self):
+        fabric, _ = _toy_fabric()
+        with pytest.raises(ValueError):
+            fabric.mark_dnn(FILTERING, "warmup")
+
+
+class TestMultiMatSignatures:
+    def test_signatures_spanning_multiple_mats(self):
+        """> 256 signatures spill into a second CMA/mat and still search."""
+        config = ArchitectureConfig()
+        specs = [EmbeddingTableSpec("item", 600, kind="itet")]
+        fabric = IMARSFabric(WorkloadMapping(specs, config), config)
+        rng = np.random.default_rng(5)
+        signatures = rng.integers(0, 2, size=(600, 256)).astype(np.uint8)
+        fabric.load_signatures(signatures)
+        # Probe one signature from each CMA's range.
+        for probe in (10, 300, 599):
+            hits, _ = fabric.nns_search(signatures[probe], threshold=0)
+            assert probe in hits
+
+    def test_search_priority_order_across_cmas(self):
+        config = ArchitectureConfig()
+        specs = [EmbeddingTableSpec("item", 600, kind="itet")]
+        fabric = IMARSFabric(WorkloadMapping(specs, config), config)
+        shared = np.zeros((600, 256), dtype=np.uint8)
+        fabric.load_signatures(shared)
+        hits, _ = fabric.nns_search(np.zeros(256, dtype=np.uint8), threshold=0)
+        assert hits == sorted(hits)
+        assert len(hits) == 256  # item buffer capacity caps the drain

@@ -1,0 +1,61 @@
+"""Tests for the RSC bus and IBC network models."""
+
+import pytest
+
+from repro.core.interconnect import IBCNetwork, RSCBus
+
+
+class TestRSCBus:
+    def test_single_word_one_beat(self):
+        bus = RSCBus(width_bits=256, beat_ns=0.7)
+        assert bus.transfer(256).latency_ns == pytest.approx(0.7)
+
+    def test_serialisation_beats(self):
+        bus = RSCBus(width_bits=256, beat_ns=0.7)
+        assert bus.transfer(1024).latency_ns == pytest.approx(4 * 0.7)
+
+    def test_zero_payload_free(self):
+        bus = RSCBus()
+        cost = bus.transfer(0)
+        assert cost.latency_ns == 0.0
+        assert cost.energy_pj == 0.0
+
+    def test_negative_payload_rejected(self):
+        with pytest.raises(ValueError):
+            RSCBus().transfer(-1)
+
+    def test_gather_serialises_sources(self):
+        """The shared-bus term behind Criteo's slower ET op (Table III)."""
+        bus = RSCBus(width_bits=256, beat_ns=0.7)
+        movielens = bus.gather(7, 256)
+        criteo = bus.gather(26, 256)
+        assert criteo.latency_ns == pytest.approx(26.0 / 7.0 * movielens.latency_ns)
+
+    def test_energy_scales_with_bits_and_length(self):
+        short = RSCBus(length_mm=1.0).transfer(256)
+        long = RSCBus(length_mm=4.0).transfer(256)
+        assert long.energy_pj == pytest.approx(4.0 * short.energy_pj)
+
+
+class TestIBCNetwork:
+    def test_four_words_per_shot(self):
+        ibc = IBCNetwork(payload_bits=1024, word_bits=256)
+        assert ibc.words_per_shot == 4
+
+    def test_shot_counts(self):
+        ibc = IBCNetwork(payload_bits=1024, word_bits=256)
+        assert ibc.shots_for(0) == 0
+        assert ibc.shots_for(4) == 1
+        assert ibc.shots_for(5) == 2
+        assert ibc.shots_for(104) == 26
+
+    def test_deliver_zero_words_free(self):
+        assert IBCNetwork().deliver(0).energy_pj == 0.0
+
+    def test_deliver_latency_scales_with_shots(self):
+        ibc = IBCNetwork(beat_ns=0.5)
+        assert ibc.deliver(8).latency_ns == pytest.approx(2 * 0.5)
+
+    def test_negative_words_rejected(self):
+        with pytest.raises(ValueError):
+            IBCNetwork().shots_for(-1)

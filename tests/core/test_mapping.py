@@ -1,0 +1,143 @@
+"""Tests for the embedding-table -> hardware mapping (Table I logic)."""
+
+import pytest
+
+from repro.core.config import ArchitectureConfig, PAPER_CONFIG
+from repro.core.mapping import (
+    FILTERING,
+    RANKING,
+    EmbeddingTableSpec,
+    WorkloadMapping,
+    next_power_of_two,
+)
+
+
+class TestNextPowerOfTwo:
+    def test_values(self):
+        assert next_power_of_two(1) == 1
+        assert next_power_of_two(2) == 2
+        assert next_power_of_two(3) == 4
+        assert next_power_of_two(118) == 128  # the paper's worked example
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            next_power_of_two(0)
+
+
+class TestSpecValidation:
+    def test_zero_entries_rejected(self):
+        with pytest.raises(ValueError):
+            EmbeddingTableSpec("t", 0)
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ValueError):
+            EmbeddingTableSpec("t", 10, kind="cache")
+
+    def test_unknown_stage_rejected(self):
+        with pytest.raises(ValueError):
+            EmbeddingTableSpec("t", 10, stages=frozenset({"serving"}))
+
+    def test_empty_stages_rejected(self):
+        with pytest.raises(ValueError):
+            EmbeddingTableSpec("t", 10, stages=frozenset())
+
+    def test_shared_flag(self):
+        both = EmbeddingTableSpec("t", 10)
+        only = EmbeddingTableSpec("t", 10, stages=frozenset({RANKING}))
+        assert both.is_shared
+        assert not only.is_shared
+
+
+class TestPerTableMapping:
+    def test_uiet_cma_count_is_ceil(self):
+        mapping = WorkloadMapping([EmbeddingTableSpec("u", 6040)], PAPER_CONFIG)
+        table = mapping.tables[0]
+        assert table.embedding_cmas == 24  # ceil(6040 / 256)
+        assert table.signature_cmas == 0
+        assert table.embedding_mats == 1
+
+    def test_tiny_table_one_cma(self):
+        mapping = WorkloadMapping([EmbeddingTableSpec("g", 3)], PAPER_CONFIG)
+        assert mapping.tables[0].embedding_cmas == 1
+
+    def test_itet_doubles_cmas_for_signatures(self):
+        """'2 CMAs to store a single entry': embedding word + signature."""
+        mapping = WorkloadMapping(
+            [EmbeddingTableSpec("item", 3000, kind="itet")], PAPER_CONFIG
+        )
+        table = mapping.tables[0]
+        assert table.embedding_cmas == 12
+        assert table.signature_cmas == 12
+        assert table.total_cmas == 24
+        # RAM-mode and TCAM-mode CMAs sit in separate mats.
+        assert table.embedding_mats == 1
+        assert table.signature_mats == 1
+        assert table.total_mats == 2
+
+    def test_provisioning_power_of_two(self):
+        mapping = WorkloadMapping([EmbeddingTableSpec("c", 30000)], PAPER_CONFIG)
+        assert mapping.tables[0].provisioned_cmas == 128
+
+    def test_table_exceeding_bank_rejected(self):
+        # > 128 provisioned CMAs cannot fit one bank.
+        with pytest.raises(ValueError):
+            WorkloadMapping([EmbeddingTableSpec("huge", 40000)], PAPER_CONFIG)
+
+
+class TestWorkloadMapping:
+    def test_one_bank_per_feature(self):
+        specs = [EmbeddingTableSpec(f"f{i}", 100) for i in range(5)]
+        mapping = WorkloadMapping(specs, PAPER_CONFIG)
+        assert mapping.active_banks == 5
+        assert [table.bank_index for table in mapping.tables] == list(range(5))
+
+    def test_too_many_features_rejected(self):
+        specs = [EmbeddingTableSpec(f"f{i}", 10) for i in range(33)]
+        with pytest.raises(ValueError):
+            WorkloadMapping(specs, PAPER_CONFIG)
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadMapping(
+                [EmbeddingTableSpec("a", 10), EmbeddingTableSpec("a", 20)],
+                PAPER_CONFIG,
+            )
+
+    def test_empty_workload_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadMapping([], PAPER_CONFIG)
+
+    def test_stage_filtering(self):
+        specs = [
+            EmbeddingTableSpec("both", 10),
+            EmbeddingTableSpec("rank_only", 10, stages=frozenset({RANKING})),
+        ]
+        mapping = WorkloadMapping(specs, PAPER_CONFIG)
+        assert len(mapping.tables_for_stage(FILTERING)) == 1
+        assert len(mapping.tables_for_stage(RANKING)) == 2
+
+    def test_unknown_stage_rejected(self):
+        mapping = WorkloadMapping([EmbeddingTableSpec("a", 10)], PAPER_CONFIG)
+        with pytest.raises(ValueError):
+            mapping.tables_for_stage("serving")
+
+    def test_itet_accessor(self):
+        specs = [
+            EmbeddingTableSpec("u", 10),
+            EmbeddingTableSpec("item", 100, kind="itet"),
+        ]
+        mapping = WorkloadMapping(specs, PAPER_CONFIG)
+        assert mapping.has_itet()
+        assert mapping.itet().spec.name == "item"
+
+    def test_missing_itet_raises(self):
+        mapping = WorkloadMapping([EmbeddingTableSpec("u", 10)], PAPER_CONFIG)
+        assert not mapping.has_itet()
+        with pytest.raises(ValueError):
+            mapping.itet()
+
+    def test_custom_architecture_changes_counts(self):
+        config = ArchitectureConfig(cma_rows=128, cmas_per_mat=16, mats_per_bank=4)
+        mapping = WorkloadMapping([EmbeddingTableSpec("u", 6040)], config)
+        assert mapping.tables[0].embedding_cmas == 48  # ceil(6040/128)
+        assert mapping.tables[0].embedding_mats == 3

@@ -1,0 +1,145 @@
+"""Tests for the mat (C CMAs + intra-mat adder tree)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import ArchitectureConfig
+from repro.core.mat import Mat
+
+
+def _small_config():
+    """4 CMAs of 8 rows each keep the functional tests fast."""
+    return ArchitectureConfig(cma_rows=8, cmas_per_mat=4)
+
+
+class TestGeometry:
+    def test_default_mat_has_c_cmas(self):
+        mat = Mat(_small_config())
+        assert mat.num_cmas == 4
+        assert mat.capacity_rows == 32
+
+    def test_partial_activation(self):
+        mat = Mat(_small_config(), active_cmas=2)
+        assert mat.num_cmas == 2
+        assert mat.capacity_rows == 16
+
+    def test_invalid_activation_rejected(self):
+        with pytest.raises(ValueError):
+            Mat(_small_config(), active_cmas=0)
+        with pytest.raises(ValueError):
+            Mat(_small_config(), active_cmas=9)
+
+    def test_locate_fills_cmas_in_order(self):
+        mat = Mat(_small_config())
+        assert mat.locate(0) == (0, 0)
+        assert mat.locate(7) == (0, 7)
+        assert mat.locate(8) == (1, 0)
+        assert mat.locate(31) == (3, 7)
+
+    def test_locate_out_of_range_rejected(self):
+        with pytest.raises(IndexError):
+            Mat(_small_config()).locate(32)
+
+
+class TestStorageAndPooling:
+    def test_entry_roundtrip_across_cmas(self):
+        mat = Mat(_small_config())
+        rng = np.random.default_rng(0)
+        words = {}
+        for entry in (0, 7, 8, 20, 31):
+            word = rng.integers(-50, 50, size=32)
+            mat.write_entry(entry, word)
+            words[entry] = word
+        for entry, word in words.items():
+            read, _ = mat.read_entry(entry)
+            np.testing.assert_array_equal(read, word)
+
+    def test_pooled_lookup_exact_within_one_cma(self):
+        mat = Mat(_small_config())
+        rng = np.random.default_rng(1)
+        words = [rng.integers(-30, 30, size=32) for _ in range(4)]
+        for entry, word in enumerate(words):
+            mat.write_entry(entry, word)
+        total, _ = mat.pooled_lookup(range(4))
+        np.testing.assert_array_equal(total, np.sum(words, axis=0))
+
+    def test_pooled_lookup_exact_across_cmas(self):
+        mat = Mat(_small_config())
+        rng = np.random.default_rng(2)
+        entries = [0, 9, 17, 30]  # four different CMAs
+        words = [rng.integers(-30, 30, size=32) for _ in entries]
+        for entry, word in zip(entries, words):
+            mat.write_entry(entry, word)
+        total, _ = mat.pooled_lookup(entries)
+        np.testing.assert_array_equal(total, np.sum(words, axis=0))
+
+    def test_cross_cma_pooling_charges_tree(self):
+        mat = Mat(_small_config())
+        for entry in (0, 9):
+            mat.write_entry(entry, np.ones(32, dtype=int))
+        # Within one CMA: serial chain, no tree.
+        mat.write_entry(1, np.ones(32, dtype=int))
+        _, chain_cost = mat.pooled_lookup([0, 1])
+        # Across two CMAs: parallel reads + one intra-mat tree add.
+        _, tree_cost = mat.pooled_lookup([0, 9])
+        foms = mat.config.foms
+        assert tree_cost.latency_ns == pytest.approx(
+            foms.cma_read.latency_ns + foms.intra_mat_add.latency_ns, abs=1.0
+        )
+        assert chain_cost.latency_ns == pytest.approx(
+            foms.cma_add.latency_ns + foms.cma_write.latency_ns, abs=1.0
+        )
+
+    def test_parallel_cma_chains_take_max_latency(self):
+        mat = Mat(_small_config())
+        for entry in list(range(4)) + list(range(8, 12)):
+            mat.write_entry(entry, np.ones(32, dtype=int))
+        _, one_chain = mat.pooled_lookup(range(4))
+        _, two_chains = mat.pooled_lookup(list(range(4)) + list(range(8, 12)))
+        foms = mat.config.foms
+        # Two equal-length chains run concurrently: only the tree is added.
+        assert two_chains.latency_ns == pytest.approx(
+            one_chain.latency_ns + foms.intra_mat_add.latency_ns, abs=1.0
+        )
+        # ... but both chains' energy is charged.
+        assert two_chains.energy_pj > 1.8 * one_chain.energy_pj
+
+    def test_empty_pool_rejected(self):
+        with pytest.raises(ValueError):
+            Mat(_small_config()).pooled_lookup([])
+
+
+class TestSearch:
+    def test_search_across_cmas_priority_order(self):
+        config = ArchitectureConfig(cma_rows=8, cmas_per_mat=4)
+        mat = Mat(config)
+        signature = np.zeros(256, dtype=np.uint8)
+        for entry in (3, 9, 25):
+            mat.write_signature_entry(entry, signature)
+        matches, _ = mat.search(signature, threshold=0)
+        assert matches == [3, 9, 25]  # CMA-major then row order
+
+    def test_search_latency_is_one_array_search(self):
+        """All CMAs search in parallel -- O(1) array time."""
+        config = ArchitectureConfig(cma_rows=8, cmas_per_mat=4)
+        mat = Mat(config)
+        query = np.zeros(256, dtype=np.uint8)
+        other = np.ones(256, dtype=np.uint8)
+        for entry in (0, 10, 20, 30):
+            mat.write_signature_entry(entry, other)
+        matches, cost = mat.search(query, threshold=0)
+        assert matches == []
+        foms = config.foms
+        # One parallel search + mode switches; no per-CMA serialisation.
+        assert cost.latency_ns < 2.0 * (foms.cma_search.latency_ns + 0.5)
+
+    def test_search_energy_scales_with_cma_count(self):
+        config = ArchitectureConfig(cma_rows=8, cmas_per_mat=4)
+        narrow = Mat(config, active_cmas=1)
+        wide = Mat(config, active_cmas=4)
+        query = np.zeros(256, dtype=np.uint8)
+        narrow.write_signature_entry(0, query)
+        wide.write_signature_entry(0, query)
+        _, narrow_cost = narrow.search(query, threshold=300)
+        _, wide_cost = wide.search(query, threshold=300)
+        assert wide_cost.energy_pj > narrow_cost.energy_pj

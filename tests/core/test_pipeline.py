@@ -1,0 +1,143 @@
+"""Tests for the end-to-end engines (GPU reference vs iMARS)."""
+
+import numpy as np
+import pytest
+
+from repro.core.mapping import WorkloadMapping
+from repro.core.pipeline import GPUReferenceEngine, IMARSEngine
+from repro.data.movielens import MovieLensDataset, movielens_table_specs
+from repro.models.youtube_dnn import (
+    YouTubeDNNConfig,
+    YouTubeDNNFiltering,
+    YouTubeDNNRanking,
+)
+
+
+@pytest.fixture(scope="module")
+def trained_setup():
+    dataset = MovieLensDataset(scale=0.05, seed=0)
+    config = YouTubeDNNConfig(
+        num_items=dataset.num_items,
+        demographic_cardinalities=(dataset.num_users, 3, 7, 21, 450),
+        seed=0,
+    )
+    filtering = YouTubeDNNFiltering(config)
+    histories, targets = dataset.train_examples()
+    filtering.train_retrieval(histories, dataset.demographics, targets, epochs=2, seed=0)
+    ranking = YouTubeDNNRanking(config)
+    mapping = WorkloadMapping(movielens_table_specs())
+    return dataset, filtering, ranking, mapping
+
+
+def _query(dataset, user=0):
+    return (
+        dataset.histories[user],
+        dataset.demographics[user],
+        dataset.ranking_context[user],
+    )
+
+
+class TestGPUEngine:
+    def test_returns_topk_items(self, trained_setup):
+        dataset, filtering, ranking, _ = trained_setup
+        engine = GPUReferenceEngine(filtering, ranking, num_candidates=15, top_k=5)
+        result = engine.recommend(*_query(dataset))
+        assert len(result.items) == 5
+        assert result.candidate_count == 15
+        assert all(0 <= item < dataset.num_items for item in result.items)
+
+    def test_ledger_covers_all_stages(self, trained_setup):
+        dataset, filtering, ranking, _ = trained_setup
+        engine = GPUReferenceEngine(filtering, ranking, num_candidates=15, top_k=5)
+        result = engine.recommend(*_query(dataset))
+        assert {"ET Lookup", "DNN Stack", "NNS", "Ranking", "TopK"} <= set(
+            result.ledger.categories()
+        )
+
+    def test_qps_consistent_with_latency(self, trained_setup):
+        dataset, filtering, ranking, _ = trained_setup
+        engine = GPUReferenceEngine(filtering, ranking, num_candidates=15, top_k=5)
+        result = engine.recommend(*_query(dataset))
+        assert result.qps == pytest.approx(1e9 / result.cost.latency_ns)
+
+    def test_invalid_params_rejected(self, trained_setup):
+        _, filtering, ranking, _ = trained_setup
+        with pytest.raises(ValueError):
+            GPUReferenceEngine(filtering, ranking, num_candidates=0)
+
+
+class TestIMARSEngine:
+    def test_returns_topk_items(self, trained_setup):
+        dataset, filtering, ranking, mapping = trained_setup
+        engine = IMARSEngine(filtering, ranking, mapping, num_candidates=15, top_k=5)
+        result = engine.recommend(*_query(dataset))
+        assert len(result.items) == 5
+        assert 1 <= result.candidate_count <= 15
+
+    def test_radius_calibrated_positive(self, trained_setup):
+        _, filtering, ranking, mapping = trained_setup
+        engine = IMARSEngine(filtering, ranking, mapping, num_candidates=15)
+        assert 0 < engine.radius <= 256
+
+    def test_imars_beats_gpu_on_latency_and_energy(self, trained_setup):
+        dataset, filtering, ranking, mapping = trained_setup
+        gpu = GPUReferenceEngine(filtering, ranking, num_candidates=15, top_k=5)
+        imars = IMARSEngine(filtering, ranking, mapping, num_candidates=15, top_k=5)
+        query = _query(dataset)
+        gpu_result = gpu.recommend(*query)
+        imars_result = imars.recommend(*query)
+        assert imars_result.cost.speedup_over(gpu_result.cost) > 5.0
+        assert imars_result.cost.energy_reduction_over(gpu_result.cost) > 50.0
+
+    def test_functional_agreement_with_gpu(self, trained_setup):
+        """The IMC substitutions keep most recommendations identical."""
+        dataset, filtering, ranking, mapping = trained_setup
+        gpu = GPUReferenceEngine(filtering, ranking, num_candidates=15, top_k=5)
+        imars = IMARSEngine(filtering, ranking, mapping, num_candidates=15, top_k=5)
+        overlaps = []
+        for user in range(8):
+            query = _query(dataset, user)
+            gpu_items = set(gpu.recommend(*query).items)
+            imars_items = set(imars.recommend(*query).items)
+            overlaps.append(len(gpu_items & imars_items) / 5.0)
+        assert float(np.mean(overlaps)) >= 0.5
+
+    def test_item_table_is_quantised(self, trained_setup):
+        _, filtering, ranking, mapping = trained_setup
+        engine = IMARSEngine(filtering, ranking, mapping, num_candidates=15)
+        original = filtering.item_table()
+        assert not np.array_equal(engine.item_table, original)  # int8 grid
+        assert np.abs(engine.item_table - original).max() < 0.05
+
+    def test_empty_radius_falls_back_to_nearest(self, trained_setup):
+        dataset, filtering, ranking, mapping = trained_setup
+        engine = IMARSEngine(filtering, ranking, mapping, num_candidates=15, top_k=3)
+        engine.radius = 0  # force near-empty candidate sets
+        result = engine.recommend(*_query(dataset))
+        assert result.candidate_count >= 1
+        assert len(result.items) >= 1
+
+
+class TestAnalogServing:
+    def test_analog_engine_agrees_with_digital(self, trained_setup):
+        """Analog crossbar scoring (8-bit converters) barely moves top-k."""
+        dataset, filtering, ranking, mapping = trained_setup
+        digital = IMARSEngine(filtering, ranking, mapping, num_candidates=15, top_k=5)
+        analog = IMARSEngine(
+            filtering, ranking, mapping, num_candidates=15, top_k=5, analog_dnn=True
+        )
+        overlaps = []
+        for user in range(6):
+            query = _query(dataset, user)
+            digital_items = set(digital.recommend(*query).items)
+            analog_items = set(analog.recommend(*query).items)
+            overlaps.append(len(digital_items & analog_items) / 5.0)
+        assert float(np.mean(overlaps)) >= 0.6
+
+    def test_analog_scores_in_unit_interval(self, trained_setup):
+        dataset, filtering, ranking, mapping = trained_setup
+        engine = IMARSEngine(
+            filtering, ranking, mapping, num_candidates=10, top_k=3, analog_dnn=True
+        )
+        result = engine.recommend(*_query(dataset))
+        assert len(result.items) == 3

@@ -1,0 +1,53 @@
+"""Tests for the standby-power model."""
+
+import pytest
+
+from repro.core.config import PAPER_CONFIG
+from repro.core.power import StandbyPowerModel, standby_comparison
+
+
+class TestStandbyModel:
+    def test_fefet_leaks_far_less_than_sram(self):
+        model = StandbyPowerModel()
+        assert model.retention_advantage() > 100.0
+
+    def test_energy_linear_in_time_and_arrays(self):
+        model = StandbyPowerModel()
+        one = model.standby_energy(1, 1.0, "sram")
+        many = model.standby_energy(10, 2.0, "sram")
+        assert many.energy_pj == pytest.approx(20.0 * one.energy_pj)
+
+    def test_energy_unit_sanity(self):
+        """1800 uW for 1 s is 1800 uJ."""
+        model = StandbyPowerModel()
+        cost = model.standby_energy(1, 1.0, "sram")
+        assert cost.energy_uj == pytest.approx(1800.0)
+
+    def test_unknown_technology_rejected(self):
+        with pytest.raises(ValueError):
+            StandbyPowerModel().standby_energy(1, 1.0, "dram")
+
+    def test_negative_args_rejected(self):
+        model = StandbyPowerModel()
+        with pytest.raises(ValueError):
+            model.standby_energy(-1, 1.0)
+        with pytest.raises(ValueError):
+            model.standby_energy(1, -1.0)
+
+    def test_invalid_constants_rejected(self):
+        with pytest.raises(ValueError):
+            StandbyPowerModel(sram_cma_leakage_uw=0.0)
+
+    def test_zero_fefet_leakage_infinite_advantage(self):
+        model = StandbyPowerModel(fefet_cma_leakage_uw=0.0)
+        assert model.retention_advantage() == float("inf")
+
+
+class TestFabricComparison:
+    def test_comparison_structure(self):
+        result = standby_comparison(PAPER_CONFIG, idle_seconds=0.5)
+        assert result["num_cmas"] == PAPER_CONFIG.total_cmas
+        assert result["sram_energy_uj"] > result["fefet_energy_uj"]
+        assert result["advantage"] == pytest.approx(
+            result["sram_energy_uj"] / result["fefet_energy_uj"]
+        )

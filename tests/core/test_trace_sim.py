@@ -1,0 +1,114 @@
+"""Tests for the trace-driven bank-utilisation simulator."""
+
+import numpy as np
+import pytest
+
+from repro.core.mapping import EmbeddingTableSpec, WorkloadMapping
+from repro.core.trace_sim import TraceSimulator
+from repro.data.movielens import movielens_table_specs
+
+
+def _small_simulator():
+    specs = [
+        EmbeddingTableSpec("user", 600),
+        EmbeddingTableSpec("item", 1000, kind="itet", pooling_factor=4),
+    ]
+    return TraceSimulator(WorkloadMapping(specs))
+
+
+class TestReplay:
+    def test_counts_accumulate(self):
+        simulator = _small_simulator()
+        trace = simulator.replay(
+            [
+                {"user": [3], "item": [0, 1]},
+                {"user": [3], "item": [700]},
+            ]
+        )
+        assert trace.num_queries == 2
+        assert trace.bank_accesses == {"user": 2, "item": 2}
+        assert trace.cma_accesses["user"][0] == 2
+        assert trace.cma_accesses["item"][0] == 2  # entries 0 and 1
+        assert trace.cma_accesses["item"][700 // 256] == 1
+
+    def test_empty_lookup_not_counted(self):
+        simulator = _small_simulator()
+        trace = simulator.replay([{"user": [], "item": [5]}])
+        assert trace.bank_accesses["user"] == 0
+        assert trace.bank_accesses["item"] == 1
+
+    def test_unknown_table_rejected(self):
+        simulator = _small_simulator()
+        with pytest.raises(KeyError):
+            simulator.replay([{"nope": [0]}])
+
+    def test_out_of_range_entry_rejected(self):
+        simulator = _small_simulator()
+        with pytest.raises(IndexError):
+            simulator.replay([{"user": [600]}])
+
+    def test_total_cma_accesses_match_entries(self):
+        simulator = _small_simulator()
+        stream = [{"user": [1, 2, 3], "item": [10, 300, 999]}] * 5
+        trace = simulator.replay(stream)
+        assert trace.cma_accesses["user"].sum() == 15
+        assert trace.cma_accesses["item"].sum() == 15
+
+
+class TestMetrics:
+    def test_bank_balance_of_uniform_stream(self):
+        simulator = _small_simulator()
+        trace = simulator.replay([{"user": [0], "item": [0]}] * 10)
+        assert trace.bank_balance() == pytest.approx(1.0)
+
+    def test_cma_skew_all_in_one(self):
+        simulator = _small_simulator()
+        trace = simulator.replay([{"item": [1, 2, 3]}] * 4)
+        assert trace.cma_skew("item") == pytest.approx(1.0)
+
+    def test_cma_skew_unknown_table_is_zero(self):
+        simulator = _small_simulator()
+        trace = simulator.replay([])
+        assert trace.cma_skew("item") == 0.0
+
+
+class TestSyntheticStream:
+    def test_stream_shape(self):
+        simulator = TraceSimulator(WorkloadMapping(movielens_table_specs()))
+        stream = simulator.synthesize_stream(
+            20, itet_name="item", pooling=5, rng=np.random.default_rng(0)
+        )
+        assert len(stream) == 20
+        for query in stream:
+            assert len(query["item"]) == 5
+            assert len(query["user_id"]) == 1
+
+    def test_entries_within_table_ranges(self):
+        mapping = WorkloadMapping(movielens_table_specs())
+        simulator = TraceSimulator(mapping)
+        stream = simulator.synthesize_stream(
+            50, itet_name="item", rng=np.random.default_rng(1)
+        )
+        limits = {m.spec.name: m.spec.num_entries for m in mapping.tables}
+        for query in stream:
+            for name, entries in query.items():
+                assert all(0 <= entry < limits[name] for entry in entries)
+
+    def test_zipf_concentrates_item_accesses(self):
+        simulator = TraceSimulator(WorkloadMapping(movielens_table_specs()))
+        stream = simulator.synthesize_stream(
+            500, itet_name="item", pooling=8, rng=np.random.default_rng(2)
+        )
+        trace = simulator.replay(stream)
+        uniform = 1.0 / len(trace.cma_accesses["item"])
+        assert trace.cma_skew("item") > 1.5 * uniform
+
+    def test_unknown_itet_rejected(self):
+        simulator = _small_simulator()
+        with pytest.raises(KeyError):
+            simulator.synthesize_stream(5, itet_name="nope")
+
+    def test_invalid_counts_rejected(self):
+        simulator = _small_simulator()
+        with pytest.raises(ValueError):
+            simulator.synthesize_stream(0, itet_name="item")

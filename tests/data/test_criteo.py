@@ -1,0 +1,90 @@
+"""Tests for the synthetic Criteo workload."""
+
+import numpy as np
+import pytest
+
+from repro.core.mapping import RANKING, WorkloadMapping
+from repro.data.criteo import (
+    CRITEO_NUM_DENSE,
+    CRITEO_NUM_SPARSE,
+    CRITEO_ROWS_PER_TABLE,
+    CriteoDataset,
+    criteo_table_specs,
+)
+
+
+class TestTableSpecs:
+    def test_26_ranking_only_tables(self):
+        specs = criteo_table_specs()
+        assert len(specs) == 26
+        assert all(spec.stages == frozenset({RANKING}) for spec in specs)
+        assert all(spec.kind == "uiet" for spec in specs)
+
+    def test_table_one_counts(self):
+        """26 banks, 104 mats, 2860 CMAs (Table I)."""
+        mapping = WorkloadMapping(criteo_table_specs())
+        assert mapping.table_one_row() == {"banks": 26, "mats": 104, "cmas": 2860}
+
+    def test_per_table_geometry(self):
+        """28000 rows -> 110 CMAs -> 4 mats per table."""
+        mapping = WorkloadMapping(criteo_table_specs())
+        table = mapping.tables[0]
+        assert table.embedding_cmas == 110
+        assert table.embedding_mats == 4
+        assert table.signature_cmas == 0  # no ItET for Criteo
+
+    def test_rows_override(self):
+        specs = criteo_table_specs(rows_per_table=1000)
+        assert all(spec.num_entries == 1000 for spec in specs)
+
+
+class TestDataset:
+    def test_full_shape_constants(self):
+        assert CRITEO_NUM_DENSE == 13
+        assert CRITEO_NUM_SPARSE == 26
+        assert CRITEO_ROWS_PER_TABLE == 28000
+
+    def test_scaled_shapes(self):
+        dataset = CriteoDataset(scale=0.02, seed=0)
+        assert dataset.dense.shape == (dataset.num_samples, 13)
+        assert dataset.sparse.shape == (dataset.num_samples, 26)
+        assert dataset.clicks.shape == (dataset.num_samples,)
+
+    def test_sparse_indices_within_tables(self):
+        dataset = CriteoDataset(scale=0.02, seed=1)
+        assert dataset.sparse.min() >= 0
+        assert dataset.sparse.max() < dataset.rows_per_table
+
+    def test_dense_standardised(self):
+        dataset = CriteoDataset(scale=0.05, seed=2)
+        assert np.abs(dataset.dense.mean(axis=0)).max() < 0.1
+        assert np.abs(dataset.dense.std(axis=0) - 1.0).max() < 0.1
+
+    def test_click_rate_plausible(self):
+        dataset = CriteoDataset(scale=0.05, seed=3)
+        assert 0.05 < dataset.click_rate < 0.6
+
+    def test_clicks_are_learnable(self):
+        """The ground truth is logistic in the features: dense features must
+        carry signal (clicked rows differ in mean from unclicked)."""
+        dataset = CriteoDataset(scale=0.05, seed=4)
+        clicked = dataset.dense[dataset.clicks == 1]
+        unclicked = dataset.dense[dataset.clicks == 0]
+        separation = np.abs(clicked.mean(axis=0) - unclicked.mean(axis=0)).max()
+        assert separation > 0.05
+
+    def test_split_partition(self):
+        dataset = CriteoDataset(scale=0.02, seed=5)
+        train, test = dataset.split(test_fraction=0.25)
+        assert train["dense"].shape[0] + test["dense"].shape[0] == dataset.num_samples
+        assert test["clicks"].shape[0] == pytest.approx(0.25 * dataset.num_samples, abs=2)
+
+    def test_invalid_split_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            CriteoDataset(scale=0.02).split(test_fraction=0.0)
+
+    def test_deterministic_given_seed(self):
+        a = CriteoDataset(scale=0.02, seed=7)
+        b = CriteoDataset(scale=0.02, seed=7)
+        np.testing.assert_array_equal(a.clicks, b.clicks)
+        np.testing.assert_array_equal(a.sparse, b.sparse)

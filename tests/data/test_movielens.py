@@ -1,0 +1,105 @@
+"""Tests for the synthetic MovieLens workload."""
+
+import numpy as np
+import pytest
+
+from repro.core.mapping import FILTERING, RANKING, WorkloadMapping
+from repro.data.movielens import (
+    MOVIELENS_NUM_ITEMS,
+    MOVIELENS_NUM_USERS,
+    MovieLensDataset,
+    movielens_table_specs,
+)
+
+
+class TestTableSpecs:
+    def test_seven_tables(self):
+        assert len(movielens_table_specs()) == 7
+
+    def test_table_one_counts(self):
+        """The core Table I reproduction: 7 banks, 8 mats, 54 CMAs."""
+        mapping = WorkloadMapping(movielens_table_specs())
+        assert mapping.table_one_row() == {"banks": 7, "mats": 8, "cmas": 54}
+
+    def test_uiet_share_structure(self):
+        mapping = WorkloadMapping(movielens_table_specs())
+        filtering = mapping.stage_summary(FILTERING)
+        ranking = mapping.stage_summary(RANKING)
+        assert filtering["uiet_tables"] == 5
+        assert ranking["uiet_tables"] == 6
+        assert ranking["shared_uiet_tables"] == 5
+
+    def test_single_itet_with_movielens_size(self):
+        mapping = WorkloadMapping(movielens_table_specs())
+        itet = mapping.itet()
+        assert itet.spec.num_entries == MOVIELENS_NUM_ITEMS
+
+    def test_extreme_cardinalities_match_paper_statement(self):
+        """'ETs have a maximum of 6040 entries and a minimum of 3 entries.'"""
+        sizes = [spec.num_entries for spec in movielens_table_specs()]
+        assert max(sizes) == MOVIELENS_NUM_USERS == 6040
+        assert min(sizes) == 3
+
+    def test_history_pooling_parameter(self):
+        specs = movielens_table_specs(history_pooling=7)
+        itet = [spec for spec in specs if spec.kind == "itet"][0]
+        assert itet.pooling_factor == 7
+
+
+class TestDataset:
+    def test_scaled_shapes(self):
+        dataset = MovieLensDataset(scale=0.05, seed=0)
+        assert dataset.num_users < MOVIELENS_NUM_USERS
+        assert len(dataset.histories) == dataset.num_users
+        assert dataset.demographics.shape == (dataset.num_users, 5)
+        assert dataset.ranking_context.shape == (dataset.num_users, 6)
+        assert dataset.test_positives.shape == (dataset.num_users,)
+
+    def test_histories_have_requested_length(self):
+        dataset = MovieLensDataset(scale=0.05, history_length=6, seed=0)
+        assert all(len(history) == 6 for history in dataset.histories)
+
+    def test_item_indices_in_range(self):
+        dataset = MovieLensDataset(scale=0.05, seed=1)
+        for history in dataset.histories:
+            assert all(0 <= item < dataset.num_items for item in history)
+        assert dataset.test_positives.max() < dataset.num_items
+
+    def test_demographic_columns_respect_cardinalities(self):
+        dataset = MovieLensDataset(scale=0.05, seed=2)
+        cardinalities = [dataset.num_users, 3, 7, 21, 450]
+        for column, cardinality in enumerate(cardinalities):
+            assert dataset.demographics[:, column].max() < cardinality
+            assert dataset.demographics[:, column].min() >= 0
+
+    def test_deterministic_given_seed(self):
+        a = MovieLensDataset(scale=0.05, seed=5)
+        b = MovieLensDataset(scale=0.05, seed=5)
+        np.testing.assert_array_equal(a.test_positives, b.test_positives)
+        assert a.histories == b.histories
+
+    def test_train_examples_exclude_test_positive(self):
+        dataset = MovieLensDataset(scale=0.05, seed=3, exploration=0.0)
+        inputs, targets = dataset.train_examples()
+        assert len(inputs) == dataset.num_users
+        for history, inp, target in zip(dataset.histories, inputs, targets):
+            assert inp == history[:-1]
+            assert target == history[-1]
+
+    def test_exploration_bounds(self):
+        with pytest.raises(ValueError):
+            MovieLensDataset(scale=0.05, exploration=1.0)
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            MovieLensDataset(scale=0.0)
+
+    def test_ranking_clicks_shapes(self):
+        dataset = MovieLensDataset(scale=0.05, seed=4)
+        users, items, clicks = dataset.ranking_clicks(pairs_per_user=2)
+        assert users.shape == items.shape == clicks.shape
+        assert set(np.unique(clicks)).issubset({0, 1})
+
+    def test_test_users_limit(self):
+        dataset = MovieLensDataset(scale=0.05, seed=0)
+        assert len(dataset.test_users(limit=10)) == 10

@@ -1,0 +1,67 @@
+"""Tests for the text report formatters."""
+
+import pytest
+
+from repro.energy.accounting import Cost
+from repro.energy.report import format_breakdown, format_comparison, format_cost_table
+
+
+class TestFormatBreakdown:
+    def test_contains_title_and_percentages(self):
+        text = format_breakdown("Filtering", {"ET Lookup": 0.53, "NNS": 0.11})
+        assert "Filtering" in text
+        assert "53.0%" in text
+        assert "11.0%" in text
+
+    def test_one_line_per_entry(self):
+        text = format_breakdown("t", {"a": 0.5, "b": 0.5})
+        assert len(text.splitlines()) == 3  # title + 2 rows
+
+
+class TestFormatCostTable:
+    def test_contains_operation_rows(self):
+        text = format_cost_table("Table II", {"CMA read": Cost(3.2, 0.3)})
+        assert "CMA read" in text
+        assert "3.2" in text
+        assert "0.3" in text
+
+    def test_header_labels_units(self):
+        text = format_cost_table("t", {})
+        assert "Energy (pJ)" in text
+        assert "Latency (ns)" in text
+
+
+class TestFormatComparison:
+    def test_speedup_column_computed(self):
+        gpu = Cost(energy_pj=200e6, latency_ns=10e3)  # 200 uJ, 10 us
+        imars = Cost(energy_pj=0.4e6, latency_ns=0.2e3)  # 0.4 uJ, 0.2 us
+        text = format_comparison("Table III", [("movielens", gpu, imars)])
+        assert "movielens" in text
+        assert "50.0x" in text  # 10 us / 0.2 us
+        assert "500.0x" in text  # 200 uJ / 0.4 uJ
+
+    def test_custom_platform_names(self):
+        text = format_comparison(
+            "t", [], baseline_name="CPU", candidate_name="FPGA"
+        )
+        assert "CPU" in text
+        assert "FPGA" in text
+
+
+class TestMergeBreakdowns:
+    def test_average_of_two(self):
+        from repro.energy.report import merge_breakdowns
+
+        merged = merge_breakdowns({"a": 0.6, "b": 0.4}, {"a": 0.2, "b": 0.8})
+        assert merged == {"a": pytest.approx(0.4), "b": pytest.approx(0.6)}
+
+    def test_empty_input(self):
+        from repro.energy.report import merge_breakdowns
+
+        assert merge_breakdowns() == {}
+
+    def test_missing_keys_treated_as_zero(self):
+        from repro.energy.report import merge_breakdowns
+
+        merged = merge_breakdowns({"a": 1.0}, {})
+        assert merged["a"] == pytest.approx(0.5)

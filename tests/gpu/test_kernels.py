@@ -1,0 +1,95 @@
+"""Tests for the calibrated GPU kernel cost models."""
+
+import pytest
+
+from repro.gpu.device import GPUDeviceModel, GTX1080
+from repro.gpu.kernels import (
+    gpu_dnn_stack,
+    gpu_et_operation,
+    gpu_nns_cosine,
+    gpu_nns_lsh,
+    gpu_topk,
+)
+
+
+class TestCalibrationAnchors:
+    """The fitted model must land on the published GPU measurements."""
+
+    def test_movielens_filtering_et(self):
+        cost = gpu_et_operation(num_tables=6)
+        assert cost.latency_us == pytest.approx(9.27, rel=0.02)
+        assert cost.energy_uj == pytest.approx(203.97, rel=0.02)
+
+    def test_movielens_ranking_et_held_out(self):
+        """7 tables is NOT a fit anchor -- this validates the linear model."""
+        cost = gpu_et_operation(num_tables=7)
+        assert cost.latency_us == pytest.approx(9.60, rel=0.02)
+        assert cost.energy_uj == pytest.approx(211.26, rel=0.02)
+
+    def test_criteo_ranking_et(self):
+        cost = gpu_et_operation(num_tables=26)
+        assert cost.latency_us == pytest.approx(14.97, rel=0.02)
+        assert cost.energy_uj == pytest.approx(329.34, rel=0.02)
+
+    def test_nns_cosine_anchor(self):
+        cost = gpu_nns_cosine(3000, 32)
+        assert cost.latency_us == pytest.approx(13.6, rel=0.02)
+        assert cost.energy_mj == pytest.approx(0.34, rel=0.02)
+
+    def test_nns_lsh_anchor(self):
+        cost = gpu_nns_lsh(3000, 256)
+        assert cost.latency_us == pytest.approx(6.97, rel=0.02)
+        assert cost.energy_mj == pytest.approx(0.15, rel=0.02)
+
+    def test_et_power_is_22w(self):
+        assert gpu_et_operation(6).power_w == pytest.approx(22.0, rel=0.01)
+
+
+class TestScalingBehaviour:
+    def test_et_latency_linear_in_tables(self):
+        few = gpu_et_operation(5)
+        many = gpu_et_operation(25)
+        slope = (many.latency_us - few.latency_us) / 20.0
+        assert slope == pytest.approx(GTX1080.et_per_table_us, rel=0.1)
+
+    def test_nns_scales_with_items(self):
+        assert gpu_nns_cosine(10000, 32).latency_ns > gpu_nns_cosine(1000, 32).latency_ns
+
+    def test_lsh_cheaper_than_cosine_at_paper_point(self):
+        """The motivation for LSH even before iMARS: fewer bytes scanned."""
+        assert gpu_nns_lsh(3000, 256).latency_ns < gpu_nns_cosine(3000, 32).latency_ns
+
+    def test_dnn_launch_overhead_dominates_small_mlps(self):
+        cost = gpu_dnn_stack(128, "128-1")
+        floor = 2 * GTX1080.kernel_launch_us
+        assert cost.latency_us >= floor
+
+    def test_dnn_flops_term_visible_for_huge_layers(self):
+        small = gpu_dnn_stack(128, "128-1")
+        huge = gpu_dnn_stack(8192, "8192-1")
+        assert huge.latency_us > small.latency_us
+
+    def test_topk_small(self):
+        assert gpu_topk(100).latency_us < 1.0
+
+
+class TestValidation:
+    def test_zero_tables_rejected(self):
+        with pytest.raises(ValueError):
+            gpu_et_operation(0)
+
+    def test_invalid_nns_args_rejected(self):
+        with pytest.raises(ValueError):
+            gpu_nns_cosine(0, 32)
+        with pytest.raises(ValueError):
+            gpu_nns_lsh(100, 0)
+
+    def test_device_constant_validation(self):
+        with pytest.raises(ValueError):
+            GPUDeviceModel(peak_flops=0.0)
+        with pytest.raises(ValueError):
+            GPUDeviceModel(kernel_launch_us=-1.0)
+
+    def test_device_helpers(self):
+        assert GTX1080.gemm_time_us(8.9e12) == pytest.approx(1e6)
+        assert GTX1080.transfer_time_us(320e9) == pytest.approx(1e6)

@@ -1,0 +1,49 @@
+"""Tests for the Fig. 2 stage profiler."""
+
+import pytest
+
+from repro.gpu.profiler import GPUStageProfiler
+
+
+class TestBreakdowns:
+    def test_filtering_fractions_near_paper(self):
+        fractions = GPUStageProfiler().breakdowns()["filtering"]
+        assert fractions["ET Lookup"] == pytest.approx(0.53, abs=0.05)
+        assert fractions["DNN Stack"] == pytest.approx(0.36, abs=0.05)
+        assert fractions["NNS"] == pytest.approx(0.11, abs=0.03)
+
+    def test_ranking_fractions_near_paper(self):
+        fractions = GPUStageProfiler().breakdowns()["ranking"]
+        assert fractions["ET Lookup"] == pytest.approx(0.23, abs=0.05)
+        assert fractions["DNN Stack"] == pytest.approx(0.65, abs=0.05)
+        assert fractions["TopK"] == pytest.approx(0.12, abs=0.03)
+
+    def test_fractions_sum_to_one(self):
+        breakdowns = GPUStageProfiler().breakdowns()
+        for stage in ("filtering", "ranking"):
+            assert sum(breakdowns[stage].values()) == pytest.approx(1.0)
+
+    def test_qualitative_shape(self):
+        """ET dominates filtering; DNN dominates ranking; NNS/TopK minor."""
+        breakdowns = GPUStageProfiler().breakdowns()
+        filtering, ranking = breakdowns["filtering"], breakdowns["ranking"]
+        assert filtering["ET Lookup"] == max(filtering.values())
+        assert ranking["DNN Stack"] == max(ranking.values())
+        assert filtering["NNS"] == min(filtering.values())
+        assert ranking["TopK"] == min(ranking.values())
+
+    def test_host_overhead_knob(self):
+        """With zero host overhead the NNS kernel (13.6 us) dominates the
+        filtering stage -- the raw-kernel view Table III implies."""
+        profiler = GPUStageProfiler(host_per_op_us=0.0)
+        fractions = profiler.breakdowns()["filtering"]
+        assert fractions["NNS"] == max(fractions.values())
+
+    def test_negative_host_overhead_rejected(self):
+        with pytest.raises(ValueError):
+            GPUStageProfiler(host_per_op_us=-1.0)
+
+    def test_more_candidates_raise_dnn_share(self):
+        few = GPUStageProfiler(candidates=24).breakdowns()["ranking"]
+        many = GPUStageProfiler(candidates=96).breakdowns()["ranking"]
+        assert many["DNN Stack"] > few["DNN Stack"]

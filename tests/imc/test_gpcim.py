@@ -1,0 +1,111 @@
+"""Tests for the GPCiM functional model (in-memory logic and addition)."""
+
+import numpy as np
+import pytest
+
+from repro.imc.gpcim import GPCiMArray, pack_lanes, ripple_add_bits, unpack_lanes
+
+
+class TestBitPacking:
+    def test_roundtrip_positive_and_negative(self):
+        values = [0, 1, -1, 127, -128, 42, -42, 100]
+        bits = pack_lanes(values, lane_bits=8)
+        assert unpack_lanes(bits, lane_bits=8).tolist() == values
+
+    def test_packed_width(self):
+        assert pack_lanes([0] * 32, lane_bits=8).shape == (256,)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            pack_lanes([200], lane_bits=8)
+
+    def test_unpack_bad_length_rejected(self):
+        with pytest.raises(ValueError):
+            unpack_lanes(np.zeros(10, dtype=np.int64), lane_bits=8)
+
+
+class TestRippleAdd:
+    def test_matches_integer_addition(self):
+        for a, b in [(0, 0), (1, 1), (5, 7), (100, 27), (255, 0)]:
+            bits_a = np.array([(a >> i) & 1 for i in range(9)], dtype=np.int8)
+            bits_b = np.array([(b >> i) & 1 for i in range(9)], dtype=np.int8)
+            total, carry = ripple_add_bits(bits_a, bits_b)
+            value = sum(int(bit) << i for i, bit in enumerate(total))
+            assert value + (carry << 9) == a + b
+
+    def test_carry_out_on_overflow(self):
+        bits = np.ones(4, dtype=np.int8)  # 15
+        one = np.array([1, 0, 0, 0], dtype=np.int8)
+        total, carry = ripple_add_bits(bits, one)
+        assert carry == 1
+        assert total.tolist() == [0, 0, 0, 0]
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ripple_add_bits(np.zeros(4, dtype=np.int8), np.zeros(5, dtype=np.int8))
+
+    def test_non_binary_rejected(self):
+        with pytest.raises(ValueError):
+            ripple_add_bits(np.array([0, 2], dtype=np.int8), np.array([0, 1], dtype=np.int8))
+
+
+class TestGPCiMArray:
+    def test_write_read_roundtrip(self):
+        array = GPCiMArray(rows=4, lanes=8)
+        values = [1, -2, 3, -4, 5, -6, 7, -8]
+        array.write_row(0, values)
+        assert array.read_row(0).tolist() == values
+
+    def test_unwritten_row_read_rejected(self):
+        with pytest.raises(ValueError):
+            GPCiMArray(rows=2, lanes=4).read_row(0)
+
+    def test_boolean_ops_match_numpy(self):
+        array = GPCiMArray(rows=2, lanes=4)
+        array.write_row(0, [3, 5, 0, -1])
+        array.write_row(1, [6, 3, 7, 1])
+        bits_a = pack_lanes([3, 5, 0, -1], 8)
+        bits_b = pack_lanes([6, 3, 7, 1], 8)
+        assert np.array_equal(array.bitwise(0, 1, "and"), bits_a & bits_b)
+        assert np.array_equal(array.bitwise(0, 1, "or"), bits_a | bits_b)
+        assert np.array_equal(array.bitwise(0, 1, "xor"), bits_a ^ bits_b)
+
+    def test_unknown_boolean_op_rejected(self):
+        array = GPCiMArray(rows=2, lanes=4)
+        array.write_row(0, [0, 0, 0, 0])
+        array.write_row(1, [0, 0, 0, 0])
+        with pytest.raises(ValueError):
+            array.bitwise(0, 1, "nand")
+
+    def test_add_rows_lane_wise(self):
+        array = GPCiMArray(rows=2, lanes=4)
+        array.write_row(0, [10, -10, 100, 0])
+        array.write_row(1, [5, -5, 50, -1])
+        assert array.add_rows(0, 1).tolist() == [15, -15, 127, -1]  # 150 saturates
+
+    def test_add_rows_saturates_low(self):
+        array = GPCiMArray(rows=2, lanes=1)
+        array.write_row(0, [-100])
+        array.write_row(1, [-100])
+        assert array.add_rows(0, 1).tolist() == [-128]
+
+    def test_accumulate_exact_with_wide_accumulator(self):
+        array = GPCiMArray(rows=4, lanes=2)
+        rows = [[100, -100], [100, -100], [100, -100], [27, 3]]
+        for index, values in enumerate(rows):
+            array.write_row(index, values)
+        total = array.accumulate_rows(range(4))
+        assert total.tolist() == [327, -297]  # exact, beyond int8 range
+
+    def test_accumulate_empty_is_zero(self):
+        array = GPCiMArray(rows=2, lanes=3)
+        assert array.accumulate_rows([]).tolist() == [0, 0, 0]
+
+    def test_accumulate_saturating_mode_clamps(self):
+        array = GPCiMArray(rows=3, lanes=1)
+        for index in range(3):
+            array.write_row(index, [100])
+        assert array.accumulate_rows(range(3), saturate=True).tolist() == [127]
+
+    def test_word_bits_property(self):
+        assert GPCiMArray(rows=1, lanes=32, lane_bits=8).word_bits == 256

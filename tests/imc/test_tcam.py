@@ -1,0 +1,125 @@
+"""Tests for the functional TCAM array."""
+
+import numpy as np
+import pytest
+
+from repro.imc.tcam import DONT_CARE, TCAMArray
+
+
+def _bits(string):
+    return np.array([int(char) for char in string], dtype=np.int8)
+
+
+class TestWritePath:
+    def test_write_and_read_back(self):
+        array = TCAMArray(4, 8)
+        array.write_row(1, _bits("10110010"))
+        assert array.stored_row(1).tolist() == [1, 0, 1, 1, 0, 0, 1, 0]
+
+    def test_care_mask_stores_dont_care(self):
+        array = TCAMArray(2, 4)
+        array.write_row(0, _bits("1010"), care_mask=[True, False, True, False])
+        stored = array.stored_row(0)
+        assert stored[1] == DONT_CARE
+        assert stored[3] == DONT_CARE
+
+    def test_bulk_write(self):
+        array = TCAMArray(8, 4)
+        matrix = np.array([[1, 0, 1, 0], [0, 1, 0, 1]], dtype=np.int8)
+        array.write_rows(3, matrix)
+        assert array.valid_rows.tolist() == [False] * 3 + [True, True] + [False] * 3
+
+    def test_out_of_range_row_rejected(self):
+        with pytest.raises(IndexError):
+            TCAMArray(2, 4).write_row(5, _bits("1010"))
+
+    def test_wrong_width_rejected(self):
+        with pytest.raises(ValueError):
+            TCAMArray(2, 4).write_row(0, _bits("10"))
+
+    def test_non_binary_bits_rejected(self):
+        with pytest.raises(ValueError):
+            TCAMArray(2, 4).write_row(0, np.array([0, 1, 2, 0], dtype=np.int8))
+
+    def test_invalidate_removes_from_search(self):
+        array = TCAMArray(2, 4)
+        array.write_row(0, _bits("1010"))
+        assert array.matching_rows(_bits("1010")) == [0]
+        array.invalidate_row(0)
+        assert array.matching_rows(_bits("1010")) == []
+
+
+class TestSearch:
+    def test_exact_match_single_row(self):
+        array = TCAMArray(4, 6)
+        array.write_row(2, _bits("110011"))
+        flags = array.search_exact(_bits("110011"))
+        assert flags.tolist() == [False, False, True, False]
+
+    def test_hamming_distances_correct(self):
+        array = TCAMArray(3, 5)
+        array.write_row(0, _bits("00000"))
+        array.write_row(1, _bits("11111"))
+        array.write_row(2, _bits("10101"))
+        distances = array.hamming_distances(_bits("10100"))
+        assert distances[:3].tolist() == [2.0, 3.0, 1.0]
+
+    def test_invalid_rows_report_worse_than_max(self):
+        array = TCAMArray(2, 4)
+        array.write_row(0, _bits("1111"))
+        distances = array.hamming_distances(_bits("1111"))
+        assert distances[1] == 5.0  # cols + 1
+
+    def test_dont_care_never_mismatches(self):
+        array = TCAMArray(1, 4)
+        # Stored 1,X,X,1: the two X cells can never discharge the matchline.
+        array.write_row(0, _bits("1001"), care_mask=[True, False, False, True])
+        assert array.hamming_distances(_bits("1111"))[0] == 0.0
+        assert array.search_threshold(_bits("1111"), 0)[0]
+        # Flipping a *cared* bit does count.
+        assert array.hamming_distances(_bits("0111"))[0] == 1.0
+
+    def test_threshold_search_is_fixed_radius(self):
+        array = TCAMArray(4, 8)
+        array.write_row(0, _bits("00000000"))
+        array.write_row(1, _bits("00000011"))
+        array.write_row(2, _bits("00001111"))
+        array.write_row(3, _bits("11111111"))
+        assert array.matching_rows(_bits("00000000"), threshold=2) == [0, 1]
+        assert array.matching_rows(_bits("00000000"), threshold=4) == [0, 1, 2]
+
+    def test_nearest_row(self):
+        array = TCAMArray(3, 4)
+        array.write_row(0, _bits("0000"))
+        array.write_row(1, _bits("0111"))
+        array.write_row(2, _bits("1111"))
+        assert array.nearest_row(_bits("0011")) == 1
+
+    def test_nearest_row_empty_array(self):
+        assert TCAMArray(3, 4).nearest_row(_bits("0011")) == -1
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            TCAMArray(2, 4).search_threshold(_bits("0000"), -1)
+
+    def test_noise_perturbs_distances_reproducibly(self):
+        array = TCAMArray(4, 16)
+        rng = np.random.default_rng(7)
+        for row in range(4):
+            array.write_row(row, rng.integers(0, 2, 16).astype(np.int8))
+        query = rng.integers(0, 2, 16).astype(np.int8)
+        noisy_a = array.hamming_distances(query, noise_sigma=0.5, rng=np.random.default_rng(3))
+        noisy_b = array.hamming_distances(query, noise_sigma=0.5, rng=np.random.default_rng(3))
+        clean = array.hamming_distances(query)
+        assert np.array_equal(noisy_a, noisy_b)
+        assert not np.array_equal(noisy_a, clean)
+
+    def test_search_time_independent_of_row_count(self):
+        """Structural O(1) property: one search call touches all rows at once
+        (no per-row Python iteration in the hot path)."""
+        small = TCAMArray(4, 32)
+        large = TCAMArray(1024, 32)
+        query = np.zeros(32, dtype=np.int8)
+        # Both complete through a single vectorised comparison.
+        assert small.hamming_distances(query).shape == (4,)
+        assert large.hamming_distances(query).shape == (1024,)

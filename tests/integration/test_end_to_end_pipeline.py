@@ -1,0 +1,101 @@
+"""Integration: full trained-model recommendation pipelines on both engines."""
+
+import numpy as np
+import pytest
+
+from repro.core.mapping import WorkloadMapping
+from repro.core.pipeline import GPUReferenceEngine, IMARSEngine
+from repro.data.criteo import CriteoDataset
+from repro.data.movielens import MovieLensDataset, movielens_table_specs
+from repro.metrics.accuracy import auc_score, hit_rate
+from repro.models.dlrm import DLRM, DLRMConfig
+from repro.models.youtube_dnn import (
+    YouTubeDNNConfig,
+    YouTubeDNNFiltering,
+    YouTubeDNNRanking,
+)
+
+
+@pytest.fixture(scope="module")
+def movielens_stack():
+    dataset = MovieLensDataset(scale=0.08, seed=1)
+    config = YouTubeDNNConfig(
+        num_items=dataset.num_items,
+        demographic_cardinalities=(dataset.num_users, 3, 7, 21, 450),
+        seed=1,
+    )
+    filtering = YouTubeDNNFiltering(config)
+    histories, targets = dataset.train_examples()
+    filtering.train_retrieval(histories, dataset.demographics, targets, epochs=4, seed=1)
+    ranking = YouTubeDNNRanking(config)
+    users, items, clicks = dataset.ranking_clicks(pairs_per_user=2)
+    user_vectors = filtering.user_embedding(
+        [dataset.histories[u] for u in users], dataset.demographics[users]
+    )
+    item_vectors = filtering.item_table()[items]
+    ranking.train_ctr(
+        user_vectors, item_vectors, dataset.ranking_context[users], clicks,
+        epochs=3, seed=1,
+    )
+    return dataset, filtering, ranking
+
+
+class TestMovieLensEndToEnd:
+    def test_trained_retrieval_beats_chance(self, movielens_stack):
+        dataset, filtering, _ = movielens_stack
+        from repro.nns.exact import cosine_topk
+
+        users = dataset.test_users(limit=150)
+        user_vectors = filtering.user_embedding(
+            [dataset.histories[u] for u in users], dataset.demographics[users]
+        )
+        table = filtering.item_table()
+        candidates = max(5, dataset.num_items // 30)
+        retrieved = [list(cosine_topk(v, table, candidates)[0]) for v in user_vectors]
+        hr = hit_rate(retrieved, dataset.test_positives[users])
+        chance = candidates / dataset.num_items
+        assert hr > 2.0 * chance
+
+    def test_both_engines_agree_and_imars_wins(self, movielens_stack):
+        dataset, filtering, ranking = movielens_stack
+        mapping = WorkloadMapping(movielens_table_specs())
+        gpu = GPUReferenceEngine(filtering, ranking, num_candidates=20, top_k=5)
+        imars = IMARSEngine(filtering, ranking, mapping, num_candidates=20, top_k=5)
+        speedups, reductions, overlaps = [], [], []
+        for user in range(6):
+            query = (
+                dataset.histories[user],
+                dataset.demographics[user],
+                dataset.ranking_context[user],
+            )
+            gpu_result = gpu.recommend(*query)
+            imars_result = imars.recommend(*query)
+            speedups.append(imars_result.cost.speedup_over(gpu_result.cost))
+            reductions.append(
+                imars_result.cost.energy_reduction_over(gpu_result.cost)
+            )
+            overlaps.append(
+                len(set(gpu_result.items) & set(imars_result.items)) / 5.0
+            )
+        assert min(speedups) > 5.0
+        assert min(reductions) > 50.0
+        assert float(np.mean(overlaps)) >= 0.4
+
+
+class TestCriteoEndToEnd:
+    def test_dlrm_trains_on_synthetic_criteo(self):
+        dataset = CriteoDataset(num_samples=4000, rows_per_table=500, seed=2)
+        config = DLRMConfig(
+            categorical_cardinalities=tuple([dataset.rows_per_table] * 26),
+            bottom_spec="32-16-8",
+            top_spec="16-1",
+            embedding_dim=8,
+        )
+        model = DLRM(config)
+        train, test = dataset.split(test_fraction=0.25)
+        model.train_ctr(
+            train["dense"], train["sparse"], train["clicks"],
+            epochs=4, batch_size=128, lr=0.02,
+        )
+        scores = model.predict_ctr(test["dense"], test["sparse"])
+        assert auc_score(test["clicks"], scores) > 0.65

@@ -1,0 +1,53 @@
+"""Tests for the shared experiment report infrastructure."""
+
+import pytest
+
+from repro.experiments.common import ExperimentReport, PaperComparison, relative_error
+
+
+class TestRelativeError:
+    def test_signed(self):
+        assert relative_error(11.0, 10.0) == pytest.approx(0.1)
+        assert relative_error(9.0, 10.0) == pytest.approx(-0.1)
+
+    def test_zero_published_rejected(self):
+        with pytest.raises(ValueError):
+            relative_error(1.0, 0.0)
+
+
+class TestPaperComparison:
+    def test_within_tolerance(self):
+        comparison = PaperComparison("x", published=100.0, measured=104.0)
+        assert comparison.within(0.05)
+        assert not comparison.within(0.03)
+
+    def test_format_row_contains_both_values(self):
+        row = PaperComparison("speedup", 16.8, 15.5, "x").format_row()
+        assert "16.8" in row
+        assert "15.5" in row
+        assert "speedup" in row
+
+
+class TestExperimentReport:
+    def test_add_and_worst_error(self):
+        report = ExperimentReport("T", "title")
+        report.add("a", 10.0, 10.0)
+        report.add("b", 10.0, 12.0)
+        assert report.worst_error() == pytest.approx(0.2)
+
+    def test_empty_report_worst_error_none(self):
+        assert ExperimentReport("T", "title").worst_error() is None
+
+    def test_all_within(self):
+        report = ExperimentReport("T", "title")
+        report.add("a", 10.0, 10.5)
+        assert report.all_within(0.10)
+        assert not report.all_within(0.01)
+
+    def test_format_includes_notes(self):
+        report = ExperimentReport("T", "my experiment")
+        report.add("a", 1.0, 1.0)
+        report.note("a caveat")
+        text = report.format()
+        assert "[T] my experiment" in text
+        assert "a caveat" in text

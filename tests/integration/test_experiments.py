@@ -1,0 +1,160 @@
+"""Integration: every experiment driver reproduces its paper artefact.
+
+These tests assert the *reproduction claims* of EXPERIMENTS.md: exact
+matches where the pipeline is deterministic (Table I, Table II registry),
+tight tolerances where models are calibrated (Table III), and shape/order
+assertions where the substrate is synthetic (accuracy, end-to-end).
+"""
+
+import pytest
+
+from repro.experiments import (
+    run_accuracy_study,
+    run_design_space,
+    run_end_to_end,
+    run_fig2,
+    run_flow_trace,
+    run_lsh_sweep,
+    run_nns_comparison,
+    run_table1,
+    run_table2,
+    run_table3,
+)
+
+
+class TestTable1:
+    def test_all_counts_exact(self):
+        report = run_table1()
+        assert report.all_within(0.0), report.format()
+
+
+class TestTable2:
+    def test_registry_exact_and_derivation_close(self):
+        report = run_table2()
+        assert report.all_within(0.03), report.format()
+
+
+class TestFig2:
+    def test_every_share_within_three_points(self):
+        report = run_fig2()
+        for comparison in report.comparisons:
+            assert abs(comparison.measured - comparison.published) < 0.03, (
+                comparison.format_row()
+            )
+
+
+class TestTable3:
+    def test_gpu_cells_within_two_percent(self):
+        report = run_table3()
+        gpu_rows = [c for c in report.comparisons if "GPU" in c.name]
+        assert gpu_rows
+        for comparison in gpu_rows:
+            assert comparison.within(0.02), comparison.format_row()
+
+    def test_imars_cells_within_ten_percent(self):
+        report = run_table3()
+        imars_rows = [c for c in report.comparisons if "iMARS" in c.name]
+        assert imars_rows
+        for comparison in imars_rows:
+            assert comparison.within(0.10), comparison.format_row()
+
+    def test_speedups_and_reductions_within_ten_percent(self):
+        report = run_table3()
+        factor_rows = [
+            c for c in report.comparisons if "speedup" in c.name or "reduction" in c.name
+        ]
+        for comparison in factor_rows:
+            assert comparison.within(0.10), comparison.format_row()
+
+
+class TestNNSComparison:
+    def test_gpu_rows_exact_and_imars_wins_big(self):
+        report = run_nns_comparison()
+        by_name = {c.name: c for c in report.comparisons}
+        assert by_name["GPU cosine latency"].within(0.02)
+        assert by_name["GPU LSH latency"].within(0.02)
+        # iMARS search wins by >= 4 orders of magnitude on both axes.
+        assert by_name["iMARS latency improvement over GPU LSH"].measured > 1e4
+        assert by_name["iMARS energy improvement over GPU LSH"].measured > 1e4
+
+
+class TestEndToEnd:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_end_to_end()
+
+    def test_movielens_speedup_shape(self, report):
+        comparison = [c for c in report.comparisons if c.name == "MovieLens speedup"][0]
+        # Published 16.8x; shape target: an order-10 win within ~25%.
+        assert comparison.within(0.25), comparison.format_row()
+
+    def test_movielens_energy_order_of_magnitude(self, report):
+        comparison = [
+            c for c in report.comparisons if c.name == "MovieLens energy reduction"
+        ][0]
+        assert 300.0 < comparison.measured < 1500.0, comparison.format_row()
+
+    def test_gpu_qps_near_published(self, report):
+        comparison = [c for c in report.comparisons if c.name == "MovieLens GPU QPS"][0]
+        assert comparison.within(0.10), comparison.format_row()
+
+    def test_imars_qps_order(self, report):
+        comparison = [c for c in report.comparisons if c.name == "MovieLens iMARS QPS"][0]
+        assert comparison.within(0.25), comparison.format_row()
+
+    def test_criteo_factors(self, report):
+        speed = [c for c in report.comparisons if c.name == "Criteo speedup"][0]
+        energy = [c for c in report.comparisons if c.name == "Criteo energy reduction"][0]
+        assert speed.within(0.30), speed.format_row()
+        assert energy.within(0.15), energy.format_row()
+
+    def test_dnn_stack_improvement(self, report):
+        comparison = [
+            c for c in report.comparisons if c.name == "DNN stack latency improvement"
+        ][0]
+        assert comparison.within(0.05), comparison.format_row()
+
+    def test_imars_wins_everywhere(self, report):
+        movielens = report.extras["movielens"]
+        criteo = report.extras["criteo"]
+        assert movielens.speedup > 1.0
+        assert movielens.energy_reduction > 1.0
+        assert criteo.speedup > 1.0
+        assert criteo.energy_reduction > 1.0
+
+
+class TestAccuracyStudy:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_accuracy_study()
+
+    def test_ordering_holds(self, report):
+        assert report.extras["result"].ordering_holds()
+
+    def test_hr_in_paper_regime(self, report):
+        """All three HRs land in the published neighbourhood (0.15-0.40)."""
+        for name, value in report.extras["result"].hit_rates.items():
+            assert 0.15 < value < 0.40, (name, value)
+
+    def test_distance_gap_exceeds_quantisation_gap(self, report):
+        result = report.extras["result"]
+        assert result.distance_gap >= result.quantisation_gap >= 0.0
+        assert result.distance_gap > 0.0
+
+
+class TestStructuralExperiments:
+    def test_flow_trace_fully_valid(self):
+        report = run_flow_trace()
+        assert report.all_within(0.0), report.format()
+
+    def test_design_space_claims_hold(self):
+        report = run_design_space()
+        assert report.all_within(0.0), report.format()
+
+    def test_lsh_sweep_claims_hold(self):
+        report = run_lsh_sweep()
+        for comparison in report.comparisons:
+            if comparison.unit == "frac":
+                assert comparison.within(0.05), comparison.format_row()
+            else:
+                assert comparison.within(0.0), comparison.format_row()

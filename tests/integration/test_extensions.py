@@ -1,0 +1,96 @@
+"""Integration tests for the extension experiments (A3, A4, A5) and CLI."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+from repro.experiments.area_study import run_area_study
+from repro.experiments.batch_throughput import (
+    gpu_batched_query_us,
+    imars_pipelined_qps,
+    run_batch_throughput,
+)
+from repro.experiments.variation_study import run_variation_study
+
+
+class TestVariationStudy:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_variation_study()
+
+    def test_all_claims_hold(self, report):
+        assert report.all_within(0.0), report.format()
+
+    def test_hr_monotone_in_noise_at_zero_guard(self, report):
+        points = [
+            p for p in report.extras["points"] if p.guard_band == 0
+        ]
+        points.sort(key=lambda p: p.noise_sigma)
+        assert points[0].hit_rate >= points[-1].hit_rate
+
+    def test_candidates_grow_with_guard_band(self, report):
+        by_guard = {}
+        for p in report.extras["points"]:
+            if p.noise_sigma == 0.0:
+                by_guard[p.guard_band] = p.mean_candidates
+        guards = sorted(by_guard)
+        assert by_guard[guards[0]] < by_guard[guards[-1]]
+
+
+class TestBatchThroughput:
+    def test_batch_one_anchors_published_protocol(self):
+        qps = 1e6 / gpu_batched_query_us(1)
+        assert qps == pytest.approx(1311.0, rel=0.10)
+
+    def test_per_query_latency_monotone_in_batch(self):
+        latencies = [gpu_batched_query_us(b) for b in (1, 4, 16, 64)]
+        assert all(a > b for a, b in zip(latencies, latencies[1:]))
+
+    def test_imars_pipelined_exceeds_serial(self):
+        # Pipelining can only help vs the 19.4k q/s serial figure.
+        assert imars_pipelined_qps() > 19000.0
+
+    def test_report_claims_hold(self):
+        report = run_batch_throughput()
+        numeric = [c for c in report.comparisons if c.unit == ""]
+        flags = [c for c in numeric if c.published == 1]
+        for comparison in flags:
+            assert comparison.measured == 1, comparison.format_row()
+
+    def test_invalid_batch_rejected(self):
+        with pytest.raises(ValueError):
+            gpu_batched_query_us(0)
+
+
+class TestAreaStudy:
+    def test_all_claims_hold(self):
+        report = run_area_study()
+        assert report.all_within(0.01), report.format()
+
+
+class TestCLI:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        for experiment_id in EXPERIMENTS:
+            assert experiment_id in output
+
+    def test_run_single_experiment(self, capsys):
+        assert main(["run", "E2"]) == 0
+        assert "Table I" in capsys.readouterr().out
+
+    def test_run_lowercase_id(self, capsys):
+        assert main(["run", "e3"]) == 0
+        assert "Table II" in capsys.readouterr().out
+
+    def test_unknown_experiment_fails(self, capsys):
+        assert main(["run", "E99"]) == 2
+
+    def test_save_writes_report(self, tmp_path, capsys):
+        assert main(["run", "E2", "--save", str(tmp_path)]) == 0
+        assert (tmp_path / "E2.txt").exists()
+
+    def test_registry_complete(self):
+        assert set(EXPERIMENTS) == {
+            "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8",
+            "A1", "A2", "A3", "A4", "A5", "A6", "A7", "A8", "A9",
+        }

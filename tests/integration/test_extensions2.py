@@ -1,0 +1,60 @@
+"""Integration tests for the A6/A7/A8 extension experiments."""
+
+import pytest
+
+from repro.experiments.analog_accuracy import run_analog_accuracy
+from repro.experiments.standby_power import run_standby_power
+from repro.experiments.trace_locality import run_trace_locality
+
+
+class TestAnalogAccuracy:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_analog_accuracy()
+
+    def test_all_claims_hold(self, report):
+        assert report.all_within(0.0), report.format()
+
+    def test_auc_degrades_with_sigma_at_fixed_adc(self, report):
+        points = [p for p in report.extras["points"] if p.adc_bits == 8]
+        points.sort(key=lambda p: p.conductance_sigma)
+        # Noise can wiggle individual points; the endpoints must order.
+        assert points[0].auc > points[-1].auc - 0.002
+
+    def test_all_points_remain_usable(self, report):
+        """Even the harshest analog point keeps the model above chance."""
+        assert min(p.auc for p in report.extras["points"]) > 0.6
+
+
+class TestStandbyPower:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_standby_power()
+
+    def test_all_claims_hold(self, report):
+        assert report.all_within(0.0), report.format()
+
+    def test_totals_monotone_in_load(self, report):
+        rows = report.extras["rows"]
+        fefet = [row["fefet_total_uj_per_s"] for row in rows]
+        assert all(a <= b for a, b in zip(fefet, fefet[1:]))
+
+    def test_advantage_factor(self, report):
+        assert report.extras["comparison"]["advantage"] == pytest.approx(200.0)
+
+
+class TestTraceLocality:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_trace_locality()
+
+    def test_all_claims_hold(self, report):
+        assert report.all_within(0.0), report.format()
+
+    def test_collision_fraction_reported(self, report):
+        assert 0.0 <= report.extras["collision_fraction"] <= 1.0
+
+    def test_access_conservation(self, report):
+        """Every pooled lookup lands in exactly one CMA."""
+        trace = report.extras["trace"]
+        assert trace.cma_accesses["item"].sum() == trace.num_queries * 10

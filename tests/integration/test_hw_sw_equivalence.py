@@ -1,0 +1,111 @@
+"""Integration: the bit-level fabric computes what the NumPy reference does.
+
+These tests close the loop between the two evaluation paths of the repo:
+the executable CMA fabric (FeFET-cell bit matrices, in-memory adds, TCAM
+matches) and the software reference (NumPy sums, Hamming distances).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import ArchitectureConfig
+from repro.core.fabric import IMARSFabric
+from repro.core.mapping import FILTERING, EmbeddingTableSpec, WorkloadMapping
+from repro.lsh.hyperplane import RandomHyperplaneLSH
+from repro.lsh.hamming import pairwise_hamming
+from repro.nns.fixed_radius import fixed_radius_candidates
+from repro.quant.int8 import quantize_symmetric
+
+
+@pytest.fixture(scope="module")
+def loaded_fabric():
+    config = ArchitectureConfig()
+    specs = [
+        EmbeddingTableSpec("user", 80),
+        EmbeddingTableSpec("genre", 12),
+        EmbeddingTableSpec("item", 300, kind="itet", pooling_factor=6),
+    ]
+    mapping = WorkloadMapping(specs, config)
+    fabric = IMARSFabric(mapping, config)
+    rng = np.random.default_rng(42)
+    tables = {
+        "user": rng.integers(-100, 100, size=(80, 32)),
+        "genre": rng.integers(-100, 100, size=(12, 32)),
+        "item": rng.integers(-100, 100, size=(300, 32)),
+    }
+    for name, table in tables.items():
+        fabric.load_table(name, table)
+    embeddings = rng.normal(size=(300, 32))
+    hasher = RandomHyperplaneLSH(32, 256, seed=1)
+    signatures = hasher.signatures(embeddings)
+    fabric.load_signatures(signatures)
+    return fabric, tables, embeddings, hasher, signatures
+
+
+class TestPoolingEquivalence:
+    def test_random_pools_match_numpy(self, loaded_fabric):
+        fabric, tables, *_ = loaded_fabric
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            indices = rng.choice(300, size=rng.integers(1, 12), replace=False)
+            pooled, _ = fabric.lookup_pool("item", list(indices))
+            np.testing.assert_array_equal(pooled, tables["item"][indices].sum(axis=0))
+
+    def test_pools_spanning_multiple_cmas(self, loaded_fabric):
+        fabric, tables, *_ = loaded_fabric
+        indices = [0, 255, 256, 299]  # crosses the first/second CMA boundary
+        pooled, _ = fabric.lookup_pool("item", indices)
+        np.testing.assert_array_equal(pooled, tables["item"][indices].sum(axis=0))
+
+    def test_repeated_index_counts_twice(self, loaded_fabric):
+        fabric, tables, *_ = loaded_fabric
+        pooled, _ = fabric.lookup_pool("user", [3, 3])
+        np.testing.assert_array_equal(pooled, 2 * tables["user"][3])
+
+    def test_stage_lookup_parallel_banks(self, loaded_fabric):
+        fabric, tables, *_ = loaded_fabric
+        results, cost = fabric.stage_lookup(
+            FILTERING, {"user": [1], "item": [5, 6, 7]}
+        )
+        np.testing.assert_array_equal(results["user"], tables["user"][1])
+        np.testing.assert_array_equal(
+            results["item"], tables["item"][5:8].sum(axis=0)
+        )
+        assert cost.latency_ns > 0
+
+
+class TestNNSEquivalence:
+    def test_fabric_search_equals_software_fixed_radius(self, loaded_fabric):
+        fabric, _, embeddings, hasher, signatures = loaded_fabric
+        rng = np.random.default_rng(1)
+        for _ in range(5):
+            query_vec = rng.normal(size=32)
+            query_sig = hasher.signature(query_vec)
+            distances = pairwise_hamming(query_sig, signatures)
+            radius = int(np.sort(distances)[10])
+            hardware, _ = fabric.nns_search(query_sig, radius)
+            software = fixed_radius_candidates(distances, radius)
+            assert hardware == [int(i) for i in software]
+
+    def test_zero_radius_finds_exact_signature(self, loaded_fabric):
+        fabric, _, _, _, signatures = loaded_fabric
+        hits, _ = fabric.nns_search(signatures[123], 0)
+        assert 123 in hits
+
+
+class TestQuantisedTableEquivalence:
+    def test_int8_table_loads_and_pools(self):
+        """Quantise a float table, load it, pool in-memory, dequantise."""
+        config = ArchitectureConfig()
+        specs = [EmbeddingTableSpec("emb", 64)]
+        fabric = IMARSFabric(WorkloadMapping(specs, config), config)
+        rng = np.random.default_rng(2)
+        float_table = rng.normal(0.0, 1.0, size=(64, 32))
+        quantised = quantize_symmetric(float_table)  # per-tensor: shared scale
+        fabric.load_table("emb", quantised.data.astype(np.int64))
+        indices = [4, 9, 13]
+        pooled_int, _ = fabric.lookup_pool("emb", indices)
+        pooled_float = pooled_int * float(np.asarray(quantised.scale))
+        reference = float_table[indices].sum(axis=0)
+        step = float(np.asarray(quantised.scale))
+        assert np.abs(pooled_float - reference).max() <= len(indices) * step

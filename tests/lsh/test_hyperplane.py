@@ -1,0 +1,95 @@
+"""Tests for random-hyperplane (SimHash) LSH."""
+
+import numpy as np
+import pytest
+
+from repro.lsh.hyperplane import RandomHyperplaneLSH, expected_collision_probability
+
+
+class TestSignatures:
+    def test_shape_and_binary(self):
+        hasher = RandomHyperplaneLSH(8, signature_bits=64, seed=0)
+        signatures = hasher.signatures(np.random.default_rng(0).normal(size=(5, 8)))
+        assert signatures.shape == (5, 64)
+        assert set(np.unique(signatures)).issubset({0, 1})
+
+    def test_deterministic_given_seed(self):
+        vector = np.random.default_rng(1).normal(size=16)
+        a = RandomHyperplaneLSH(16, 128, seed=7).signature(vector)
+        b = RandomHyperplaneLSH(16, 128, seed=7).signature(vector)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        vector = np.random.default_rng(1).normal(size=16)
+        a = RandomHyperplaneLSH(16, 128, seed=1).signature(vector)
+        b = RandomHyperplaneLSH(16, 128, seed=2).signature(vector)
+        assert not np.array_equal(a, b)
+
+    def test_scale_invariance(self):
+        """SimHash depends only on direction -- cosine's key property."""
+        hasher = RandomHyperplaneLSH(12, 64, seed=0)
+        vector = np.random.default_rng(2).normal(size=12)
+        np.testing.assert_array_equal(
+            hasher.signature(vector), hasher.signature(10.0 * vector)
+        )
+
+    def test_identical_vectors_distance_zero(self):
+        hasher = RandomHyperplaneLSH(8, 256, seed=0)
+        vector = np.random.default_rng(3).normal(size=8)
+        signature = hasher.signature(vector)
+        assert hasher.hamming_to_items(signature, signature[None, :])[0] == 0
+
+    def test_opposite_vectors_distance_full(self):
+        hasher = RandomHyperplaneLSH(8, 256, seed=0)
+        vector = np.random.default_rng(4).normal(size=8)
+        sig_pos = hasher.signature(vector)
+        sig_neg = hasher.signature(-vector)
+        # Every hyperplane separates v from -v (ignoring measure-zero ties).
+        assert hasher.hamming_to_items(sig_pos, sig_neg[None, :])[0] == 256
+
+    def test_wrong_dimension_rejected(self):
+        with pytest.raises(ValueError):
+            RandomHyperplaneLSH(8, 64).signature(np.zeros(9))
+
+    def test_invalid_construction_rejected(self):
+        with pytest.raises(ValueError):
+            RandomHyperplaneLSH(0, 64)
+        with pytest.raises(ValueError):
+            RandomHyperplaneLSH(8, 0)
+
+
+class TestCollisionTheory:
+    def test_orthogonal_vectors_agree_half_the_time(self):
+        assert expected_collision_probability(0.0) == pytest.approx(0.5)
+
+    def test_identical_vectors_always_agree(self):
+        assert expected_collision_probability(1.0) == pytest.approx(1.0)
+
+    def test_opposite_vectors_never_agree(self):
+        assert expected_collision_probability(-1.0) == pytest.approx(0.0)
+
+    def test_empirical_collision_matches_theory(self):
+        """Large signatures: measured agreement -> 1 - theta/pi."""
+        rng = np.random.default_rng(5)
+        hasher = RandomHyperplaneLSH(24, 8192, seed=11)
+        for _ in range(3):
+            a = rng.normal(size=24)
+            b = a + rng.normal(scale=0.7, size=24)
+            cosine = float(a @ b / (np.linalg.norm(a) * np.linalg.norm(b)))
+            sig_a, sig_b = hasher.signatures(np.stack([a, b]))
+            measured = float((sig_a == sig_b).mean())
+            assert measured == pytest.approx(
+                expected_collision_probability(cosine), abs=0.03
+            )
+
+    def test_expected_hamming_monotone_in_angle(self):
+        """Closer vectors -> smaller expected signature distance."""
+        rng = np.random.default_rng(6)
+        hasher = RandomHyperplaneLSH(16, 4096, seed=3)
+        base = rng.normal(size=16)
+        distances = []
+        for noise in (0.1, 0.5, 2.0):
+            other = base + rng.normal(scale=noise, size=16)
+            sig_a, sig_b = hasher.signatures(np.stack([base, other]))
+            distances.append(int((sig_a != sig_b).sum()))
+        assert distances[0] < distances[1] < distances[2]

@@ -1,0 +1,98 @@
+"""Tests for accuracy metrics."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.accuracy import auc_score, hit_rate, recall_at_k
+
+
+class TestHitRate:
+    def test_paper_definition(self):
+        """HR = hits / test users."""
+        retrieved = [[1, 2, 3], [4, 5], [7]]
+        positives = [2, 9, 7]
+        assert hit_rate(retrieved, positives) == pytest.approx(2.0 / 3.0)
+
+    def test_all_hits(self):
+        assert hit_rate([[0], [1]], [0, 1]) == 1.0
+
+    def test_no_hits(self):
+        assert hit_rate([[0], [1]], [5, 5]) == 0.0
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            hit_rate([[0]], [0, 1])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            hit_rate([], [])
+
+    def test_accepts_numpy_positives(self):
+        assert hit_rate([[3]], np.array([3])) == 1.0
+
+
+class TestRecallAtK:
+    def test_partial_recall(self):
+        retrieved = [[1, 2, 3, 4]]
+        relevant = [[1, 9]]
+        assert recall_at_k(retrieved, relevant, k=4) == pytest.approx(0.5)
+
+    def test_k_truncates(self):
+        retrieved = [[9, 9, 1]]
+        relevant = [[1]]
+        assert recall_at_k(retrieved, relevant, k=2) == 0.0
+        assert recall_at_k(retrieved, relevant, k=3) == 1.0
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(ValueError):
+            recall_at_k([[1]], [[1]], k=0)
+
+    def test_queries_without_relevant_skipped(self):
+        assert recall_at_k([[1], [2]], [[1], []], k=1) == 1.0
+
+    def test_all_empty_relevant_rejected(self):
+        with pytest.raises(ValueError):
+            recall_at_k([[1]], [[]], k=1)
+
+
+class TestAUC:
+    def test_perfect_separation(self):
+        labels = np.array([0, 0, 1, 1])
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        assert auc_score(labels, scores) == 1.0
+
+    def test_inverted_scores(self):
+        labels = np.array([0, 0, 1, 1])
+        scores = np.array([0.9, 0.8, 0.2, 0.1])
+        assert auc_score(labels, scores) == 0.0
+
+    def test_random_scores_near_half(self):
+        rng = np.random.default_rng(0)
+        labels = rng.integers(0, 2, size=2000)
+        scores = rng.random(2000)
+        assert auc_score(labels, scores) == pytest.approx(0.5, abs=0.05)
+
+    def test_ties_averaged(self):
+        labels = np.array([0, 1, 0, 1])
+        scores = np.array([0.5, 0.5, 0.5, 0.5])
+        assert auc_score(labels, scores) == pytest.approx(0.5)
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ValueError):
+            auc_score(np.array([1, 1]), np.array([0.5, 0.6]))
+
+    def test_matches_naive_pair_counting(self):
+        rng = np.random.default_rng(1)
+        labels = rng.integers(0, 2, size=60)
+        if labels.sum() in (0, 60):
+            labels[0] = 1 - labels[0]
+        scores = rng.random(60)
+        positives = scores[labels == 1]
+        negatives = scores[labels == 0]
+        wins = sum(
+            1.0 if p > n else (0.5 if p == n else 0.0)
+            for p in positives
+            for n in negatives
+        )
+        naive = wins / (len(positives) * len(negatives))
+        assert auc_score(labels, scores) == pytest.approx(naive)

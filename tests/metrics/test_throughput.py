@@ -1,0 +1,33 @@
+"""Tests for throughput/improvement metrics."""
+
+import pytest
+
+from repro.energy.accounting import Cost
+from repro.metrics.throughput import energy_reduction, queries_per_second, speedup
+
+
+class TestQPS:
+    def test_paper_scale_example(self):
+        """45.4 us per query is ~22025 queries per second (Sec. IV-C3)."""
+        per_query = Cost(energy_pj=1.0, latency_ns=45.4e3)
+        assert queries_per_second(per_query) == pytest.approx(22026, rel=0.001)
+
+    def test_zero_latency_rejected(self):
+        with pytest.raises(ValueError):
+            queries_per_second(Cost(1.0, 0.0))
+
+
+class TestImprovements:
+    def test_speedup(self):
+        assert speedup(Cost(1, 100), Cost(1, 10)) == pytest.approx(10.0)
+
+    def test_energy_reduction(self):
+        assert energy_reduction(Cost(713, 1), Cost(1, 1)) == pytest.approx(713.0)
+
+    def test_zero_candidate_latency_rejected(self):
+        with pytest.raises(ValueError):
+            speedup(Cost(1, 1), Cost(1, 0))
+
+    def test_zero_candidate_energy_rejected(self):
+        with pytest.raises(ValueError):
+            energy_reduction(Cost(1, 1), Cost(0, 1))

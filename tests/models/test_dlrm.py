@@ -1,0 +1,149 @@
+"""Tests for the DLRM model."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.accuracy import auc_score
+from repro.models.dlrm import DLRM, DLRMConfig, interaction_features
+
+
+def _small_config():
+    return DLRMConfig(
+        num_dense=4,
+        categorical_cardinalities=(50, 50, 50),
+        embedding_dim=8,
+        bottom_spec="16-8",
+        top_spec="8-1",
+        seed=0,
+    )
+
+
+class TestInteraction:
+    def test_output_dimension(self):
+        # 1 dense + 3 sparse vectors -> C(4,2)=6 dots + 8-d dense = 14.
+        dense = np.zeros((2, 8))
+        sparse = np.zeros((2, 3, 8))
+        assert interaction_features(dense, sparse).shape == (2, 14)
+
+    def test_matches_manual_dots(self):
+        rng = np.random.default_rng(0)
+        dense = rng.normal(size=(1, 4))
+        sparse = rng.normal(size=(1, 2, 4))
+        features = interaction_features(dense, sparse)[0]
+        v0, v1, v2 = dense[0], sparse[0, 0], sparse[0, 1]
+        np.testing.assert_allclose(features[:4], v0)
+        # tril(k=-1) pairs of [v0, v1, v2]: (1,0), (2,0), (2,1).
+        np.testing.assert_allclose(
+            features[4:], [v1 @ v0, v2 @ v0, v2 @ v1], rtol=1e-12
+        )
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            interaction_features(np.zeros((1, 4)), np.zeros((1, 2, 5)))
+
+    def test_config_interaction_dim(self):
+        config = DLRMConfig()
+        # 27 vectors -> 351 dots + 32 dense = 383.
+        assert config.interaction_dim == 383
+
+
+class TestDLRMForward:
+    def test_logit_shape(self):
+        model = DLRM(_small_config())
+        dense = np.zeros((5, 4))
+        sparse = np.zeros((5, 3), dtype=np.int64)
+        assert model.logits(dense, sparse).shape == (5,)
+
+    def test_ctr_in_unit_interval(self):
+        model = DLRM(_small_config())
+        rng = np.random.default_rng(1)
+        ctrs = model.predict_ctr(
+            rng.normal(size=(6, 4)), rng.integers(0, 50, size=(6, 3))
+        )
+        assert np.all((ctrs > 0.0) & (ctrs < 1.0))
+
+    def test_wrong_dense_width_rejected(self):
+        model = DLRM(_small_config())
+        with pytest.raises(ValueError):
+            model.logits(np.zeros((1, 7)), np.zeros((1, 3), dtype=np.int64))
+
+    def test_wrong_sparse_width_rejected(self):
+        model = DLRM(_small_config())
+        with pytest.raises(ValueError):
+            model.logits(np.zeros((1, 4)), np.zeros((1, 5), dtype=np.int64))
+
+    def test_paper_geometry_constructs(self):
+        """The full Table I DLRM (26 x 28000 tables) builds and runs."""
+        model = DLRM(DLRMConfig())
+        dense = np.zeros((2, 13))
+        sparse = np.zeros((2, 26), dtype=np.int64)
+        assert model.logits(dense, sparse).shape == (2,)
+
+
+class TestDLRMTraining:
+    def test_loss_decreases(self):
+        model = DLRM(_small_config())
+        rng = np.random.default_rng(2)
+        n = 256
+        dense = rng.normal(size=(n, 4))
+        sparse = rng.integers(0, 50, size=(n, 3))
+        clicks = (dense[:, 0] + 0.5 * dense[:, 1] > 0).astype(float)
+        losses = model.train_ctr(dense, sparse, clicks, epochs=6, batch_size=64, lr=0.02)
+        assert losses[-1] < 0.8 * losses[0]
+
+    def test_learns_auc_above_chance(self):
+        model = DLRM(_small_config())
+        rng = np.random.default_rng(3)
+        n = 400
+        dense = rng.normal(size=(n, 4))
+        sparse = rng.integers(0, 50, size=(n, 3))
+        clicks = (dense[:, 0] > 0).astype(float)
+        model.train_ctr(dense[:300], sparse[:300], clicks[:300], epochs=8, lr=0.02)
+        scores = model.predict_ctr(dense[300:], sparse[300:])
+        assert auc_score(clicks[300:], scores) > 0.8
+
+    def test_embedding_tables_receive_gradients(self):
+        model = DLRM(_small_config())
+        rng = np.random.default_rng(4)
+        dense = rng.normal(size=(32, 4))
+        sparse = rng.integers(0, 50, size=(32, 3))
+        clicks = rng.integers(0, 2, size=32).astype(float)
+        before = [bag.weight.data.copy() for bag in model.embedding_bags]
+        model.train_ctr(dense, sparse, clicks, epochs=1, batch_size=16, lr=0.05)
+        changed = [
+            not np.allclose(bag.weight.data, prev)
+            for bag, prev in zip(model.embedding_bags, before)
+        ]
+        assert all(changed)
+
+
+class TestMultiHotBags:
+    def test_bags_match_single_index_path(self):
+        """One-element bags must equal the (batch, num_sparse) index path."""
+        model = DLRM(_small_config())
+        rng = np.random.default_rng(5)
+        dense = rng.normal(size=(4, 4))
+        indices = rng.integers(0, 50, size=(4, 3))
+        bags = [[[int(indices[s, f])] for f in range(3)] for s in range(4)]
+        np.testing.assert_allclose(
+            model.logits_bags(dense, bags), model.logits(dense, indices)
+        )
+
+    def test_multi_hot_pools_rows(self):
+        model = DLRM(_small_config())
+        dense = np.zeros((1, 4))
+        single = model.logits_bags(dense, [[[1], [2], [3]]])
+        multi = model.logits_bags(dense, [[[1, 4], [2], [3]]])
+        assert not np.allclose(single, multi)  # pooling changed feature 0
+
+    def test_empty_bag_allowed(self):
+        """Missing categorical values pool to the zero vector."""
+        model = DLRM(_small_config())
+        dense = np.zeros((1, 4))
+        logits = model.logits_bags(dense, [[[], [2], [3]]])
+        assert np.isfinite(logits).all()
+
+    def test_wrong_bag_count_rejected(self):
+        model = DLRM(_small_config())
+        with pytest.raises(ValueError):
+            model.logits_bags(np.zeros((1, 4)), [[[1], [2]]])  # 2 bags, need 3

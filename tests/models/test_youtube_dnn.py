@@ -1,0 +1,127 @@
+"""Tests for the YouTubeDNN filtering + ranking models."""
+
+import numpy as np
+import pytest
+
+from repro.models.youtube_dnn import (
+    YouTubeDNNConfig,
+    YouTubeDNNFiltering,
+    YouTubeDNNRanking,
+)
+
+
+def _small_config(num_items=60, num_users=40):
+    return YouTubeDNNConfig(
+        num_items=num_items,
+        demographic_cardinalities=(num_users, 3, 7),
+        ranking_extra_cardinalities=(5,),
+        filtering_spec="24-32",
+        ranking_spec="16-1",
+        seed=0,
+    )
+
+
+class TestFilteringModel:
+    def test_user_embedding_shape_and_norm(self):
+        model = YouTubeDNNFiltering(_small_config())
+        histories = [[0, 1, 2], [5]]
+        demographics = np.array([[0, 1, 2], [3, 0, 1]])
+        users = model.user_embedding(histories, demographics)
+        assert users.shape == (2, 32)
+        np.testing.assert_allclose(np.linalg.norm(users, axis=1), 1.0, rtol=1e-9)
+
+    def test_empty_history_handled(self):
+        model = YouTubeDNNFiltering(_small_config())
+        users = model.user_embedding([[]], np.array([[0, 0, 0]]))
+        assert np.isfinite(users).all()
+
+    def test_batch_mismatch_rejected(self):
+        model = YouTubeDNNFiltering(_small_config())
+        with pytest.raises(ValueError):
+            model.user_embedding([[0]], np.zeros((2, 3), dtype=np.int64))
+
+    def test_wrong_demographic_count_rejected(self):
+        model = YouTubeDNNFiltering(_small_config())
+        with pytest.raises(ValueError):
+            model.user_embedding([[0]], np.zeros((1, 5), dtype=np.int64))
+
+    def test_training_reduces_loss(self):
+        rng = np.random.default_rng(0)
+        config = _small_config()
+        model = YouTubeDNNFiltering(config)
+        num_users = 40
+        histories = [list(rng.integers(0, 60, size=5)) for _ in range(num_users)]
+        demographics = np.stack(
+            [
+                np.arange(num_users) % 40,
+                rng.integers(0, 3, num_users),
+                rng.integers(0, 7, num_users),
+            ],
+            axis=1,
+        )
+        # Predictable targets: the next watch is similar to the history head.
+        positives = np.array([history[0] for history in histories])
+        losses = model.train_retrieval(
+            histories, demographics, positives, epochs=8, batch_size=16, seed=0
+        )
+        assert losses[-1] < losses[0]
+
+    def test_item_table_shape_and_copy(self):
+        model = YouTubeDNNFiltering(_small_config())
+        table = model.item_table()
+        assert table.shape == (60, 32)
+        table[...] = 0.0
+        assert not np.allclose(model.item_embeddings.weight.data, 0.0)
+
+
+class TestRankingModel:
+    def test_ctr_in_unit_interval(self):
+        config = _small_config()
+        ranking = YouTubeDNNRanking(config)
+        rng = np.random.default_rng(1)
+        users = rng.normal(size=(4, 32))
+        items = rng.normal(size=(4, 32))
+        context = np.zeros((4, 4), dtype=np.int64)
+        ctrs = ranking.predict_ctr(users, items, context)
+        assert ctrs.shape == (4,)
+        assert np.all((ctrs > 0.0) & (ctrs < 1.0))
+
+    def test_context_width_enforced(self):
+        ranking = YouTubeDNNRanking(_small_config())
+        with pytest.raises(ValueError):
+            ranking.logits(np.zeros((1, 32)), np.zeros((1, 32)), np.zeros((1, 2), dtype=np.int64))
+
+    def test_user_item_shape_mismatch_rejected(self):
+        ranking = YouTubeDNNRanking(_small_config())
+        with pytest.raises(ValueError):
+            ranking.logits(
+                np.zeros((2, 32)), np.zeros((3, 32)), np.zeros((2, 4), dtype=np.int64)
+            )
+
+    def test_ctr_training_reduces_loss(self):
+        config = _small_config()
+        ranking = YouTubeDNNRanking(config)
+        rng = np.random.default_rng(2)
+        n = 200
+        users = rng.normal(size=(n, 32))
+        items = rng.normal(size=(n, 32))
+        context = np.zeros((n, 4), dtype=np.int64)
+        # Learnable rule: click iff user.item interaction positive.
+        clicks = ((users * items).sum(axis=1) > 0).astype(float)
+        losses = ranking.train_ctr(
+            users, items, context, clicks, epochs=10, batch_size=32, lr=0.02, seed=0
+        )
+        assert losses[-1] < 0.75 * losses[0]
+
+    def test_trained_model_separates_classes(self):
+        config = _small_config()
+        ranking = YouTubeDNNRanking(config)
+        rng = np.random.default_rng(3)
+        n = 300
+        users = rng.normal(size=(n, 32))
+        items = rng.normal(size=(n, 32))
+        context = np.zeros((n, 4), dtype=np.int64)
+        clicks = ((users * items).sum(axis=1) > 0).astype(float)
+        ranking.train_ctr(users, items, context, clicks, epochs=15, batch_size=32, lr=0.02)
+        ctrs = ranking.predict_ctr(users, items, context)
+        assert ctrs[clicks == 1].mean() > ctrs[clicks == 0].mean() + 0.1

@@ -1,0 +1,216 @@
+"""Finite-difference gradient checks for every layer and loss.
+
+These are the correctness backbone of the NumPy nn substrate: each layer's
+``backward`` is compared against central-difference numerical gradients of
+a scalar objective.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import (
+    Embedding,
+    EmbeddingBag,
+    L2Normalize,
+    Linear,
+    ReLU,
+    Sigmoid,
+    Tanh,
+)
+from repro.nn.losses import BCEWithLogitsLoss, SampledSoftmaxLoss
+from repro.nn.mlp import build_mlp
+
+EPS = 1e-6
+RTOL = 1e-5
+ATOL = 1e-7
+
+
+def _numeric_grad(f, array):
+    """Central-difference gradient of scalar f w.r.t. array (in place)."""
+    grad = np.zeros_like(array)
+    flat = array.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for index in range(flat.shape[0]):
+        original = flat[index]
+        flat[index] = original + EPS
+        upper = f()
+        flat[index] = original - EPS
+        lower = f()
+        flat[index] = original
+        grad_flat[index] = (upper - lower) / (2.0 * EPS)
+    return grad
+
+
+def _scalar_objective(outputs, seed=0):
+    """A fixed random linear functional of the outputs (differentiable)."""
+    weights = np.random.default_rng(seed).normal(size=outputs.shape)
+    return float((outputs * weights).sum()), weights
+
+
+class TestLinearGradients:
+    def test_input_weight_bias_gradients(self):
+        rng = np.random.default_rng(0)
+        layer = Linear(5, 3, rng=rng)
+        x = rng.normal(size=(4, 5))
+
+        outputs = layer(x)
+        _, weights = _scalar_objective(outputs)
+        layer.zero_grad()
+        grad_in = layer.backward(weights)
+
+        def forward_loss():
+            return float((layer(x) * weights).sum())
+
+        np.testing.assert_allclose(
+            grad_in, _numeric_grad(forward_loss, x), rtol=RTOL, atol=ATOL
+        )
+        layer.zero_grad()
+        layer(x)
+        layer.backward(weights)
+        np.testing.assert_allclose(
+            layer.weight.grad,
+            _numeric_grad(forward_loss, layer.weight.data),
+            rtol=RTOL,
+            atol=ATOL,
+        )
+        layer.zero_grad()
+        layer(x)
+        layer.backward(weights)
+        np.testing.assert_allclose(
+            layer.bias.grad,
+            _numeric_grad(forward_loss, layer.bias.data),
+            rtol=RTOL,
+            atol=ATOL,
+        )
+
+    def test_backward_before_forward_rejected(self):
+        with pytest.raises(RuntimeError):
+            Linear(2, 2).backward(np.zeros((1, 2)))
+
+
+@pytest.mark.parametrize(
+    "layer_factory",
+    [ReLU, Sigmoid, Tanh, L2Normalize],
+    ids=["relu", "sigmoid", "tanh", "l2norm"],
+)
+def test_activation_gradients(layer_factory):
+    rng = np.random.default_rng(1)
+    layer = layer_factory()
+    x = rng.normal(size=(3, 6)) + 0.05  # avoid ReLU kinks at exactly zero
+
+    outputs = layer(x)
+    _, weights = _scalar_objective(outputs, seed=2)
+    grad_in = layer.backward(weights)
+
+    def forward_loss():
+        return float((layer(x) * weights).sum())
+
+    np.testing.assert_allclose(
+        grad_in, _numeric_grad(forward_loss, x), rtol=1e-4, atol=1e-6
+    )
+
+
+class TestEmbeddingGradients:
+    def test_embedding_weight_gradient(self):
+        rng = np.random.default_rng(3)
+        table = Embedding(10, 4, rng=rng)
+        indices = np.array([1, 3, 3, 7])
+
+        outputs = table(indices)
+        _, weights = _scalar_objective(outputs, seed=4)
+        table.zero_grad()
+        table.backward(weights)
+
+        def forward_loss():
+            return float((table(indices) * weights).sum())
+
+        np.testing.assert_allclose(
+            table.weight.grad,
+            _numeric_grad(forward_loss, table.weight.data),
+            rtol=RTOL,
+            atol=ATOL,
+        )
+
+    def test_duplicate_indices_accumulate(self):
+        table = Embedding(4, 2, rng=np.random.default_rng(0))
+        outputs = table(np.array([2, 2]))
+        table.backward(np.ones_like(outputs))
+        assert np.allclose(table.weight.grad[2], [2.0, 2.0])
+
+    def test_embedding_bag_gradient(self):
+        rng = np.random.default_rng(5)
+        bag = EmbeddingBag(8, 3, mode="mean", rng=rng)
+        bags = [[0, 1, 2], [5], [], [7, 7]]
+
+        outputs = bag(bags)
+        _, weights = _scalar_objective(outputs, seed=6)
+        bag.zero_grad()
+        bag.backward(weights)
+
+        def forward_loss():
+            return float((bag(bags) * weights).sum())
+
+        np.testing.assert_allclose(
+            bag.weight.grad,
+            _numeric_grad(forward_loss, bag.weight.data),
+            rtol=RTOL,
+            atol=ATOL,
+        )
+
+
+class TestLossGradients:
+    def test_bce_gradient(self):
+        rng = np.random.default_rng(7)
+        logits = rng.normal(size=12)
+        targets = rng.integers(0, 2, size=12).astype(np.float64)
+        loss_fn = BCEWithLogitsLoss()
+        loss_fn(logits, targets)
+        analytic = loss_fn.backward()
+
+        def forward_loss():
+            return loss_fn.forward(logits, targets)
+
+        np.testing.assert_allclose(
+            analytic, _numeric_grad(forward_loss, logits), rtol=RTOL, atol=ATOL
+        )
+
+    def test_sampled_softmax_gradients(self):
+        rng = np.random.default_rng(8)
+        users = rng.normal(size=(3, 4))
+        items = rng.normal(size=(3, 5, 4))
+        loss_fn = SampledSoftmaxLoss(temperature=0.8)
+        loss_fn(users, items)
+        grad_users, grad_items = loss_fn.backward()
+
+        def loss_of_users():
+            return loss_fn.forward(users, items)
+
+        np.testing.assert_allclose(
+            grad_users, _numeric_grad(loss_of_users, users), rtol=1e-4, atol=1e-6
+        )
+        loss_fn(users, items)
+
+        def loss_of_items():
+            return loss_fn.forward(users, items)
+
+        np.testing.assert_allclose(
+            grad_items, _numeric_grad(loss_of_items, items), rtol=1e-4, atol=1e-6
+        )
+
+
+class TestMLPGradient:
+    def test_full_stack_input_gradient(self):
+        rng = np.random.default_rng(9)
+        model = build_mlp(6, "8-4", head="none", rng=rng)
+        x = rng.normal(size=(2, 6)) + 0.03
+
+        outputs = model(x)
+        _, weights = _scalar_objective(outputs, seed=10)
+        grad_in = model.backward(weights)
+
+        def forward_loss():
+            return float((model(x) * weights).sum())
+
+        np.testing.assert_allclose(
+            grad_in, _numeric_grad(forward_loss, x), rtol=1e-4, atol=1e-6
+        )

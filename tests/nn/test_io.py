@@ -1,0 +1,75 @@
+"""Tests for model save/load."""
+
+import numpy as np
+import pytest
+
+from repro.nn.io import load_module, save_module
+from repro.nn.mlp import build_mlp
+from repro.nn.module import Module
+
+
+class TestRoundtrip:
+    def test_save_load_preserves_outputs(self, tmp_path):
+        source = build_mlp(8, "6-4", rng=np.random.default_rng(1))
+        target = build_mlp(8, "6-4", rng=np.random.default_rng(2))
+        path = save_module(source, tmp_path / "model")
+        load_module(target, path)
+        x = np.random.default_rng(0).normal(size=(3, 8))
+        np.testing.assert_allclose(source(x), target(x))
+
+    def test_npz_suffix_appended(self, tmp_path):
+        model = build_mlp(4, "2")
+        path = save_module(model, tmp_path / "weights")
+        assert path.suffix == ".npz"
+        assert path.exists()
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_module(build_mlp(4, "2"), tmp_path / "nope.npz")
+
+    def test_architecture_mismatch_rejected(self, tmp_path):
+        path = save_module(build_mlp(4, "2"), tmp_path / "model")
+        wrong = build_mlp(4, "3")
+        with pytest.raises(ValueError):
+            load_module(wrong, path)
+
+    def test_foreign_npz_rejected(self, tmp_path):
+        path = tmp_path / "other.npz"
+        np.savez(path, stuff=np.zeros(3))
+        with pytest.raises(ValueError):
+            load_module(build_mlp(4, "2"), path)
+
+    def test_parameterless_module_rejected(self, tmp_path):
+        class Empty(Module):
+            def forward(self, inputs):
+                return inputs
+
+        with pytest.raises(ValueError):
+            save_module(Empty(), tmp_path / "empty")
+
+    def test_trained_model_roundtrip(self, tmp_path):
+        """Persist a trained YouTubeDNN tower and serve from the copy."""
+        from repro.models.youtube_dnn import YouTubeDNNConfig, YouTubeDNNFiltering
+
+        config = YouTubeDNNConfig(
+            num_items=50,
+            demographic_cardinalities=(20, 3),
+            filtering_spec="16-32",
+            seed=0,
+        )
+        original = YouTubeDNNFiltering(config)
+        rng = np.random.default_rng(0)
+        histories = [list(rng.integers(0, 50, size=4)) for _ in range(20)]
+        demographics = np.stack(
+            [np.arange(20), rng.integers(0, 3, 20)], axis=1
+        )
+        positives = np.array([h[0] for h in histories])
+        original.train_retrieval(histories, demographics, positives, epochs=2)
+
+        path = save_module(original, tmp_path / "tower")
+        restored = YouTubeDNNFiltering(config)
+        load_module(restored, path)
+        np.testing.assert_allclose(
+            original.user_embedding(histories[:3], demographics[:3]),
+            restored.user_embedding(histories[:3], demographics[:3]),
+        )

@@ -1,0 +1,111 @@
+"""Behavioural tests for the nn layers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import (
+    Embedding,
+    EmbeddingBag,
+    L2Normalize,
+    Linear,
+    ReLU,
+    Sigmoid,
+)
+
+
+class TestLinear:
+    def test_output_shape(self):
+        layer = Linear(5, 3)
+        assert layer(np.zeros((7, 5))).shape == (7, 3)
+
+    def test_bias_optional(self):
+        layer = Linear(4, 2, bias=False)
+        assert layer.bias is None
+        assert np.allclose(layer(np.zeros((1, 4))), 0.0)
+
+    def test_wrong_input_width_rejected(self):
+        with pytest.raises(ValueError):
+            Linear(4, 2)(np.zeros((1, 3)))
+
+    def test_glorot_initialisation_bounded(self):
+        layer = Linear(100, 100, rng=np.random.default_rng(0))
+        limit = np.sqrt(6.0 / 200)
+        assert np.abs(layer.weight.data).max() <= limit
+
+    def test_deterministic_given_rng(self):
+        a = Linear(4, 4, rng=np.random.default_rng(3))
+        b = Linear(4, 4, rng=np.random.default_rng(3))
+        np.testing.assert_array_equal(a.weight.data, b.weight.data)
+
+
+class TestActivations:
+    def test_relu_clamps_negatives(self):
+        outputs = ReLU()(np.array([[-2.0, 0.0, 3.0]]))
+        assert outputs.tolist() == [[0.0, 0.0, 3.0]]
+
+    def test_sigmoid_range_and_midpoint(self):
+        layer = Sigmoid()
+        outputs = layer(np.array([[-100.0, 0.0, 100.0]]))
+        assert outputs[0, 0] < 1e-6
+        assert outputs[0, 1] == pytest.approx(0.5)
+        assert outputs[0, 2] > 1.0 - 1e-6
+
+    def test_sigmoid_no_overflow_on_extremes(self):
+        outputs = Sigmoid()(np.array([[1e9, -1e9]]))
+        assert np.isfinite(outputs).all()
+
+    def test_l2normalize_unit_rows(self):
+        layer = L2Normalize()
+        outputs = layer(np.array([[3.0, 4.0], [0.5, 0.0]]))
+        np.testing.assert_allclose(np.linalg.norm(outputs, axis=1), 1.0, rtol=1e-9)
+
+    def test_l2normalize_handles_near_zero_rows(self):
+        outputs = L2Normalize()(np.zeros((1, 4)))
+        assert np.isfinite(outputs).all()
+
+
+class TestEmbedding:
+    def test_lookup_returns_rows(self):
+        table = Embedding(5, 3, rng=np.random.default_rng(0))
+        outputs = table(np.array([0, 4]))
+        np.testing.assert_array_equal(outputs[0], table.weight.data[0])
+        np.testing.assert_array_equal(outputs[1], table.weight.data[4])
+
+    def test_2d_indices_preserve_shape(self):
+        table = Embedding(10, 4)
+        outputs = table(np.zeros((2, 3), dtype=np.int64))
+        assert outputs.shape == (2, 3, 4)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(IndexError):
+            Embedding(5, 3)(np.array([5]))
+
+    def test_float_indices_rejected(self):
+        with pytest.raises(TypeError):
+            Embedding(5, 3)(np.array([1.0]))
+
+
+class TestEmbeddingBag:
+    def test_sum_pooling(self):
+        bag = EmbeddingBag(4, 2, mode="sum", rng=np.random.default_rng(0))
+        outputs = bag([[0, 1]])
+        expected = bag.weight.data[0] + bag.weight.data[1]
+        np.testing.assert_allclose(outputs[0], expected)
+
+    def test_mean_pooling(self):
+        bag = EmbeddingBag(4, 2, mode="mean", rng=np.random.default_rng(0))
+        outputs = bag([[0, 1, 2]])
+        expected = bag.weight.data[:3].mean(axis=0)
+        np.testing.assert_allclose(outputs[0], expected)
+
+    def test_empty_bag_is_zero(self):
+        bag = EmbeddingBag(4, 3)
+        assert np.allclose(bag([[]])[0], 0.0)
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            EmbeddingBag(4, 2, mode="max")
+
+    def test_out_of_range_index_rejected(self):
+        with pytest.raises(IndexError):
+            EmbeddingBag(4, 2)([[9]])

@@ -1,0 +1,78 @@
+"""Behavioural tests for the loss functions."""
+
+import numpy as np
+import pytest
+
+from repro.nn.losses import BCEWithLogitsLoss, SampledSoftmaxLoss
+
+
+class TestBCE:
+    def test_perfect_predictions_near_zero_loss(self):
+        loss_fn = BCEWithLogitsLoss()
+        logits = np.array([100.0, -100.0])
+        targets = np.array([1.0, 0.0])
+        assert loss_fn(logits, targets) < 1e-6
+
+    def test_worst_predictions_large_loss(self):
+        loss_fn = BCEWithLogitsLoss()
+        assert loss_fn(np.array([50.0]), np.array([0.0])) > 10.0
+
+    def test_chance_logits_give_log2(self):
+        loss_fn = BCEWithLogitsLoss()
+        loss = loss_fn(np.zeros(8), np.array([0, 1] * 4, dtype=float))
+        assert loss == pytest.approx(np.log(2.0))
+
+    def test_no_overflow_for_extreme_logits(self):
+        loss_fn = BCEWithLogitsLoss()
+        assert np.isfinite(loss_fn(np.array([1e5, -1e5]), np.array([0.0, 1.0])))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            BCEWithLogitsLoss()(np.zeros(3), np.zeros(4))
+
+    def test_targets_outside_unit_interval_rejected(self):
+        with pytest.raises(ValueError):
+            BCEWithLogitsLoss()(np.zeros(2), np.array([0.5, 1.5]))
+
+    def test_backward_before_forward_rejected(self):
+        with pytest.raises(RuntimeError):
+            BCEWithLogitsLoss().backward()
+
+
+class TestSampledSoftmax:
+    def test_loss_decreases_when_positive_scores_higher(self):
+        loss_fn = SampledSoftmaxLoss()
+        users = np.array([[1.0, 0.0]])
+        good_items = np.array([[[1.0, 0.0], [-1.0, 0.0], [0.0, 1.0]]])
+        bad_items = np.array([[[-1.0, 0.0], [1.0, 0.0], [0.0, 1.0]]])
+        assert loss_fn(users, good_items) < loss_fn(users, bad_items)
+
+    def test_uniform_scores_give_log_k(self):
+        loss_fn = SampledSoftmaxLoss()
+        users = np.zeros((2, 3))
+        items = np.zeros((2, 5, 3))
+        assert loss_fn(users, items) == pytest.approx(np.log(5.0))
+
+    def test_temperature_sharpens(self):
+        users = np.array([[1.0, 0.0]])
+        items = np.array([[[1.0, 0.0], [0.5, 0.0]]])
+        cold = SampledSoftmaxLoss(temperature=0.1)(users, items)
+        hot = SampledSoftmaxLoss(temperature=10.0)(users, items)
+        assert cold < hot  # low temperature -> positive dominates
+
+    def test_invalid_temperature_rejected(self):
+        with pytest.raises(ValueError):
+            SampledSoftmaxLoss(temperature=0.0)
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            SampledSoftmaxLoss()(np.zeros((2, 3)), np.zeros((2, 4, 5)))
+
+    def test_backward_shapes(self):
+        loss_fn = SampledSoftmaxLoss()
+        users = np.random.default_rng(0).normal(size=(4, 6))
+        items = np.random.default_rng(1).normal(size=(4, 9, 6))
+        loss_fn(users, items)
+        grad_users, grad_items = loss_fn.backward()
+        assert grad_users.shape == users.shape
+        assert grad_items.shape == items.shape

@@ -1,0 +1,71 @@
+"""Tests for the Table-I-style MLP builder."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import L2Normalize, Linear, ReLU, Sigmoid
+from repro.nn.mlp import build_mlp, mlp_flops, parse_layer_spec
+
+
+class TestParseSpec:
+    def test_dash_notation(self):
+        assert parse_layer_spec("128-64-32") == [128, 64, 32]
+
+    def test_single_layer(self):
+        assert parse_layer_spec("128-1") == [128, 1]
+
+    def test_list_passthrough(self):
+        assert parse_layer_spec([256, 64, 1]) == [256, 64, 1]
+
+    def test_malformed_spec_rejected(self):
+        with pytest.raises(ValueError):
+            parse_layer_spec("128-abc")
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(ValueError):
+            parse_layer_spec("128-0")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            parse_layer_spec([])
+
+
+class TestBuildMLP:
+    def test_paper_filtering_tower_structure(self):
+        model = build_mlp(192, "128-64-32", head="l2norm")
+        linears = [l for l in model.layers if isinstance(l, Linear)]
+        assert [(l.in_features, l.out_features) for l in linears] == [
+            (192, 128),
+            (128, 64),
+            (64, 32),
+        ]
+        assert isinstance(model.layers[-1], L2Normalize)
+
+    def test_relu_between_hidden_layers_only(self):
+        model = build_mlp(16, "8-4", head="none")
+        kinds = [type(layer).__name__ for layer in model.layers]
+        assert kinds == ["Linear", "ReLU", "Linear"]
+
+    def test_sigmoid_head(self):
+        model = build_mlp(16, "8-1", head="sigmoid")
+        assert isinstance(model.layers[-1], Sigmoid)
+        outputs = model(np.zeros((3, 16)))
+        assert np.all((outputs >= 0.0) & (outputs <= 1.0))
+
+    def test_unknown_head_rejected(self):
+        with pytest.raises(ValueError):
+            build_mlp(16, "8-1", head="softmax")
+
+    def test_output_shape(self):
+        model = build_mlp(10, "20-5")
+        assert model(np.zeros((4, 10))).shape == (4, 5)
+
+
+class TestFlops:
+    def test_counts_macs_times_two(self):
+        # 10 -> 20 -> 5: (10*20 + 20*5) * 2 = 600.
+        assert mlp_flops(10, "20-5") == 600
+
+    def test_paper_dlrm_bottom(self):
+        expected = 2 * (13 * 256 + 256 * 128 + 128 * 32)
+        assert mlp_flops(13, "256-128-32") == expected

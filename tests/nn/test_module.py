@@ -1,0 +1,99 @@
+"""Tests for the Module/Parameter/Sequential plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Linear, ReLU
+from repro.nn.module import Module, Parameter, Sequential
+
+
+class TestParameter:
+    def test_grad_initialised_to_zero(self):
+        parameter = Parameter(np.ones((2, 3)))
+        assert parameter.grad.shape == (2, 3)
+        assert np.all(parameter.grad == 0.0)
+
+    def test_zero_grad_resets(self):
+        parameter = Parameter(np.ones(4))
+        parameter.grad += 5.0
+        parameter.zero_grad()
+        assert np.all(parameter.grad == 0.0)
+
+
+class TestRegistration:
+    def test_parameters_collected_depth_first(self):
+        model = Sequential([Linear(4, 3), ReLU(), Linear(3, 2)])
+        parameters = model.parameters()
+        assert len(parameters) == 4  # two weights + two biases
+
+    def test_named_parameters_have_prefixes(self):
+        model = Sequential([Linear(4, 3)])
+        names = dict(model.named_parameters())
+        assert "layer0.weight" in names
+        assert "layer0.bias" in names
+
+    def test_zero_grad_cascades(self):
+        model = Sequential([Linear(4, 3)])
+        for parameter in model.parameters():
+            parameter.grad += 1.0
+        model.zero_grad()
+        assert all(np.all(p.grad == 0.0) for p in model.parameters())
+
+    def test_train_eval_cascade(self):
+        model = Sequential([Linear(2, 2), ReLU()])
+        model.eval()
+        assert not model.training
+        assert not model.layers[0].training
+        model.train()
+        assert model.layers[1].training
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        source = Sequential([Linear(4, 3, rng=np.random.default_rng(1))])
+        target = Sequential([Linear(4, 3, rng=np.random.default_rng(2))])
+        target.load_state_dict(source.state_dict())
+        x = np.random.default_rng(0).normal(size=(2, 4))
+        np.testing.assert_allclose(source(x), target(x))
+
+    def test_missing_key_rejected(self):
+        model = Sequential([Linear(4, 3)])
+        with pytest.raises(KeyError):
+            model.load_state_dict({})
+
+    def test_shape_mismatch_rejected(self):
+        model = Sequential([Linear(4, 3)])
+        state = model.state_dict()
+        state["layer0.weight"] = np.zeros((2, 2))
+        with pytest.raises(ValueError):
+            model.load_state_dict(state)
+
+    def test_state_dict_is_a_copy(self):
+        model = Sequential([Linear(2, 2)])
+        state = model.state_dict()
+        state["layer0.weight"][...] = 99.0
+        assert not np.any(model.layers[0].weight.data == 99.0)
+
+
+class TestSequential:
+    def test_forward_chains_layers(self):
+        model = Sequential([Linear(3, 3), ReLU()])
+        x = np.array([[-1.0, 0.0, 1.0]])
+        outputs = model(x)
+        assert np.all(outputs >= 0.0)  # ReLU applied last
+
+    def test_backward_reverses_order(self):
+        model = Sequential([Linear(3, 2), ReLU()])
+        outputs = model(np.ones((1, 3)))
+        grad_in = model.backward(np.ones_like(outputs))
+        assert grad_in.shape == (1, 3)
+
+    def test_len_and_indexing(self):
+        layers = [Linear(2, 2), ReLU()]
+        model = Sequential(layers)
+        assert len(model) == 2
+        assert model[0] is layers[0]
+
+    def test_base_module_forward_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            Module().forward(np.zeros(1))

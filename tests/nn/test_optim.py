@@ -1,0 +1,108 @@
+"""Tests for SGD and Adam optimisers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.module import Parameter
+from repro.nn.optim import SGD, Adam
+
+
+def _quadratic_step(parameter):
+    """Gradient of f(w) = 0.5 * ||w||^2 is w."""
+    parameter.grad[...] = parameter.data
+
+
+class TestSGD:
+    def test_plain_step(self):
+        parameter = Parameter(np.array([1.0, -2.0]))
+        optimizer = SGD([parameter], lr=0.1)
+        parameter.grad[...] = np.array([1.0, 1.0])
+        optimizer.step()
+        np.testing.assert_allclose(parameter.data, [0.9, -2.1])
+
+    def test_converges_on_quadratic(self):
+        parameter = Parameter(np.array([5.0, -3.0]))
+        optimizer = SGD([parameter], lr=0.2)
+        for _ in range(100):
+            optimizer.zero_grad()
+            _quadratic_step(parameter)
+            optimizer.step()
+        assert np.abs(parameter.data).max() < 1e-6
+
+    def test_momentum_accelerates(self):
+        def loss_after(momentum, steps=20):
+            parameter = Parameter(np.array([10.0]))
+            optimizer = SGD([parameter], lr=0.05, momentum=momentum)
+            for _ in range(steps):
+                optimizer.zero_grad()
+                _quadratic_step(parameter)
+                optimizer.step()
+            return abs(float(parameter.data[0]))
+
+        assert loss_after(0.9) < loss_after(0.0)
+
+    def test_weight_decay_shrinks_weights(self):
+        parameter = Parameter(np.array([1.0]))
+        optimizer = SGD([parameter], lr=0.1, weight_decay=0.5)
+        parameter.grad[...] = 0.0
+        optimizer.step()
+        assert parameter.data[0] == pytest.approx(0.95)
+
+    def test_invalid_lr_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], lr=0.0)
+
+    def test_invalid_momentum_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], lr=0.1, momentum=1.0)
+
+    def test_empty_parameter_list_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_zero_grad(self):
+        parameter = Parameter(np.zeros(2))
+        optimizer = SGD([parameter], lr=0.1)
+        parameter.grad += 3.0
+        optimizer.zero_grad()
+        assert np.all(parameter.grad == 0.0)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        parameter = Parameter(np.array([5.0, -3.0, 0.5]))
+        optimizer = Adam([parameter], lr=0.1)
+        for _ in range(300):
+            optimizer.zero_grad()
+            _quadratic_step(parameter)
+            optimizer.step()
+        assert np.abs(parameter.data).max() < 1e-4
+
+    def test_first_step_size_is_lr(self):
+        """With bias correction, the first Adam step is ~lr in magnitude."""
+        parameter = Parameter(np.array([10.0]))
+        optimizer = Adam([parameter], lr=0.01)
+        parameter.grad[...] = np.array([4.0])
+        optimizer.step()
+        assert parameter.data[0] == pytest.approx(10.0 - 0.01, rel=1e-3)
+
+    def test_scale_invariance_of_step_direction(self):
+        """Adam normalises by gradient magnitude: huge and small gradients
+        produce comparable step sizes."""
+        small = Parameter(np.array([1.0]))
+        large = Parameter(np.array([1.0]))
+        opt_small = Adam([small], lr=0.1)
+        opt_large = Adam([large], lr=0.1)
+        small.grad[...] = np.array([1e-4])
+        large.grad[...] = np.array([1e4])
+        opt_small.step()
+        opt_large.step()
+        assert abs(1.0 - small.data[0]) == pytest.approx(abs(1.0 - large.data[0]), rel=1e-2)
+
+    def test_invalid_betas_rejected(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.zeros(1))], betas=(1.0, 0.999))
+
+    def test_invalid_eps_rejected(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.zeros(1))], eps=0.0)

@@ -1,0 +1,84 @@
+"""Tests for exact (FAISS-flat substitute) nearest-neighbour search."""
+
+import numpy as np
+import pytest
+
+from repro.nns.exact import (
+    cosine_similarities,
+    cosine_topk,
+    inner_product_topk,
+    topk_indices,
+)
+
+
+class TestTopKIndices:
+    def test_returns_sorted_descending(self):
+        scores = np.array([0.1, 0.9, 0.5, 0.7])
+        assert topk_indices(scores, 3).tolist() == [1, 3, 2]
+
+    def test_k_larger_than_n_clamps(self):
+        assert len(topk_indices(np.array([1.0, 2.0]), 10)) == 2
+
+    def test_k_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            topk_indices(np.array([1.0]), 0)
+
+    def test_matches_full_argsort(self):
+        rng = np.random.default_rng(0)
+        scores = rng.normal(size=500)
+        fast = topk_indices(scores, 25)
+        slow = np.argsort(-scores)[:25]
+        np.testing.assert_array_equal(fast, slow)
+
+
+class TestCosine:
+    def test_self_similarity_is_one(self):
+        items = np.random.default_rng(1).normal(size=(10, 8))
+        similarities = cosine_similarities(items[3], items)
+        assert similarities[3] == pytest.approx(1.0)
+
+    def test_scale_invariance(self):
+        items = np.random.default_rng(2).normal(size=(5, 4))
+        query = items[0]
+        np.testing.assert_allclose(
+            cosine_similarities(query, items),
+            cosine_similarities(5.0 * query, items),
+        )
+
+    def test_zero_norm_item_gets_zero(self):
+        items = np.zeros((2, 4))
+        items[1] = [1.0, 0.0, 0.0, 0.0]
+        similarities = cosine_similarities(np.ones(4), items)
+        assert similarities[0] == 0.0
+
+    def test_topk_finds_planted_neighbour(self):
+        rng = np.random.default_rng(3)
+        items = rng.normal(size=(200, 16))
+        target = 57
+        query = items[target] + rng.normal(scale=0.05, size=16)
+        winners, scores = cosine_topk(query, items, 5)
+        assert winners[0] == target
+        assert scores[0] > 0.95
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            cosine_topk(np.zeros(4), np.zeros((3, 5)), 2)
+
+
+class TestInnerProduct:
+    def test_prefers_large_norm_items(self):
+        """Unlike cosine, IP rewards magnitude."""
+        query = np.array([1.0, 0.0])
+        items = np.array([[1.0, 0.0], [10.0, 0.0]])
+        winners, _ = inner_product_topk(query, items, 1)
+        assert winners[0] == 1
+        cos_winners, _ = cosine_topk(query, items, 2)
+        # Cosine ties; stable order keeps index 0 first.
+        assert cos_winners.tolist() == [0, 1]
+
+    def test_scores_are_dot_products(self):
+        rng = np.random.default_rng(4)
+        items = rng.normal(size=(20, 6))
+        query = rng.normal(size=6)
+        winners, scores = inner_product_topk(query, items, 20)
+        np.testing.assert_allclose(scores, (items @ query)[winners])

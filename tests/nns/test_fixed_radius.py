@@ -1,0 +1,78 @@
+"""Tests for fixed-radius candidate selection."""
+
+import numpy as np
+import pytest
+
+from repro.nns.fixed_radius import (
+    calibrate_population_radius,
+    cap_candidates,
+    fixed_radius_candidates,
+)
+
+
+class TestFixedRadius:
+    def test_selects_within_radius_ascending(self):
+        distances = np.array([5, 1, 9, 3, 1])
+        np.testing.assert_array_equal(
+            fixed_radius_candidates(distances, 3), [1, 3, 4]
+        )
+
+    def test_radius_zero(self):
+        distances = np.array([0, 1, 0])
+        np.testing.assert_array_equal(fixed_radius_candidates(distances, 0), [0, 2])
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ValueError):
+            fixed_radius_candidates(np.array([1]), -1)
+
+    def test_empty_result_possible(self):
+        assert fixed_radius_candidates(np.array([9, 9]), 1).size == 0
+
+
+class TestPopulationCalibration:
+    def test_mean_count_near_target(self):
+        rng = np.random.default_rng(0)
+        rows = [rng.integers(0, 128, size=1000) for _ in range(16)]
+        radius = calibrate_population_radius(rows, target_mean_candidates=75, max_radius=128)
+        counts = [(row <= radius).sum() for row in rows]
+        assert abs(np.mean(counts) - 75) < 20
+
+    def test_larger_target_larger_radius(self):
+        rng = np.random.default_rng(1)
+        rows = [rng.integers(0, 64, size=500) for _ in range(8)]
+        small = calibrate_population_radius(rows, 10, 64)
+        large = calibrate_population_radius(rows, 200, 64)
+        assert small <= large
+
+    def test_no_rows_rejected(self):
+        with pytest.raises(ValueError):
+            calibrate_population_radius([], 10, 64)
+
+    def test_invalid_target_rejected(self):
+        with pytest.raises(ValueError):
+            calibrate_population_radius([np.array([1])], 0.0, 64)
+
+
+class TestCapCandidates:
+    def test_under_cap_untouched(self):
+        candidates = np.array([1, 5, 9])
+        distances = np.arange(10)
+        np.testing.assert_array_equal(
+            cap_candidates(candidates, distances, 5), candidates
+        )
+
+    def test_over_cap_keeps_closest(self):
+        candidates = np.array([0, 1, 2, 3])
+        distances = np.array([9, 1, 5, 2])
+        kept = cap_candidates(candidates, distances, 2)
+        np.testing.assert_array_equal(kept, [1, 3])  # the two smallest distances
+
+    def test_result_sorted_by_index(self):
+        candidates = np.array([3, 0, 2])
+        distances = np.array([1, 9, 1, 1])
+        kept = cap_candidates(candidates, distances, 2)
+        assert list(kept) == sorted(kept)
+
+    def test_invalid_cap_rejected(self):
+        with pytest.raises(ValueError):
+            cap_candidates(np.array([0]), np.array([1]), 0)

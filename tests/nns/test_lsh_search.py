@@ -1,0 +1,97 @@
+"""Tests for the LSH-Hamming index."""
+
+import numpy as np
+import pytest
+
+from repro.lsh.hamming import pairwise_hamming
+from repro.nns.lsh_search import LSHHammingIndex
+
+
+def _index(num_items=300, dim=16, bits=256, seed=0):
+    items = np.random.default_rng(seed).normal(size=(num_items, dim))
+    return items, LSHHammingIndex(items, signature_bits=bits, seed=seed)
+
+
+class TestConstruction:
+    def test_signature_matrix_shape(self):
+        _, index = _index(num_items=50, bits=128)
+        assert index.item_signatures.shape == (50, 128)
+
+    def test_empty_items_rejected(self):
+        with pytest.raises(ValueError):
+            LSHHammingIndex(np.zeros((0, 8)))
+
+    def test_1d_items_rejected(self):
+        with pytest.raises(ValueError):
+            LSHHammingIndex(np.zeros(8))
+
+
+class TestSearch:
+    def test_exact_item_found_at_distance_zero(self):
+        items, index = _index()
+        winners, distances = index.search_topk(items[42], 1)
+        assert winners[0] == 42
+        assert distances[0] == 0
+
+    def test_topk_orders_by_distance(self):
+        items, index = _index()
+        _, distances = index.search_topk(items[0] * 1.01, 10)
+        assert all(a <= b for a, b in zip(distances, distances[1:]))
+
+    def test_distances_match_manual_computation(self):
+        items, index = _index(num_items=40)
+        query = np.random.default_rng(9).normal(size=16)
+        expected = pairwise_hamming(
+            index.query_signature(query), index.item_signatures
+        )
+        np.testing.assert_array_equal(index.distances(query), expected)
+
+    def test_radius_search_is_fixed_radius(self):
+        items, index = _index()
+        query = items[10]
+        distances = index.distances(query)
+        radius = int(np.sort(distances)[5])
+        found = index.search_radius(query, radius)
+        np.testing.assert_array_equal(found, np.flatnonzero(distances <= radius))
+
+    def test_radius_zero_finds_self(self):
+        items, index = _index()
+        assert 7 in index.search_radius(items[7], 0)
+
+    def test_negative_radius_rejected(self):
+        items, index = _index()
+        with pytest.raises(ValueError):
+            index.search_radius(items[0], -1)
+
+    def test_recall_against_exact_cosine(self):
+        """LSH top-k substantially overlaps exact cosine top-k (Sec. III-B's
+        justification for the substitution)."""
+        from repro.nns.exact import cosine_topk
+
+        items, index = _index(num_items=500, bits=256, seed=1)
+        rng = np.random.default_rng(2)
+        overlaps = []
+        for _ in range(20):
+            query = rng.normal(size=16)
+            exact, _ = cosine_topk(query, items, 10)
+            approx, _ = index.search_topk(query, 10)
+            overlaps.append(len(set(exact) & set(approx)) / 10.0)
+        assert float(np.mean(overlaps)) > 0.5
+
+
+class TestRadiusCalibration:
+    def test_calibrated_radius_reaches_target(self):
+        items, index = _index()
+        query = np.random.default_rng(3).normal(size=16)
+        radius = index.calibrate_radius(query, target_count=25)
+        assert len(index.search_radius(query, radius)) >= 25
+
+    def test_smaller_target_smaller_radius(self):
+        items, index = _index()
+        query = np.random.default_rng(4).normal(size=16)
+        assert index.calibrate_radius(query, 5) <= index.calibrate_radius(query, 50)
+
+    def test_invalid_target_rejected(self):
+        items, index = _index()
+        with pytest.raises(ValueError):
+            index.calibrate_radius(items[0], 0)

@@ -1,0 +1,74 @@
+"""Hypothesis property tests for adder trees and in-memory addition."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.adder_tree import AdderTree, reduction_rounds
+from repro.energy.accounting import Cost
+from repro.imc.gpcim import pack_lanes, ripple_add_bits, unpack_lanes
+
+word_lists = st.lists(
+    st.lists(st.integers(min_value=-1000, max_value=1000), min_size=4, max_size=4),
+    min_size=1,
+    max_size=20,
+)
+
+
+@given(word_lists, st.integers(min_value=2, max_value=8))
+@settings(max_examples=100)
+def test_tree_sum_exact_for_any_fan_in(words, fan_in):
+    tree = AdderTree(fan_in=fan_in, add_cost=Cost(1.0, 1.0))
+    arrays = [np.array(word) for word in words]
+    total, _ = tree.reduce(arrays)
+    np.testing.assert_array_equal(total, np.sum(arrays, axis=0))
+
+
+@given(st.integers(min_value=0, max_value=200), st.integers(min_value=2, max_value=16))
+def test_reduction_rounds_sufficient(num_inputs, fan_in):
+    """Simulating the round-by-round reduction terminates in the predicted
+    number of rounds."""
+    rounds = reduction_rounds(num_inputs, fan_in)
+    pending = num_inputs
+    performed = 0
+    while pending > 1:
+        batch = min(fan_in, pending)
+        pending = pending - batch + 1
+        performed += 1
+    assert performed == rounds
+
+
+@given(word_lists, st.integers(min_value=2, max_value=6))
+@settings(max_examples=50)
+def test_tree_cost_monotone_in_input_count(words, fan_in):
+    tree = AdderTree(fan_in=fan_in, add_cost=Cost(3.0, 5.0))
+    arrays = [np.array(word) for word in words]
+    full = tree.cost_for(len(arrays))
+    half = tree.cost_for(max(1, len(arrays) // 2))
+    assert full.latency_ns >= half.latency_ns
+
+
+@given(
+    st.integers(min_value=0, max_value=2**10 - 1),
+    st.integers(min_value=0, max_value=2**10 - 1),
+)
+@settings(max_examples=200)
+def test_ripple_add_matches_integers(a, b):
+    width = 11
+    bits_a = np.array([(a >> i) & 1 for i in range(width)], dtype=np.int8)
+    bits_b = np.array([(b >> i) & 1 for i in range(width)], dtype=np.int8)
+    total, carry = ripple_add_bits(bits_a, bits_b)
+    value = sum(int(bit) << i for i, bit in enumerate(total)) + (carry << width)
+    assert value == a + b
+
+
+@given(
+    st.lists(st.integers(min_value=-128, max_value=127), min_size=1, max_size=32),
+    st.integers(min_value=2, max_value=16),
+)
+@settings(max_examples=100)
+def test_lane_packing_roundtrip_any_width(lanes, lane_bits):
+    low, high = -(1 << (lane_bits - 1)), (1 << (lane_bits - 1)) - 1
+    clipped = [max(low, min(high, lane)) for lane in lanes]
+    bits = pack_lanes(clipped, lane_bits)
+    assert unpack_lanes(bits, lane_bits).tolist() == clipped

@@ -1,0 +1,68 @@
+"""Hypothesis property tests for the Cost algebra."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.energy.accounting import Cost, ZERO_COST
+
+costs = st.builds(
+    Cost,
+    energy_pj=st.floats(min_value=0.0, max_value=1e12, allow_nan=False),
+    latency_ns=st.floats(min_value=0.0, max_value=1e12, allow_nan=False),
+)
+
+
+@given(costs, costs)
+def test_sequential_composition_commutative(a, b):
+    assert a.then(b) == b.then(a)
+
+
+@given(costs, costs, costs)
+@settings(max_examples=50)
+def test_sequential_composition_associative(a, b, c):
+    left = (a.then(b)).then(c)
+    right = a.then(b.then(c))
+    # Associative up to floating-point rounding.
+    assert left.energy_pj == pytest.approx(right.energy_pj, rel=1e-12, abs=1e-9)
+    assert left.latency_ns == pytest.approx(right.latency_ns, rel=1e-12, abs=1e-9)
+
+
+@given(costs)
+def test_zero_is_identity(a):
+    assert a.then(ZERO_COST) == a
+    assert a.alongside(ZERO_COST) == a
+
+
+@given(costs, costs)
+def test_parallel_never_slower_than_sequential(a, b):
+    assert a.alongside(b).latency_ns <= a.then(b).latency_ns
+
+
+@given(costs, costs)
+def test_parallel_and_sequential_same_energy(a, b):
+    assert a.alongside(b).energy_pj == a.then(b).energy_pj
+
+
+@given(costs, st.integers(min_value=0, max_value=1000))
+def test_repeated_equals_folded_sequence(a, n):
+    folded = Cost.sequence([a] * n)
+    repeated = a.repeated(n)
+    assert abs(folded.energy_pj - repeated.energy_pj) <= 1e-6 * max(1.0, repeated.energy_pj)
+    assert abs(folded.latency_ns - repeated.latency_ns) <= 1e-6 * max(1.0, repeated.latency_ns)
+
+
+@given(costs, st.integers(min_value=1, max_value=1000))
+def test_broadcast_latency_invariant(a, n):
+    spread = a.broadcast(n)
+    assert spread.latency_ns == a.latency_ns
+    assert spread.energy_pj >= a.energy_pj or n == 0
+
+
+@given(costs, costs)
+def test_speedup_reciprocal(a, b):
+    # Subnormal latencies lose precision in the division; stay in the
+    # physically meaningful range.
+    if a.latency_ns > 1e-6 and b.latency_ns > 1e-6:
+        product = a.speedup_over(b) * b.speedup_over(a)
+        assert abs(product - 1.0) < 1e-9

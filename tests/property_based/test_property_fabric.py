@@ -1,0 +1,79 @@
+"""Hypothesis property tests for the bank hierarchy and GPCiM pooling."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bank import Bank
+from repro.core.config import ArchitectureConfig
+from repro.imc.gpcim import GPCiMArray
+
+_SMALL = ArchitectureConfig(cma_rows=8, cmas_per_mat=2, mats_per_bank=4)
+
+
+@st.composite
+def bank_with_table(draw):
+    """A loaded small bank plus its reference table."""
+    num_entries = draw(st.integers(min_value=1, max_value=64))
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    table = np.random.default_rng(seed).integers(-100, 100, size=(num_entries, 32))
+    bank = Bank(_SMALL)
+    bank.load_table(table)
+    return bank, table
+
+
+@given(bank_with_table(), st.data())
+@settings(max_examples=40, deadline=None)
+def test_bank_pooling_equals_numpy_sum(loaded, data):
+    bank, table = loaded
+    count = data.draw(st.integers(min_value=1, max_value=8))
+    entries = data.draw(
+        st.lists(
+            st.integers(min_value=0, max_value=table.shape[0] - 1),
+            min_size=count,
+            max_size=count,
+        )
+    )
+    pooled, cost = bank.pooled_lookup(entries)
+    np.testing.assert_array_equal(pooled, table[entries].sum(axis=0))
+    assert cost.latency_ns > 0.0
+    assert cost.energy_pj > 0.0
+
+
+@given(bank_with_table())
+@settings(max_examples=40, deadline=None)
+def test_bank_locate_roundtrip(loaded):
+    bank, table = loaded
+    for entry in range(table.shape[0]):
+        mat_index, local = bank.locate(entry)
+        assert 0 <= mat_index < bank.num_mats
+        read, _ = bank.read_entry(entry)
+        np.testing.assert_array_equal(read, table[entry])
+
+
+lane_rows = st.lists(
+    st.lists(st.integers(min_value=-128, max_value=127), min_size=4, max_size=4),
+    min_size=1,
+    max_size=8,
+)
+
+
+@given(lane_rows)
+@settings(max_examples=100)
+def test_gpcim_accumulate_matches_numpy(rows):
+    array = GPCiMArray(rows=len(rows), lanes=4)
+    for index, values in enumerate(rows):
+        array.write_row(index, values)
+    total = array.accumulate_rows(range(len(rows)))
+    np.testing.assert_array_equal(total, np.sum(rows, axis=0))
+
+
+@given(lane_rows)
+@settings(max_examples=50)
+def test_gpcim_saturating_accumulate_bounded(rows):
+    array = GPCiMArray(rows=len(rows), lanes=4)
+    for index, values in enumerate(rows):
+        array.write_row(index, values)
+    clamped = array.accumulate_rows(range(len(rows)), saturate=True)
+    assert clamped.min() >= -128
+    assert clamped.max() <= 127

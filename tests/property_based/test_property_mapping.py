@@ -1,0 +1,60 @@
+"""Hypothesis property tests for the ET -> hardware mapping invariants."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import PAPER_CONFIG
+from repro.core.mapping import EmbeddingTableSpec, WorkloadMapping, next_power_of_two
+
+#: Entry counts that fit a single bank under the paper config
+#: (<= 64 provisioned CMAs x 256 rows for ItETs, which double their CMAs).
+table_sizes = st.integers(min_value=1, max_value=8000)
+kinds = st.sampled_from(["uiet", "itet"])
+
+
+@given(st.lists(st.tuples(table_sizes, kinds), min_size=1, max_size=16))
+@settings(max_examples=100)
+def test_mapping_invariants(tables):
+    specs = [
+        EmbeddingTableSpec(f"t{i}", size, kind=kind)
+        for i, (size, kind) in enumerate(tables)
+    ]
+    mapping = WorkloadMapping(specs, PAPER_CONFIG)
+
+    # One bank per feature, banks indexed contiguously.
+    assert mapping.active_banks == len(specs)
+    assert [t.bank_index for t in mapping.tables] == list(range(len(specs)))
+
+    for table in mapping.tables:
+        spec = table.spec
+        expected_cmas = math.ceil(spec.num_entries / PAPER_CONFIG.cma_rows)
+        assert table.embedding_cmas == expected_cmas
+        # ItETs double for signatures, UIETs store none.
+        if spec.kind == "itet":
+            assert table.signature_cmas == table.embedding_cmas
+        else:
+            assert table.signature_cmas == 0
+        # Mats cover the CMAs without waste beyond one mat's granularity.
+        assert table.embedding_mats == math.ceil(
+            table.embedding_cmas / PAPER_CONFIG.cmas_per_mat
+        )
+        # Provisioning is the next power of two and fits a bank.
+        assert table.provisioned_cmas == next_power_of_two(table.total_cmas)
+        assert table.provisioned_cmas <= PAPER_CONFIG.cmas_per_bank
+        # Capacity actually holds the table: rows across the CMAs suffice.
+        assert table.embedding_cmas * PAPER_CONFIG.cma_rows >= spec.num_entries
+
+    # Aggregates are sums of per-table values.
+    assert mapping.active_cmas == sum(t.total_cmas for t in mapping.tables)
+    assert mapping.active_mats == sum(t.total_mats for t in mapping.tables)
+
+
+@given(st.integers(min_value=1, max_value=10**7))
+@settings(max_examples=200)
+def test_next_power_of_two_properties(value):
+    result = next_power_of_two(value)
+    assert result >= value
+    assert result & (result - 1) == 0  # is a power of two
+    assert result < 2 * value or value == 1

@@ -1,0 +1,111 @@
+"""Hypothesis property tests for quantisation and LSH invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.lsh.hamming import hamming_distance, pack_bits, unpack_bits
+from repro.lsh.hyperplane import RandomHyperplaneLSH
+from repro.quant.int8 import dequantize, quantize_asymmetric, quantize_symmetric
+
+float_matrices = arrays(
+    dtype=np.float64,
+    shape=st.tuples(
+        st.integers(min_value=1, max_value=8), st.integers(min_value=1, max_value=8)
+    ),
+    elements=st.floats(min_value=-1e4, max_value=1e4, allow_nan=False, width=64),
+)
+
+
+@given(float_matrices)
+@settings(max_examples=100)
+def test_symmetric_quantisation_error_bounded(values):
+    tensor = quantize_symmetric(values)
+    step = np.abs(values).max() / 127.0 if np.abs(values).max() > 0 else 1.0
+    assert np.abs(dequantize(tensor) - values).max() <= 0.5 * step + 1e-9
+
+
+@given(float_matrices)
+@settings(max_examples=100)
+def test_symmetric_quantisation_idempotent(values):
+    """Quantising an already-quantised tensor is exact."""
+    once = dequantize(quantize_symmetric(values))
+    twice = dequantize(quantize_symmetric(once))
+    np.testing.assert_allclose(once, twice, atol=1e-9)
+
+
+@given(float_matrices)
+@settings(max_examples=100)
+def test_symmetric_preserves_sign(values):
+    tensor = quantize_symmetric(values)
+    recovered = dequantize(tensor)
+    # No sign flips: recovered * original >= 0 elementwise (up to the
+    # values that round to zero).
+    product = recovered * values
+    assert (product >= -1e-9).all()
+
+
+@given(float_matrices)
+@settings(max_examples=50)
+def test_asymmetric_range_covered(values):
+    tensor = quantize_asymmetric(values)
+    recovered = dequantize(tensor)
+    span = values.max() - values.min()
+    tolerance = span / 255.0 + 1e-9 if span > 0 else 1e-9
+    assert recovered.min() >= values.min() - tolerance
+    assert recovered.max() <= values.max() + tolerance
+
+
+bit_matrices = arrays(
+    dtype=np.uint8,
+    shape=st.tuples(
+        st.integers(min_value=1, max_value=6), st.integers(min_value=1, max_value=64)
+    ),
+    elements=st.integers(min_value=0, max_value=1),
+)
+
+
+@given(bit_matrices)
+@settings(max_examples=100)
+def test_pack_unpack_roundtrip(bits):
+    packed = pack_bits(bits)
+    np.testing.assert_array_equal(unpack_bits(packed, bits.shape[1]), bits)
+
+
+vectors = arrays(
+    dtype=np.float64,
+    shape=st.just((12,)),
+    elements=st.floats(min_value=-10.0, max_value=10.0, allow_nan=False, width=64),
+)
+
+
+@given(vectors, st.floats(min_value=0.1, max_value=100.0))
+@settings(max_examples=100)
+def test_lsh_scale_invariance(vector, scale):
+    if np.linalg.norm(vector) < 1e-6:
+        return  # direction undefined
+    hasher = RandomHyperplaneLSH(12, 64, seed=0)
+    np.testing.assert_array_equal(
+        hasher.signature(vector), hasher.signature(scale * vector)
+    )
+
+
+@given(vectors, vectors)
+@settings(max_examples=100)
+def test_lsh_hamming_symmetry(a, b):
+    hasher = RandomHyperplaneLSH(12, 64, seed=0)
+    sig_a, sig_b = hasher.signature(a), hasher.signature(b)
+    assert hamming_distance(sig_a, sig_b) == hamming_distance(sig_b, sig_a)
+
+
+@given(vectors, vectors, vectors)
+@settings(max_examples=50)
+def test_lsh_triangle_inequality(a, b, c):
+    """Hamming over signatures is a metric: triangle inequality holds."""
+    hasher = RandomHyperplaneLSH(12, 64, seed=0)
+    sig_a, sig_b, sig_c = (hasher.signature(v) for v in (a, b, c))
+    d_ab = hamming_distance(sig_a, sig_b)
+    d_bc = hamming_distance(sig_b, sig_c)
+    d_ac = hamming_distance(sig_a, sig_c)
+    assert d_ac <= d_ab + d_bc

@@ -1,0 +1,79 @@
+"""Hypothesis property tests for TCAM search invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.imc.tcam import TCAMArray
+
+bit_rows = st.lists(
+    st.lists(st.integers(min_value=0, max_value=1), min_size=16, max_size=16),
+    min_size=1,
+    max_size=12,
+)
+bit_query = st.lists(st.integers(min_value=0, max_value=1), min_size=16, max_size=16)
+
+
+def _array_from(rows):
+    array = TCAMArray(len(rows), 16)
+    for index, row in enumerate(rows):
+        array.write_row(index, np.array(row, dtype=np.int8))
+    return array
+
+
+@given(bit_rows, bit_query)
+@settings(max_examples=100)
+def test_threshold_monotonicity(rows, query):
+    """Raising the threshold can only add matches, never remove them."""
+    array = _array_from(rows)
+    query = np.array(query, dtype=np.int8)
+    previous = set()
+    for threshold in range(0, 17, 4):
+        current = set(array.matching_rows(query, threshold))
+        assert previous <= current
+        previous = current
+
+
+@given(bit_rows)
+@settings(max_examples=100)
+def test_stored_row_matches_itself(rows):
+    array = _array_from(rows)
+    for index, row in enumerate(rows):
+        assert index in array.matching_rows(np.array(row, dtype=np.int8), 0)
+
+
+@given(bit_rows, bit_query)
+@settings(max_examples=100)
+def test_full_threshold_matches_everything(rows, query):
+    array = _array_from(rows)
+    matches = array.matching_rows(np.array(query, dtype=np.int8), 16)
+    assert matches == list(range(len(rows)))
+
+
+@given(bit_rows, bit_query)
+@settings(max_examples=100)
+def test_distances_bounded_by_width(rows, query):
+    array = _array_from(rows)
+    distances = array.hamming_distances(np.array(query, dtype=np.int8))
+    assert (distances[: len(rows)] <= 16).all()
+    assert (distances >= 0).all()
+
+
+@given(bit_rows, bit_query)
+@settings(max_examples=100)
+def test_complement_query_distance(rows, query):
+    """d(row, q) + d(row, ~q) = width for fully-specified rows."""
+    array = _array_from(rows)
+    query = np.array(query, dtype=np.int8)
+    complement = (1 - query).astype(np.int8)
+    d_q = array.hamming_distances(query)[: len(rows)]
+    d_c = array.hamming_distances(complement)[: len(rows)]
+    assert ((d_q + d_c) == 16).all()
+
+
+@given(bit_rows, bit_query)
+@settings(max_examples=50)
+def test_priority_order_ascending(rows, query):
+    array = _array_from(rows)
+    matches = array.matching_rows(np.array(query, dtype=np.int8), 8)
+    assert matches == sorted(matches)

@@ -1,0 +1,101 @@
+"""Tests for int8 quantisation."""
+
+import numpy as np
+import pytest
+
+from repro.quant.int8 import (
+    QuantizedTensor,
+    dequantize,
+    quantization_error,
+    quantize_asymmetric,
+    quantize_symmetric,
+)
+
+
+class TestSymmetric:
+    def test_zero_maps_to_zero(self):
+        tensor = quantize_symmetric(np.array([[0.0, 1.0, -1.0]]))
+        assert tensor.data[0, 0] == 0
+
+    def test_extremes_use_full_range(self):
+        tensor = quantize_symmetric(np.array([[2.0, -2.0]]))
+        assert tensor.data.max() == 127
+        assert tensor.data.min() == -127
+
+    def test_roundtrip_error_bounded_by_half_step(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(0.0, 1.0, size=(50, 8))
+        tensor = quantize_symmetric(values)
+        step = np.abs(values).max() / 127.0
+        assert np.abs(dequantize(tensor) - values).max() <= 0.5 * step + 1e-12
+
+    def test_per_row_scales_independent(self):
+        values = np.array([[1.0, -1.0], [100.0, -100.0]])
+        tensor = quantize_symmetric(values, per_row=True)
+        # Both rows use the full int8 range despite 100x magnitude gap.
+        assert np.abs(tensor.data[0]).max() == 127
+        assert np.abs(tensor.data[1]).max() == 127
+
+    def test_per_row_needs_2d(self):
+        with pytest.raises(ValueError):
+            quantize_symmetric(np.zeros(4), per_row=True)
+
+    def test_all_zero_input(self):
+        tensor = quantize_symmetric(np.zeros((2, 3)))
+        assert np.all(tensor.data == 0)
+        assert np.allclose(dequantize(tensor), 0.0)
+
+    def test_preserves_inner_product_structure(self):
+        """The property behind the tiny int8-cosine accuracy gap (IV-B)."""
+        rng = np.random.default_rng(1)
+        table = rng.normal(0.0, 1.0, size=(100, 32))
+        query = rng.normal(0.0, 1.0, size=32)
+        exact = table @ query
+        recovered = dequantize(quantize_symmetric(table, per_row=True)) @ query
+        correlation = np.corrcoef(exact, recovered)[0, 1]
+        assert correlation > 0.999
+
+
+class TestAsymmetric:
+    def test_roundtrip_error_bounded(self):
+        rng = np.random.default_rng(2)
+        values = rng.uniform(5.0, 9.0, size=(20, 4))  # strictly positive range
+        tensor = quantize_asymmetric(values)
+        step = (values.max() - values.min()) / 255.0
+        assert np.abs(dequantize(tensor) - values).max() <= 0.75 * step + 1e-12
+
+    def test_uses_full_signed_range(self):
+        values = np.array([[10.0, 20.0]])
+        tensor = quantize_asymmetric(values)
+        assert tensor.data.min() == -128
+        assert tensor.data.max() == 127
+
+    def test_constant_input(self):
+        tensor = quantize_asymmetric(np.full((2, 2), 7.0))
+        assert np.allclose(dequantize(tensor), 7.0, atol=0.1)
+
+
+class TestContainerAndMetrics:
+    def test_container_rejects_non_int8(self):
+        with pytest.raises(TypeError):
+            QuantizedTensor(
+                data=np.zeros((2, 2), dtype=np.int32),
+                scale=np.ones(1),
+                zero_point=np.zeros(1),
+            )
+
+    def test_dequantize_method_matches_function(self):
+        tensor = quantize_symmetric(np.array([[1.0, 2.0]]))
+        np.testing.assert_array_equal(tensor.dequantize(), dequantize(tensor))
+
+    def test_error_metrics(self):
+        values = np.random.default_rng(3).normal(size=(10, 10))
+        tensor = quantize_symmetric(values)
+        metrics = quantization_error(values, tensor)
+        assert metrics["max_abs_error"] >= metrics["rmse"] >= 0.0
+        assert metrics["cosine_fidelity"] > 0.99
+
+    def test_error_metrics_shape_mismatch_rejected(self):
+        tensor = quantize_symmetric(np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            quantization_error(np.zeros((3, 3)), tensor)
