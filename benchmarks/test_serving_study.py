@@ -1,0 +1,23 @@
+"""Bench E-SERVE -- online serving study (traffic, sharding, caching)."""
+
+from repro.experiments import run_serving_study
+
+
+def test_serving_study(benchmark, save_report):
+    report = benchmark.pedantic(run_serving_study, rounds=1, iterations=1)
+    save_report("serving_study", report.format())
+    # Every serving invariant (cache identity, iMARS tail advantage,
+    # sharding latency cut, cache energy saving) must hold exactly.
+    assert report.all_within(0.0), report.format()
+
+    grid = report.extras["grid"]
+    # The full grid ran: 2 engines x 4 patterns x 2 shard counts.
+    assert len(grid) == 16
+    for slo in grid.values():
+        assert slo.p50_ms <= slo.p95_ms <= slo.p99_ms <= slo.max_ms
+        assert slo.num_requests == 160
+        assert slo.energy_per_request_uj > 0.0
+
+    ablation = report.extras["cache_ablation"]
+    assert ablation["with"].cache_hit_rate > 0.3
+    assert ablation["without"].cache_hit_rate == 0.0

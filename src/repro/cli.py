@@ -32,6 +32,7 @@ from repro.experiments.area_study import run_area_study
 from repro.experiments.batch_throughput import run_batch_throughput
 from repro.experiments.common import ExperimentReport
 from repro.experiments.scaling_study import run_scaling_study
+from repro.experiments.serving_study import run_serving_study
 from repro.experiments.standby_power import run_standby_power
 from repro.experiments.trace_locality import run_trace_locality
 from repro.experiments.variation_study import run_variation_study
@@ -55,6 +56,10 @@ EXPERIMENTS: Dict[str, tuple] = {
     "A7": ("Extension - standby power (non-volatility)", run_standby_power),
     "A8": ("Extension - trace-driven access locality", run_trace_locality),
     "A9": ("Extension - ET-operation scaling study", run_scaling_study),
+    "E-SERVE": (
+        "Extension - online serving study (traffic, sharding, caching)",
+        run_serving_study,
+    ),
 }
 
 
@@ -82,7 +87,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser = subparsers.add_parser("run", help="run one experiment (or 'all')")
     run_parser.add_argument(
         "experiment",
-        help="experiment id (E1..E8, A1..A5) or 'all'",
+        help="experiment id (E1..E8, A1..A9, E-serve) or 'all'",
     )
     run_parser.add_argument(
         "--save",

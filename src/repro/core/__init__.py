@@ -28,7 +28,13 @@ from repro.core.area import AreaModel, FabricArea, fabric_area, workload_area
 from repro.core.power import StandbyPowerModel, standby_comparison
 from repro.core.trace_sim import AccessTrace, TraceSimulator
 from repro.core.fabric import FlowTrace, IMARSFabric
-from repro.core.pipeline import GPUReferenceEngine, IMARSEngine, QueryResult
+from repro.core.pipeline import (
+    BatchResult,
+    GPUReferenceEngine,
+    IMARSEngine,
+    QueryResult,
+    ServeQuery,
+)
 
 __all__ = [
     "ArchitectureConfig",
@@ -68,7 +74,9 @@ __all__ = [
     "TraceSimulator",
     "FlowTrace",
     "IMARSFabric",
+    "BatchResult",
     "GPUReferenceEngine",
     "IMARSEngine",
     "QueryResult",
+    "ServeQuery",
 ]

@@ -13,12 +13,31 @@ charging their respective hardware cost models:
 Both wrap the same trained YouTubeDNN models, so accuracy differences come
 only from the IMC-friendly substitutions (quantisation, distance function,
 fixed-radius selection) -- the comparison of Sec. IV-B.
+
+Serving interface
+-----------------
+Beyond the original single-query :meth:`recommend`, both engines expose the
+uniform batch interface the online serving subsystem
+(:mod:`repro.serving`) drives:
+
+* :class:`ServeQuery` -- a hashable (history, demographics, context)
+  triple, usable directly as a cache key;
+* :meth:`serve_batch` -- serve a micro-batch, returning per-query results
+  plus one engine-specific batched :class:`Cost`: the GPU amortises its
+  kernel-launch/dispatch overheads across the batch, while iMARS pipelines
+  queries through its fabric stages (bounded by the slowest stage);
+* ``item_subset`` -- both engines can be built over a slice of the item
+  corpus, the building block of the shard router
+  (:class:`repro.serving.shard.ShardedEngine`); returned item ids are
+  always *global* corpus ids;
+* :meth:`merge_cost` -- the platform-appropriate cost of merging ``n``
+  scored entries into a final top-k (scatter-gather reduction).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -39,7 +58,35 @@ from repro.nns.fixed_radius import cap_candidates, fixed_radius_candidates
 from repro.nns.lsh_search import LSHHammingIndex
 from repro.quant.int8 import dequantize, quantize_symmetric
 
-__all__ = ["QueryResult", "GPUReferenceEngine", "IMARSEngine"]
+__all__ = [
+    "ServeQuery",
+    "QueryResult",
+    "BatchResult",
+    "GPUReferenceEngine",
+    "IMARSEngine",
+]
+
+
+@dataclass(frozen=True)
+class ServeQuery:
+    """One serving request's model inputs, hashable for result caching."""
+
+    history: Tuple[int, ...]
+    demographics: Tuple[int, ...]
+    context: Tuple[int, ...]
+
+    @staticmethod
+    def make(
+        history: Sequence[int],
+        demographics: Sequence[int],
+        context: Sequence[int],
+    ) -> "ServeQuery":
+        """Coerce arbitrary int sequences (lists, numpy rows) to a query."""
+        return ServeQuery(
+            history=tuple(int(value) for value in history),
+            demographics=tuple(int(value) for value in demographics),
+            context=tuple(int(value) for value in context),
+        )
 
 
 @dataclass
@@ -50,6 +97,7 @@ class QueryResult:
     candidate_count: int
     cost: Cost
     ledger: Ledger = field(default_factory=Ledger)
+    scores: List[float] = field(default_factory=list)
 
     @property
     def qps(self) -> float:
@@ -57,6 +105,23 @@ class QueryResult:
         if self.cost.latency_ns == 0.0:
             return float("inf")
         return 1e9 / self.cost.latency_ns
+
+
+@dataclass
+class BatchResult:
+    """Outcome of one micro-batch: per-query results + the batched cost.
+
+    ``cost`` is *not* the sequential sum of the per-query costs: each
+    engine applies its own batching model (launch-overhead amortisation on
+    the GPU, stage pipelining on iMARS), so ``cost.latency_ns`` is the
+    wall-clock occupancy of the engine while the batch is in flight.
+    """
+
+    results: List[QueryResult]
+    cost: Cost
+
+    def __len__(self) -> int:
+        return len(self.results)
 
 
 class _EngineBase:
@@ -83,6 +148,60 @@ class _EngineBase:
             config.ranking_extra_cardinalities
         )
         self.ranking_input_dim = config.embedding_dim * (2 + ranking_features)
+
+    def _resolve_subset(
+        self, num_items: int, item_subset: Optional[Sequence[int]]
+    ) -> np.ndarray:
+        """Global item ids this engine serves (the whole corpus by default)."""
+        if item_subset is None:
+            return np.arange(num_items, dtype=np.int64)
+        ids = np.asarray(list(item_subset), dtype=np.int64)
+        if ids.size == 0:
+            raise ValueError("item subset must be non-empty")
+        if ids.min() < 0 or ids.max() >= num_items:
+            raise ValueError(
+                f"item subset ids must be in [0, {num_items}), "
+                f"got range [{ids.min()}, {ids.max()}]"
+            )
+        if np.unique(ids).size != ids.size:
+            raise ValueError("item subset must not contain duplicates")
+        return ids
+
+    @property
+    def corpus_size(self) -> int:
+        """Number of items this engine (or shard) serves."""
+        return int(self._global_ids.shape[0])
+
+    def recommend(
+        self,
+        history: Sequence[int],
+        demographics: Sequence[int],
+        context: Sequence[int],
+    ) -> QueryResult:
+        raise NotImplementedError
+
+    def recommend_query(self, query: ServeQuery) -> QueryResult:
+        """Serve one :class:`ServeQuery` (the batch-of-one convenience)."""
+        return self.recommend(query.history, query.demographics, query.context)
+
+    def serve_batch(self, queries: Sequence[ServeQuery]) -> BatchResult:
+        """Serve a micro-batch through the engine.
+
+        The functional results are exactly those of per-query
+        :meth:`recommend` calls (batching never changes recommendations);
+        the batched cost applies the engine's amortisation/pipelining
+        model via :meth:`_batch_cost`.
+        """
+        results = [self.recommend_query(query) for query in queries]
+        return BatchResult(results=results, cost=self._batch_cost(results))
+
+    def _batch_cost(self, results: Sequence[QueryResult]) -> Cost:
+        """Engine occupancy for a batch; base class serialises queries."""
+        return Cost.sequence(result.cost for result in results)
+
+    def merge_cost(self, num_entries: int) -> Cost:
+        """Cost of reducing ``num_entries`` scored rows to a final top-k."""
+        raise NotImplementedError
 
     def _user_embedding(
         self, history: Sequence[int], demographics: Sequence[int]
@@ -114,10 +233,13 @@ class GPUReferenceEngine(_EngineBase):
         num_candidates: int = 72,
         top_k: int = 10,
         device: GPUDeviceModel = GTX1080,
+        item_subset: Optional[Sequence[int]] = None,
     ):
         super().__init__(filtering_model, ranking_model, num_candidates, top_k)
         self.device = device
-        self.item_table = filtering_model.item_table()
+        full_table = filtering_model.item_table()
+        self._global_ids = self._resolve_subset(full_table.shape[0], item_subset)
+        self.item_table = full_table[self._global_ids]
         config = filtering_model.config
         self._filtering_tables = 1 + len(config.demographic_cardinalities)
         self._ranking_tables = (
@@ -144,10 +266,11 @@ class GPUReferenceEngine(_EngineBase):
             ),
         )
         user = self._user_embedding(history, demographics)
-        candidates, _ = cosine_topk(user, self.item_table, self.num_candidates)
+        count = min(self.num_candidates, self.corpus_size)
+        candidates, _ = cosine_topk(user, self.item_table, count)
         ledger.charge(
             "NNS",
-            gpu_nns_cosine(config.num_items, config.embedding_dim, device=self.device),
+            gpu_nns_cosine(self.corpus_size, config.embedding_dim, device=self.device),
         )
 
         # Ranking: per-candidate ET op + DNN (the unbatched serving loop).
@@ -157,14 +280,57 @@ class GPUReferenceEngine(_EngineBase):
         ledger.charge("Ranking", per_candidate.repeated(len(candidates)))
         ctrs = self._score_candidates(user, self.item_table[candidates], context)
         order = np.argsort(-ctrs, kind="stable")[: self.top_k]
-        winners = [int(candidates[index]) for index in order]
+        winners = [int(self._global_ids[candidates[index]]) for index in order]
         ledger.charge("TopK", gpu_topk(len(candidates), device=self.device))
         return QueryResult(
             items=winners,
             candidate_count=len(candidates),
             cost=ledger.total(),
             ledger=ledger,
+            scores=[float(ctrs[index]) for index in order],
         )
+
+    def _query_overhead(self, candidate_count: int) -> Cost:
+        """Per-query fixed dispatch work amortised away in batched serving.
+
+        Mirrors the A4 batching model: ET-stage overheads, per-layer kernel
+        launches, the NNS base cost and the top-k launch are paid once per
+        *batch* position instead of once per query, while the marginal
+        (bytes/FLOPs) terms keep scaling with the queries served.
+        """
+        config = self.filtering_model.config
+        filtering_layers = len(config.filtering_spec.split("-"))
+        ranking_layers = len(config.ranking_spec.split("-"))
+        et_us = self.device.et_base_us * (1 + candidate_count)
+        launch_us = self.device.kernel_launch_us * (
+            filtering_layers + candidate_count * ranking_layers + 1
+        )
+        nns_us = self.device.nns_cosine_base_us
+        energy_pj = (
+            et_us * self.device.power_et_w
+            + launch_us * self.device.power_dnn_w
+            + nns_us * self.device.power_nns_cosine_w
+        ) * 1e6  # W x us = uJ; 1 uJ = 1e6 pJ
+        return Cost(energy_pj=energy_pj, latency_ns=(et_us + launch_us + nns_us) * 1e3)
+
+    def _batch_cost(self, results: Sequence[QueryResult]) -> Cost:
+        """Batched GPU serving: fixed overheads paid once, marginals summed."""
+        total = Cost.sequence(result.cost for result in results)
+        if len(results) <= 1:
+            return total
+        saved = Cost.sequence(
+            self._query_overhead(result.candidate_count) for result in results[1:]
+        )
+        return Cost(
+            energy_pj=max(total.energy_pj - saved.energy_pj, 0.0),
+            latency_ns=max(total.latency_ns - saved.latency_ns, 0.0),
+        )
+
+    def merge_cost(self, num_entries: int) -> Cost:
+        """Host-side top-k reduction over the gathered shard entries."""
+        if num_entries < 1:
+            return Cost()
+        return gpu_topk(num_entries, device=self.device)
 
 
 class IMARSEngine(_EngineBase):
@@ -181,6 +347,7 @@ class IMARSEngine(_EngineBase):
         cost_model: Optional[IMARSCostModel] = None,
         analog_dnn: bool = False,
         seed: int = 0,
+        item_subset: Optional[Sequence[int]] = None,
     ):
         """``analog_dnn=True`` routes the ranking MLP through the functional
         analog crossbar tiles (DAC/ADC quantisation + conductance noise)
@@ -202,7 +369,11 @@ class IMARSEngine(_EngineBase):
         bits = signature_bits or self.cost_model.config.lsh_signature_bits
 
         # Quantise the item table to int8 (the ItET contents) and hash it.
-        float_table = filtering_model.item_table()
+        # With an ``item_subset`` the shard only stores (and searches) its
+        # slice of the corpus; returned ids stay global.
+        full_table = filtering_model.item_table()
+        self._global_ids = self._resolve_subset(full_table.shape[0], item_subset)
+        float_table = full_table[self._global_ids]
         self._quantized = quantize_symmetric(float_table, per_row=True)
         self.item_table = dequantize(self._quantized)
         hasher = RandomHyperplaneLSH(
@@ -214,8 +385,9 @@ class IMARSEngine(_EngineBase):
         # count (the dummy-cell reference setting).
         rng = np.random.default_rng(seed)
         probes = rng.normal(0.0, 1.0, size=(32, float_table.shape[1]))
+        target = min(self.num_candidates, self.corpus_size)
         radii = [
-            self.index.calibrate_radius(probe, self.num_candidates)
+            self.index.calibrate_radius(probe, target)
             for probe in probes
         ]
         self.radius = int(round(float(np.median(radii))))
@@ -272,10 +444,38 @@ class IMARSEngine(_EngineBase):
         # Top-k (2e) through the CTR buffer's threshold sweep.
         self.cost_model.topk_operation(len(candidates), self.top_k, ledger=ledger)
         order = np.argsort(-ctrs, kind="stable")[: self.top_k]
-        winners = [int(candidates[index]) for index in order]
+        winners = [int(self._global_ids[candidates[index]]) for index in order]
         return QueryResult(
             items=winners,
             candidate_count=int(len(candidates)),
             cost=ledger.total(),
             ledger=ledger,
+            scores=[float(ctrs[index]) for index in order],
         )
+
+    def _batch_cost(self, results: Sequence[QueryResult]) -> Cost:
+        """Pipelined iMARS serving: stages overlap across batched queries.
+
+        The fabric's stages (ET banks, crossbar DNN tiles, TCAM NNS, CTR
+        buffer) occupy disjoint hardware, so while query *i* is in its
+        ranking loop, query *i+1* runs its filtering stage.  Steady-state
+        occupancy per extra query is therefore the *slowest* stage of that
+        query, with the first query paying the full fill latency.  Energy
+        is unaffected by pipelining (every stage still runs).
+        """
+        if not results:
+            return Cost()
+        energy_pj = sum(result.cost.energy_pj for result in results)
+        latency_ns = results[0].cost.latency_ns
+        for result in results[1:]:
+            stage_latencies = [
+                cost.latency_ns for cost in result.ledger.by_category().values()
+            ]
+            latency_ns += max(stage_latencies) if stage_latencies else result.cost.latency_ns
+        return Cost(energy_pj=energy_pj, latency_ns=latency_ns)
+
+    def merge_cost(self, num_entries: int) -> Cost:
+        """Merge via a CTR-buffer threshold sweep over the shard entries."""
+        if num_entries < 1:
+            return Cost()
+        return self.cost_model.topk_operation(num_entries, min(self.top_k, num_entries))

@@ -20,6 +20,7 @@ A6            Crossbar non-ideality ablation (analog CTR accuracy)
 A7            Standby power (FeFET non-volatility benefit)
 A8            Trace-driven ET access locality
 A9            ET-operation scaling study
+E-SERVE       Online serving study (traffic, sharding, caching)
 ============  =======================================================
 """
 
@@ -52,8 +53,10 @@ from repro.experiments.analog_accuracy import run_analog_accuracy
 from repro.experiments.standby_power import run_standby_power
 from repro.experiments.trace_locality import run_trace_locality
 from repro.experiments.scaling_study import run_scaling_study
+from repro.experiments.serving_study import run_serving_study
 
 __all__ = [
+    "run_serving_study",
     "run_scaling_study",
     "run_variation_study",
     "run_batch_throughput",

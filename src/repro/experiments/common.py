@@ -10,7 +10,26 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-__all__ = ["PaperComparison", "ExperimentReport", "relative_error"]
+import numpy as np
+
+__all__ = ["PaperComparison", "ExperimentReport", "relative_error", "seeded_rng"]
+
+
+def seeded_rng(seed: int, stream: int = 0) -> np.random.Generator:
+    """The repository-wide seeded RNG: one master ``seed``, many streams.
+
+    Every stochastic component (experiment sweeps, serving traffic
+    generators, noise models) derives its generator from a single
+    user-facing ``--seed`` plus a small integer ``stream`` id, so a whole
+    run is reproducible from one number while independent components do
+    not share (or perturb) each other's random state.
+    """
+    if stream < 0:
+        raise ValueError(f"stream id must be non-negative, got {stream}")
+    # Seed with the (seed, stream) *pair*: SeedSequence hashes both words,
+    # so (0, 2) and (1, 1) produce unrelated generators (a plain
+    # ``seed + stream`` sum would collide).
+    return np.random.default_rng([seed, stream])
 
 
 def relative_error(measured: float, published: float) -> float:

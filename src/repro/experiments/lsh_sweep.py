@@ -18,7 +18,7 @@ from typing import Dict, List, Sequence
 
 import numpy as np
 
-from repro.experiments.common import ExperimentReport
+from repro.experiments.common import ExperimentReport, seeded_rng
 from repro.lsh.hyperplane import RandomHyperplaneLSH, expected_collision_probability
 from repro.metrics.accuracy import hit_rate
 from repro.nns.exact import cosine_topk
@@ -41,7 +41,7 @@ def _synthetic_retrieval_problem(
     num_items: int, dim: int, num_queries: int, seed: int
 ):
     """Queries near known items: positives are the planted neighbours."""
-    rng = np.random.default_rng(seed)
+    rng = seeded_rng(seed)
     items = rng.normal(0.0, 1.0, size=(num_items, dim))
     target_ids = rng.integers(0, num_items, size=num_queries)
     # Heavy perturbation: the planted neighbour is findable by a good
@@ -104,7 +104,7 @@ def run_lsh_sweep(
     )
 
     # SimHash theory check: measured collision rate vs 1 - theta/pi.
-    rng = np.random.default_rng(seed + 1)
+    rng = seeded_rng(seed, 1)
     hasher = RandomHyperplaneLSH(dim, 4096, seed=seed)
     vec_a = rng.normal(0.0, 1.0, size=dim)
     vec_b = vec_a + rng.normal(0.0, 0.5, size=dim)

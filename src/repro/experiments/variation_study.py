@@ -20,7 +20,7 @@ from typing import List, Sequence
 
 import numpy as np
 
-from repro.experiments.common import ExperimentReport
+from repro.experiments.common import ExperimentReport, seeded_rng
 from repro.lsh.hyperplane import RandomHyperplaneLSH
 from repro.metrics.accuracy import hit_rate
 
@@ -66,7 +66,7 @@ def run_variation_study(
     target's signature distance sits near the calibrated radius -- the
     regime where matchline sensing noise actually flips decisions.
     """
-    rng = np.random.default_rng(seed)
+    rng = seeded_rng(seed)
     items = rng.normal(0.0, 1.0, size=(num_items, dim))
     target_ids = rng.integers(0, num_items, size=num_queries)
     queries = items[target_ids] + rng.normal(0.0, 1.1, size=(num_queries, dim))
@@ -87,7 +87,7 @@ def run_variation_study(
     points: List[VariationPoint] = []
     for sigma in noise_sigmas:
         for guard in guard_bands:
-            search_rng = np.random.default_rng(seed + 1)
+            search_rng = seeded_rng(seed, 1)
             retrieved = []
             counts = []
             for row in distance_rows:

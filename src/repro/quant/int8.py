@@ -70,6 +70,9 @@ def quantize_symmetric(values: np.ndarray, per_row: bool = False) -> QuantizedTe
     minimum, maximum = _resolve_axis_stats(array, per_row)
     max_abs = np.maximum(np.abs(minimum), np.abs(maximum))
     scale = np.where(max_abs > 0.0, max_abs / 127.0, 1.0)
+    # Same subnormal guard as the asymmetric quantiser: max_abs/127 can
+    # underflow to exactly 0.0 and divide the array into inf/NaN codes.
+    scale = np.maximum(scale, np.finfo(np.float64).tiny)
     quantised = np.clip(np.round(array / scale), -127, 127).astype(np.int8)
     return QuantizedTensor(
         data=quantised,
@@ -87,6 +90,10 @@ def quantize_asymmetric(values: np.ndarray, per_row: bool = False) -> QuantizedT
     # constant exactly through the affine map instead of collapsing to 1.0.
     degenerate = np.where(np.abs(minimum) > 0.0, np.abs(minimum) / 100.0, 1.0)
     scale = np.where(span > 0.0, span / 255.0, degenerate)
+    # Subnormal inputs can underflow both branches to exactly 0.0, which
+    # would divide-by-zero into a NaN zero point; floor at the smallest
+    # normal double (the affine map then recovers ~0 for such values).
+    scale = np.maximum(scale, np.finfo(np.float64).tiny)
     zero_point = np.round(-128.0 - minimum / scale)
     quantised = np.clip(np.round(array / scale) + zero_point, -128, 127).astype(np.int8)
     return QuantizedTensor(

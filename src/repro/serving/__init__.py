@@ -1,0 +1,57 @@
+"""Online serving subsystem: traffic -> scheduler -> shards -> SLO report.
+
+The paper evaluates iMARS with an offline, batch-1, whole-dataset
+protocol; this package turns the same calibrated cost models into a
+*traffic simulator* that answers the production questions the paper
+cannot: tail latency under bursty load, shard-count scaling, and
+cache-hit-driven energy savings.
+
+Pipeline of one simulation (:class:`~repro.serving.session.ServingSession`):
+
+1. a seeded :mod:`~repro.serving.traffic` generator emits timestamped
+   requests (Poisson, MMPP bursty, diurnal, or trace replay);
+2. the :mod:`~repro.serving.scheduler` micro-batches them under a
+   max-batch-size / max-wait admission policy;
+3. each batch is checked against the :mod:`~repro.serving.cache` (an LRU
+   result cache whose CMA lookups are charged to the energy ledger) and
+   the misses are served by a (possibly :mod:`~repro.serving.shard`-ed)
+   engine through the uniform ``serve_batch`` interface of
+   :mod:`repro.core.pipeline`;
+4. :mod:`~repro.serving.slo` folds the per-request records into
+   p50/p95/p99 latency, sustained QPS and energy-per-request.
+"""
+
+from repro.serving.cache import ServingCache
+from repro.serving.scheduler import Batch, MicroBatchConfig, MicroBatchScheduler
+from repro.serving.session import ServingResult, ServingSession
+from repro.serving.shard import ShardedEngine, make_sharded_engine, partition_corpus
+from repro.serving.slo import RequestRecord, SLOReport, summarize
+from repro.serving.traffic import (
+    BurstyTraffic,
+    DiurnalTraffic,
+    PoissonTraffic,
+    Request,
+    TraceReplayTraffic,
+    zipf_user_weights,
+)
+
+__all__ = [
+    "Batch",
+    "BurstyTraffic",
+    "DiurnalTraffic",
+    "MicroBatchConfig",
+    "MicroBatchScheduler",
+    "PoissonTraffic",
+    "Request",
+    "RequestRecord",
+    "SLOReport",
+    "ServingCache",
+    "ServingResult",
+    "ServingSession",
+    "ShardedEngine",
+    "TraceReplayTraffic",
+    "make_sharded_engine",
+    "partition_corpus",
+    "summarize",
+    "zipf_user_weights",
+]

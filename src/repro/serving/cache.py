@@ -1,0 +1,98 @@
+"""LRU query-result cache, charged against the hardware energy ledger.
+
+A recommendation front-end sees heavily repeated queries (the Zipf head of
+the user population), so a small result cache short-circuits the whole
+filtering + ranking pipeline for hits.  The cache is modelled as one CMA
+array holding ``rows_per_entry`` rows per cached query (item ids + scores),
+so its traffic is charged with the Table II figures of merit:
+
+* every ``lookup`` pays one associative ``cma_search`` probe;
+* a hit additionally pays ``rows_per_entry`` CMA reads to stream the
+  cached top-k out;
+* an ``insert`` pays ``rows_per_entry`` CMA writes.
+
+Because hits return the stored result object, the cache-hit path is
+*functionally identical* to the miss path that populated it -- only the
+charged cost differs (the acceptance property of the serving study).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Hashable, Optional, Tuple
+
+from repro.circuits.foms import ArrayFoMs, TABLE_II
+from repro.energy.accounting import Cost
+
+__all__ = ["ServingCache"]
+
+
+class ServingCache:
+    """Bounded LRU map from query keys to served results."""
+
+    def __init__(
+        self,
+        capacity: int,
+        rows_per_entry: int = 10,
+        foms: ArrayFoMs = TABLE_II,
+    ):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if rows_per_entry < 1:
+            raise ValueError(f"rows per entry must be >= 1, got {rows_per_entry}")
+        self.capacity = capacity
+        self.rows_per_entry = rows_per_entry
+        self.foms = foms
+        self._store: "OrderedDict[Hashable, object]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.insertions = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._store
+
+    def lookup(self, key: Hashable) -> Tuple[Optional[object], Cost]:
+        """Probe the cache; returns (value or None, charged cost)."""
+        probe = self.foms.cma_search
+        if key in self._store:
+            self._store.move_to_end(key)
+            self.hits += 1
+            readout = self.foms.cma_read.repeated(self.rows_per_entry)
+            return self._store[key], probe.then(readout)
+        self.misses += 1
+        return None, probe
+
+    def insert(self, key: Hashable, value: object) -> Cost:
+        """Store (or refresh) an entry, evicting the LRU one if full."""
+        if key in self._store:
+            self._store.move_to_end(key)
+            self._store[key] = value
+            return self.foms.cma_write.repeated(self.rows_per_entry)
+        if len(self._store) >= self.capacity:
+            self._store.popitem(last=False)
+            self.evictions += 1
+        self._store[key] = value
+        self.insertions += 1
+        return self.foms.cma_write.repeated(self.rows_per_entry)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups that hit (0.0 before any lookup)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> Dict[str, float]:
+        """Counters snapshot for reports."""
+        return {
+            "capacity": self.capacity,
+            "entries": len(self._store),
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "insertions": self.insertions,
+            "evictions": self.evictions,
+        }

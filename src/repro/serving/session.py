@@ -1,0 +1,159 @@
+"""The serving simulation loop: traffic in, SLO report out.
+
+A :class:`ServingSession` wires the pieces together: it maps each
+request's user to their :class:`~repro.core.pipeline.ServeQuery`, lets the
+micro-batch scheduler drive the engine, short-circuits repeated queries
+through the LRU cache, and accounts every joule (engine serve, cache
+probes, cache fills) in one session ledger.
+
+Timing model of one dispatched batch:
+
+* cache lookups run first; hits complete at ``dispatch + lookup latency``
+  (they never wait for the engine);
+* the remaining misses are served as one engine micro-batch; they
+  complete when the engine batch finishes;
+* the engine is occupied for lookups + miss batch + cache fills, which is
+  what the scheduler's free-time clock advances by.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.pipeline import ServeQuery
+from repro.energy.accounting import Cost, Ledger
+from repro.serving.cache import ServingCache
+from repro.serving.scheduler import Batch, MicroBatchConfig, MicroBatchScheduler
+from repro.serving.slo import RequestRecord, SLOReport, summarize
+from repro.serving.traffic import Request
+
+__all__ = ["ServingResult", "ServingSession"]
+
+
+@dataclass
+class ServingResult:
+    """Everything one simulated session produced."""
+
+    label: str
+    records: List[RequestRecord]
+    batches: List[Batch]
+    ledger: Ledger
+    cache_stats: Optional[Dict[str, float]] = None
+    _report: Optional[SLOReport] = field(default=None, repr=False)
+
+    @property
+    def report(self) -> SLOReport:
+        if self._report is None:
+            self._report = summarize(self.records, self.ledger, label=self.label)
+        return self._report
+
+
+class ServingSession:
+    """Simulate online serving of a request stream against one engine."""
+
+    def __init__(
+        self,
+        engine,
+        workload: Sequence[ServeQuery],
+        scheduler: Optional[MicroBatchScheduler] = None,
+        cache: Optional[ServingCache] = None,
+        label: str = "session",
+    ):
+        """``engine`` is anything with ``serve_batch`` (a pipeline engine
+        or a :class:`~repro.serving.shard.ShardedEngine`); ``workload[u]``
+        is the query user ``u`` issues (users wrap modulo the workload)."""
+        if not workload:
+            raise ValueError("workload must contain at least one query")
+        self.engine = engine
+        self.workload = list(workload)
+        self.scheduler = scheduler or MicroBatchScheduler(MicroBatchConfig())
+        self.cache = cache
+        self.label = label
+
+    def _query_for(self, request: Request) -> ServeQuery:
+        return self.workload[request.user % len(self.workload)]
+
+    def run(self, requests: Sequence[Request]) -> ServingResult:
+        """Drive the scheduler over ``requests`` and collect the records."""
+        ledger = Ledger(name=self.label)
+        records: List[RequestRecord] = []
+
+        def service(batch: Batch) -> float:
+            queries = [self._query_for(request) for request in batch.requests]
+            hit_values: List[Optional[Tuple[Tuple[int, ...], Tuple[float, ...]]]] = []
+            lookup_cost = Cost()
+            if self.cache is not None:
+                for query in queries:
+                    value, cost = self.cache.lookup(query)
+                    ledger.charge("Cache", cost)
+                    lookup_cost = lookup_cost.then(cost)
+                    hit_values.append(value)
+            else:
+                hit_values = [None] * len(queries)
+
+            miss_positions = [
+                position for position, value in enumerate(hit_values) if value is None
+            ]
+            serve_cost = Cost()
+            miss_results = {}
+            if miss_positions:
+                # Deduplicate identical queries inside the batch: the engine
+                # serves each distinct query once (the micro-batch is the
+                # natural dedup window).
+                distinct: Dict[ServeQuery, List[int]] = {}
+                for position in miss_positions:
+                    distinct.setdefault(queries[position], []).append(position)
+                batch_result = self.engine.serve_batch(list(distinct))
+                serve_cost = batch_result.cost
+                ledger.charge("Serve", serve_cost)
+                fill_cost = Cost()
+                for query, result in zip(distinct, batch_result.results):
+                    for position in distinct[query]:
+                        miss_results[position] = result
+                    if self.cache is not None:
+                        fill_cost = fill_cost.then(
+                            self.cache.insert(
+                                query, (tuple(result.items), tuple(result.scores))
+                            )
+                        )
+                if self.cache is not None and fill_cost.latency_ns > 0.0:
+                    ledger.charge("Cache", fill_cost)
+                serve_cost = serve_cost.then(fill_cost)
+
+            occupancy = lookup_cost.then(serve_cost)
+            for position, request in enumerate(batch.requests):
+                if hit_values[position] is not None:
+                    items, _scores = hit_values[position]
+                    completion = batch.dispatch_s + lookup_cost.latency_s
+                    records.append(
+                        RequestRecord(
+                            request=request,
+                            completion_s=completion,
+                            batch_size=len(batch.requests),
+                            cache_hit=True,
+                            items=tuple(items),
+                        )
+                    )
+                else:
+                    completion = batch.dispatch_s + occupancy.latency_s
+                    records.append(
+                        RequestRecord(
+                            request=request,
+                            completion_s=completion,
+                            batch_size=len(batch.requests),
+                            cache_hit=False,
+                            items=tuple(miss_results[position].items),
+                        )
+                    )
+            return occupancy.latency_s
+
+        batches = self.scheduler.run(requests, service)
+        records.sort(key=lambda record: record.request.request_id)
+        return ServingResult(
+            label=self.label,
+            records=records,
+            batches=batches,
+            ledger=ledger,
+            cache_stats=self.cache.stats() if self.cache is not None else None,
+        )

@@ -1,0 +1,174 @@
+"""Shard router: partition the item corpus across replicated fabrics.
+
+A single iMARS fabric (or GPU) ranks candidates *serially*, so the
+per-candidate ranking loop dominates query latency.  Sharding splits the
+item corpus round-robin across N engines; every query fans out to all
+shards in parallel (scatter), each shard runs NNS + ranking over its own
+slice with a proportionally smaller candidate budget, and the router
+merges the per-shard top-k by CTR score (gather).
+
+Cost semantics follow the repo's composition algebra: the shards run on
+disjoint hardware, so their batch costs compose with
+:meth:`Cost.alongside` (energy adds, latency is the slowest shard), and
+the merge is charged through the platform's own top-k model
+(:meth:`~repro.core.pipeline._EngineBase.merge_cost`).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.mapping import WorkloadMapping
+from repro.core.pipeline import (
+    BatchResult,
+    GPUReferenceEngine,
+    IMARSEngine,
+    QueryResult,
+    ServeQuery,
+)
+from repro.energy.accounting import Cost, Ledger
+
+__all__ = ["partition_corpus", "ShardedEngine", "make_sharded_engine"]
+
+
+def partition_corpus(num_items: int, num_shards: int) -> List[np.ndarray]:
+    """Round-robin split of ``num_items`` global ids into ``num_shards``.
+
+    Round-robin (rather than contiguous ranges) keeps shards balanced even
+    when item ids correlate with popularity or insertion time.
+    """
+    if num_items < 1:
+        raise ValueError("need at least one item")
+    if not 1 <= num_shards <= num_items:
+        raise ValueError(
+            f"shard count must be in [1, {num_items}], got {num_shards}"
+        )
+    ids = np.arange(num_items, dtype=np.int64)
+    return [ids[shard::num_shards] for shard in range(num_shards)]
+
+
+class ShardedEngine:
+    """Scatter-gather serving over N corpus-partitioned engines."""
+
+    def __init__(self, shards: Sequence[object], top_k: int):
+        if not shards:
+            raise ValueError("need at least one shard")
+        if top_k < 1:
+            raise ValueError("top-k must be >= 1")
+        self.shards = list(shards)
+        self.top_k = top_k
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    def recommend_query(self, query: ServeQuery) -> QueryResult:
+        """Batch-of-one convenience mirroring the engine interface."""
+        return self.serve_batch([query]).results[0]
+
+    def serve_batch(self, queries: Sequence[ServeQuery]) -> BatchResult:
+        """Scatter the batch to every shard, gather and merge per query."""
+        if not queries:
+            return BatchResult(results=[], cost=Cost())
+        shard_batches = [shard.serve_batch(queries) for shard in self.shards]
+        # Shards are replicated fabrics running concurrently.
+        scatter_cost = Cost.concurrent(batch.cost for batch in shard_batches)
+
+        merged: List[QueryResult] = []
+        merge_total = Cost()
+        for position in range(len(queries)):
+            per_shard = [batch.results[position] for batch in shard_batches]
+            entries = [
+                (item, score)
+                for result in per_shard
+                for item, score in zip(result.items, result.scores)
+            ]
+            # Stable sort by descending score: ties resolve in shard order,
+            # matching a deterministic priority-encoder gather.
+            order = sorted(
+                range(len(entries)), key=lambda index: (-entries[index][1], index)
+            )[: self.top_k]
+            merge_cost = self.shards[0].merge_cost(len(entries))
+            merge_total = merge_total.then(merge_cost)
+
+            ledger = Ledger(name="sharded-query")
+            for result in per_shard:
+                ledger.extend(result.ledger)
+            ledger.charge("Merge", merge_cost)
+            per_query_cost = Cost.concurrent(
+                result.cost for result in per_shard
+            ).then(merge_cost)
+            merged.append(
+                QueryResult(
+                    items=[entries[index][0] for index in order],
+                    candidate_count=sum(
+                        result.candidate_count for result in per_shard
+                    ),
+                    cost=per_query_cost,
+                    ledger=ledger,
+                    scores=[entries[index][1] for index in order],
+                )
+            )
+        return BatchResult(results=merged, cost=scatter_cost.then(merge_total))
+
+    def merge_cost(self, num_entries: int) -> Cost:
+        """Expose the underlying platform's merge model (router nesting)."""
+        return self.shards[0].merge_cost(num_entries)
+
+
+def make_sharded_engine(
+    kind: str,
+    filtering_model,
+    ranking_model,
+    num_shards: int,
+    mapping: Optional[WorkloadMapping] = None,
+    num_candidates: int = 72,
+    top_k: int = 10,
+    seed: int = 0,
+    **engine_kwargs,
+) -> ShardedEngine:
+    """Build a :class:`ShardedEngine` of ``kind`` ('imars' or 'gpu').
+
+    Each shard serves a round-robin slice of the corpus with a
+    proportionally reduced candidate budget (``ceil(num_candidates /
+    num_shards)``), so the merged candidate pool stays comparable to the
+    unsharded engine's while each shard's serial ranking loop shortens by
+    ~``num_shards``x -- the latency win sharding buys.
+    """
+    if kind not in ("imars", "gpu"):
+        raise ValueError(f"unknown engine kind {kind!r} (use 'imars' or 'gpu')")
+    num_items = filtering_model.config.num_items
+    partitions = partition_corpus(num_items, num_shards)
+    per_shard_candidates = max(1, math.ceil(num_candidates / num_shards))
+    shards: List[object] = []
+    for shard_index, subset in enumerate(partitions):
+        if kind == "imars":
+            if mapping is None:
+                raise ValueError("iMARS shards need a workload mapping")
+            shards.append(
+                IMARSEngine(
+                    filtering_model,
+                    ranking_model,
+                    mapping,
+                    num_candidates=per_shard_candidates,
+                    top_k=top_k,
+                    seed=seed + shard_index,
+                    item_subset=subset,
+                    **engine_kwargs,
+                )
+            )
+        else:
+            shards.append(
+                GPUReferenceEngine(
+                    filtering_model,
+                    ranking_model,
+                    num_candidates=per_shard_candidates,
+                    top_k=top_k,
+                    item_subset=subset,
+                    **engine_kwargs,
+                )
+            )
+    return ShardedEngine(shards, top_k=top_k)

@@ -1,0 +1,115 @@
+"""Serving SLO metrics: latency percentiles, throughput, energy/request.
+
+The paper's metric is 1/latency at batch 1; a live service is judged on
+its *tail*: the p95/p99 latency experienced under queueing, batching and
+bursty arrivals, the sustained throughput over the run, and (for an
+in-memory accelerator whose selling point is efficiency) the energy spent
+per request -- including the cache and merge traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.energy.accounting import Ledger
+from repro.serving.traffic import Request
+
+__all__ = ["RequestRecord", "SLOReport", "summarize"]
+
+
+@dataclass(frozen=True)
+class RequestRecord:
+    """One request's journey through the serving stack."""
+
+    request: Request
+    completion_s: float
+    batch_size: int
+    cache_hit: bool
+    items: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.completion_s < self.request.arrival_s:
+            raise ValueError("completion cannot precede arrival")
+        if self.batch_size < 1:
+            raise ValueError("batch size must be >= 1")
+
+    @property
+    def latency_s(self) -> float:
+        """End-to-end latency: arrival to completion (queueing included)."""
+        return self.completion_s - self.request.arrival_s
+
+
+@dataclass(frozen=True)
+class SLOReport:
+    """Aggregate serving metrics of one simulated session."""
+
+    label: str
+    num_requests: int
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    mean_ms: float
+    max_ms: float
+    offered_qps: float
+    sustained_qps: float
+    energy_per_request_uj: float
+    cache_hit_rate: float
+    mean_batch_size: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "num_requests": self.num_requests,
+            "p50_ms": self.p50_ms,
+            "p95_ms": self.p95_ms,
+            "p99_ms": self.p99_ms,
+            "mean_ms": self.mean_ms,
+            "max_ms": self.max_ms,
+            "offered_qps": self.offered_qps,
+            "sustained_qps": self.sustained_qps,
+            "energy_per_request_uj": self.energy_per_request_uj,
+            "cache_hit_rate": self.cache_hit_rate,
+            "mean_batch_size": self.mean_batch_size,
+        }
+
+    def format_row(self) -> str:
+        return (
+            f"  {self.label:<28s} p50={self.p50_ms:8.3f}ms p95={self.p95_ms:8.3f}ms "
+            f"p99={self.p99_ms:8.3f}ms qps={self.sustained_qps:9.1f} "
+            f"E/req={self.energy_per_request_uj:10.4f}uJ "
+            f"hit={self.cache_hit_rate * 100.0:5.1f}% "
+            f"batch={self.mean_batch_size:4.1f}"
+        )
+
+
+def summarize(
+    records: Sequence[RequestRecord],
+    ledger: Ledger,
+    label: str = "session",
+) -> SLOReport:
+    """Fold per-request records + the session ledger into an SLO report."""
+    if not records:
+        raise ValueError("cannot summarise an empty session")
+    latencies_ms = np.array([record.latency_s * 1e3 for record in records])
+    arrivals = np.array([record.request.arrival_s for record in records])
+    completions = np.array([record.completion_s for record in records])
+    span_s = float(arrivals.max() - arrivals.min())
+    makespan_s = float(completions.max() - arrivals.min())
+    total_energy_uj = ledger.total().energy_uj
+    hits = sum(1 for record in records if record.cache_hit)
+    return SLOReport(
+        label=label,
+        num_requests=len(records),
+        p50_ms=float(np.percentile(latencies_ms, 50)),
+        p95_ms=float(np.percentile(latencies_ms, 95)),
+        p99_ms=float(np.percentile(latencies_ms, 99)),
+        mean_ms=float(latencies_ms.mean()),
+        max_ms=float(latencies_ms.max()),
+        offered_qps=(len(records) - 1) / span_s if span_s > 0.0 else float("inf"),
+        sustained_qps=len(records) / makespan_s if makespan_s > 0.0 else float("inf"),
+        energy_per_request_uj=total_energy_uj / len(records),
+        cache_hit_rate=hits / len(records),
+        mean_batch_size=float(np.mean([record.batch_size for record in records])),
+    )

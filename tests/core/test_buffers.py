@@ -98,3 +98,72 @@ class TestCTRBuffer:
     def test_invalid_k_rejected(self):
         with pytest.raises(ValueError):
             CTRBuffer().top_k(0)
+
+
+class TestItemBufferEdgeCases:
+    def test_empty_store_is_free(self):
+        buffer = ItemBuffer(capacity=4)
+        cost = buffer.store([])
+        assert len(buffer) == 0
+        assert cost.energy_pj == 0.0
+        assert cost.latency_ns == 0.0
+
+    def test_empty_drain_is_free(self):
+        buffer = ItemBuffer(capacity=4)
+        items, cost = buffer.drain()
+        assert items == []
+        assert cost.energy_pj == 0.0
+
+    def test_capacity_one(self):
+        buffer = ItemBuffer(capacity=1)
+        cost = buffer.store([7, 8, 9])
+        assert buffer.peek() == [7]
+        assert cost == TABLE_II.cma_write
+        items, _ = buffer.drain()
+        assert items == [7]
+
+
+class TestCTRBufferEdgeCases:
+    def test_topk_empty_input_is_free(self):
+        buffer = CTRBuffer(capacity=4)
+        winners, cost = buffer.top_k(3)
+        assert winners == []
+        assert cost.energy_pj == 0.0
+        assert cost.latency_ns == 0.0
+
+    def test_tie_exactly_at_topk_boundary(self):
+        """A tie straddling the k-th slot resolves by insertion order."""
+        buffer = CTRBuffer(capacity=8)
+        for item, ctr in [(1, 0.9), (2, 0.5), (3, 0.5), (4, 0.5), (5, 0.1)]:
+            buffer.store(item, ctr)
+        winners, _ = buffer.top_k(2)
+        # Items 2, 3, 4 tie at the boundary; the earliest-stored wins slot 2.
+        assert winners == [1, 2]
+        winners, _ = buffer.top_k(3)
+        assert winners == [1, 2, 3]
+
+    def test_tied_scores_need_one_extra_threshold_step(self):
+        buffer = CTRBuffer(capacity=8)
+        for item, ctr in [(1, 0.9), (2, 0.5), (3, 0.5)]:
+            buffer.store(item, ctr)
+        _, cost_boundary = buffer.top_k(2)
+        # The sweep admits {0.9} then {0.9, 0.5, 0.5}: two searches even
+        # though the second step over-admits past k.
+        assert cost_boundary == TABLE_II.cma_search.repeated(2)
+
+    def test_capacity_one_behaviour(self):
+        buffer = CTRBuffer(capacity=1)
+        buffer.store(42, 0.7)
+        winners, cost = buffer.top_k(1)
+        assert winners == [42]
+        assert cost == TABLE_II.cma_search
+        with pytest.raises(RuntimeError):
+            buffer.store(43, 0.1)
+
+    def test_all_equal_scores_single_search(self):
+        buffer = CTRBuffer(capacity=4)
+        for item in range(4):
+            buffer.store(item, 0.25)
+        winners, cost = buffer.top_k(2)
+        assert winners == [0, 1]  # insertion order among full ties
+        assert cost == TABLE_II.cma_search

@@ -1,0 +1,39 @@
+"""Shared fixtures for the serving subsystem tests: a tiny corpus."""
+
+import pytest
+
+from repro.core.mapping import WorkloadMapping
+from repro.core.pipeline import ServeQuery
+from repro.data.movielens import MovieLensDataset, movielens_table_specs
+from repro.models.youtube_dnn import (
+    YouTubeDNNConfig,
+    YouTubeDNNFiltering,
+    YouTubeDNNRanking,
+)
+
+
+@pytest.fixture(scope="package")
+def serving_setup():
+    """(dataset, filtering, ranking, mapping, workload) at test scale.
+
+    Untrained models: serving behaviour (scheduling, sharding, caching,
+    cost accounting) is independent of embedding quality.
+    """
+    dataset = MovieLensDataset(scale=0.03, seed=0)
+    config = YouTubeDNNConfig(
+        num_items=dataset.num_items,
+        demographic_cardinalities=(dataset.num_users, 3, 7, 21, 450),
+        seed=0,
+    )
+    filtering = YouTubeDNNFiltering(config)
+    ranking = YouTubeDNNRanking(config)
+    mapping = WorkloadMapping(movielens_table_specs())
+    workload = [
+        ServeQuery.make(
+            dataset.histories[user],
+            dataset.demographics[user],
+            dataset.ranking_context[user],
+        )
+        for user in range(dataset.num_users)
+    ]
+    return dataset, filtering, ranking, mapping, workload

@@ -1,0 +1,66 @@
+"""Tests for the LRU result cache and its energy accounting."""
+
+import pytest
+
+from repro.circuits.foms import TABLE_II
+from repro.serving.cache import ServingCache
+
+
+def test_miss_then_hit():
+    cache = ServingCache(capacity=2, rows_per_entry=3)
+    value, miss_cost = cache.lookup("q1")
+    assert value is None
+    assert miss_cost == TABLE_II.cma_search  # probe only
+    cache.insert("q1", ("result",))
+    value, hit_cost = cache.lookup("q1")
+    assert value == ("result",)
+    # Hit pays the probe plus the per-row read-out.
+    expected = TABLE_II.cma_search.then(TABLE_II.cma_read.repeated(3))
+    assert hit_cost == expected
+    assert cache.hits == 1 and cache.misses == 1
+    assert cache.hit_rate == pytest.approx(0.5)
+
+
+def test_insert_cost_scales_with_rows():
+    cache = ServingCache(capacity=2, rows_per_entry=5)
+    cost = cache.insert("q", "v")
+    assert cost == TABLE_II.cma_write.repeated(5)
+
+
+def test_lru_eviction_order():
+    cache = ServingCache(capacity=2)
+    cache.insert("a", 1)
+    cache.insert("b", 2)
+    cache.lookup("a")  # refresh a -> b becomes LRU
+    cache.insert("c", 3)
+    assert "a" in cache and "c" in cache
+    assert "b" not in cache
+    assert cache.evictions == 1
+
+
+def test_reinsert_refreshes_without_eviction():
+    cache = ServingCache(capacity=2)
+    cache.insert("a", 1)
+    cache.insert("a", 2)  # refresh, not a second entry
+    assert len(cache) == 1
+    assert cache.lookup("a")[0] == 2
+    assert cache.evictions == 0
+
+
+def test_stats_snapshot():
+    cache = ServingCache(capacity=4, rows_per_entry=2)
+    cache.lookup("x")
+    cache.insert("x", 0)
+    cache.lookup("x")
+    stats = cache.stats()
+    assert stats["hits"] == 1
+    assert stats["misses"] == 1
+    assert stats["entries"] == 1
+    assert stats["insertions"] == 1
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(ValueError):
+        ServingCache(capacity=0)
+    with pytest.raises(ValueError):
+        ServingCache(capacity=1, rows_per_entry=0)

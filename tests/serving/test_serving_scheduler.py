@@ -1,0 +1,88 @@
+"""Tests for the micro-batching scheduler's admission control."""
+
+import pytest
+
+from repro.serving.scheduler import Batch, MicroBatchConfig, MicroBatchScheduler
+from repro.serving.traffic import Request
+
+
+def _requests(arrivals):
+    return [
+        Request(request_id=index, arrival_s=arrival, user=index)
+        for index, arrival in enumerate(arrivals)
+    ]
+
+
+def _run(config, arrivals, service_s=0.0):
+    scheduler = MicroBatchScheduler(config)
+    return scheduler.run(_requests(arrivals), lambda batch: service_s)
+
+
+def test_batch_size_cap_enforced():
+    config = MicroBatchConfig(max_batch_size=3, max_wait_s=10.0)
+    batches = _run(config, [0.0] * 10)
+    assert [len(batch) for batch in batches] == [3, 3, 3, 1]
+
+
+def test_full_batch_dispatches_immediately():
+    config = MicroBatchConfig(max_batch_size=2, max_wait_s=1.0)
+    batches = _run(config, [0.0, 0.1, 5.0])
+    # The first batch fills at t=0.1 -- it must not wait out the window.
+    assert batches[0].dispatch_s == pytest.approx(0.1)
+
+
+def test_partial_batch_waits_full_window():
+    config = MicroBatchConfig(max_batch_size=8, max_wait_s=0.5)
+    batches = _run(config, [0.0, 0.2, 3.0])
+    assert len(batches[0]) == 2  # 0.2 joins within the window
+    assert batches[0].dispatch_s == pytest.approx(0.5)  # timer semantics
+    assert batches[1].dispatch_s == pytest.approx(3.5)
+
+
+def test_zero_wait_is_backlog_batching():
+    config = MicroBatchConfig(max_batch_size=8, max_wait_s=0.0)
+    batches = _run(config, [0.0, 0.0, 1.0], service_s=2.0)
+    # First two are queued together at t=0; the third arrives while the
+    # engine is busy (until t=2) and dispatches alone when it frees.
+    assert [len(batch) for batch in batches] == [2, 1]
+    assert batches[1].dispatch_s == pytest.approx(2.0)
+
+
+def test_busy_engine_accumulates_backlog():
+    config = MicroBatchConfig(max_batch_size=8, max_wait_s=0.0)
+    batches = _run(config, [0.0, 0.5, 0.6, 0.7], service_s=1.0)
+    # Engine busy [0, 1): the three later arrivals batch together at t=1.
+    assert [len(batch) for batch in batches] == [1, 3]
+    assert batches[1].open_s == pytest.approx(1.0)
+
+
+def test_queue_delays_accounted():
+    config = MicroBatchConfig(max_batch_size=2, max_wait_s=0.0)
+    batches = _run(config, [0.0, 0.0, 0.0], service_s=1.0)
+    assert batches[1].queue_delays_s[0] == pytest.approx(1.0)
+
+
+def test_service_order_preserves_arrival_order():
+    config = MicroBatchConfig(max_batch_size=2, max_wait_s=0.1)
+    batches = _run(config, [0.3, 0.0, 0.2, 0.25])
+    served = [request.request_id for batch in batches for request in batch.requests]
+    assert served == [1, 2, 3, 0]  # sorted by arrival time
+
+
+def test_negative_service_time_rejected():
+    scheduler = MicroBatchScheduler(MicroBatchConfig())
+    with pytest.raises(ValueError):
+        scheduler.run(_requests([0.0]), lambda batch: -1.0)
+
+
+def test_invalid_config_rejected():
+    with pytest.raises(ValueError):
+        MicroBatchConfig(max_batch_size=0)
+    with pytest.raises(ValueError):
+        MicroBatchConfig(max_wait_s=-0.1)
+
+
+def test_batch_helpers():
+    batch = Batch(requests=_requests([0.0, 0.1]), open_s=0.0, dispatch_s=0.2)
+    assert len(batch) == 2
+    assert batch.queue_delays_s == pytest.approx([0.2, 0.1])

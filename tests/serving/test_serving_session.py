@@ -1,0 +1,123 @@
+"""Tests for the serving session loop and SLO summarisation."""
+
+import pytest
+
+from repro.core.pipeline import IMARSEngine
+from repro.energy.accounting import Ledger
+from repro.serving.cache import ServingCache
+from repro.serving.scheduler import MicroBatchConfig, MicroBatchScheduler
+from repro.serving.session import ServingSession
+from repro.serving.slo import RequestRecord, summarize
+from repro.serving.traffic import PoissonTraffic, Request
+
+
+@pytest.fixture(scope="module")
+def engine(serving_setup):
+    _, filtering, ranking, mapping, _ = serving_setup
+    return IMARSEngine(filtering, ranking, mapping, num_candidates=10, top_k=4)
+
+
+def _run(engine, workload, requests, cache=None):
+    session = ServingSession(
+        engine,
+        workload,
+        scheduler=MicroBatchScheduler(
+            MicroBatchConfig(max_batch_size=4, max_wait_s=0.0002)
+        ),
+        cache=cache,
+        label="test",
+    )
+    return session.run(requests)
+
+
+def test_every_request_recorded_in_order(serving_setup, engine):
+    dataset, _, _, _, workload = serving_setup
+    requests = PoissonTraffic(3000.0, num_users=dataset.num_users, seed=1).generate(60)
+    result = _run(engine, workload, requests)
+    assert len(result.records) == 60
+    assert [record.request.request_id for record in result.records] == list(range(60))
+    assert all(record.latency_s > 0.0 for record in result.records)
+    assert result.report.num_requests == 60
+    assert result.report.p50_ms <= result.report.p95_ms <= result.report.p99_ms
+
+
+def test_cache_hits_serve_identical_items(serving_setup, engine):
+    dataset, _, _, _, workload = serving_setup
+    requests = PoissonTraffic(3000.0, num_users=dataset.num_users, seed=2).generate(80)
+    cache = ServingCache(capacity=dataset.num_users, rows_per_entry=4)
+    result = _run(engine, workload, requests, cache=cache)
+    hits = [record for record in result.records if record.cache_hit]
+    assert hits, "the Zipf stream must produce repeats"
+    first_served = {}
+    for record in result.records:
+        first_served.setdefault(record.request.user, record.items)
+    for record in hits:
+        assert record.items == first_served[record.request.user]
+    assert result.cache_stats["hit_rate"] > 0.0
+
+
+def test_cache_reduces_energy(serving_setup, engine):
+    dataset, _, _, _, workload = serving_setup
+    requests = PoissonTraffic(3000.0, num_users=dataset.num_users, seed=3).generate(80)
+    cached = _run(
+        engine, workload, requests,
+        cache=ServingCache(capacity=dataset.num_users, rows_per_entry=4),
+    )
+    uncached = _run(engine, workload, requests)
+    assert (
+        cached.report.energy_per_request_uj < uncached.report.energy_per_request_uj
+    )
+    assert uncached.cache_stats is None
+    assert uncached.report.cache_hit_rate == 0.0
+
+
+def test_ledger_categories(serving_setup, engine):
+    dataset, _, _, _, workload = serving_setup
+    requests = PoissonTraffic(3000.0, num_users=dataset.num_users, seed=4).generate(40)
+    result = _run(
+        engine, workload, requests,
+        cache=ServingCache(capacity=16, rows_per_entry=4),
+    )
+    assert {"Cache", "Serve"} <= set(result.ledger.categories())
+
+
+def test_duplicate_queries_deduplicated_within_batch(serving_setup, engine):
+    _, _, _, _, workload = serving_setup
+    # Four simultaneous requests from the same user: one engine serve.
+    requests = [Request(request_id=i, arrival_s=0.0, user=0) for i in range(4)]
+    result = _run(engine, workload, requests)
+    serve_entries = [
+        cost for category, cost in result.ledger if category == "Serve"
+    ]
+    single = engine.recommend_query(workload[0])
+    assert len(serve_entries) == 1
+    assert serve_entries[0].energy_pj == pytest.approx(single.cost.energy_pj)
+    assert all(record.items == result.records[0].items for record in result.records)
+
+
+def test_empty_workload_rejected(engine):
+    with pytest.raises(ValueError):
+        ServingSession(engine, [])
+
+
+def test_summarize_validation():
+    with pytest.raises(ValueError):
+        summarize([], Ledger())
+    record = RequestRecord(
+        request=Request(request_id=0, arrival_s=1.0, user=0),
+        completion_s=1.5,
+        batch_size=2,
+        cache_hit=False,
+        items=(1, 2),
+    )
+    report = summarize([record], Ledger(), label="one")
+    assert report.p50_ms == pytest.approx(500.0)
+    assert report.mean_batch_size == 2.0
+    with pytest.raises(ValueError):
+        RequestRecord(
+            request=Request(request_id=0, arrival_s=1.0, user=0),
+            completion_s=0.5,  # precedes arrival
+            batch_size=1,
+            cache_hit=False,
+            items=(),
+        )

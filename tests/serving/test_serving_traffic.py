@@ -1,0 +1,105 @@
+"""Tests for the seeded traffic generators."""
+
+import numpy as np
+import pytest
+
+from repro.data.movielens import MovieLensDataset
+from repro.serving.traffic import (
+    BurstyTraffic,
+    DiurnalTraffic,
+    PoissonTraffic,
+    Request,
+    TraceReplayTraffic,
+    zipf_user_weights,
+)
+
+ALL_PATTERNS = [
+    lambda: PoissonTraffic(1000.0, num_users=50, seed=3),
+    lambda: BurstyTraffic(500.0, 5000.0, num_users=50, seed=3),
+    lambda: DiurnalTraffic(1000.0, num_users=50, seed=3),
+    lambda: TraceReplayTraffic(list(range(50)) * 3, 1000.0, seed=3),
+]
+
+
+@pytest.mark.parametrize("factory", ALL_PATTERNS)
+def test_deterministic_and_well_formed(factory):
+    first = factory().generate(200)
+    second = factory().generate(200)
+    assert first == second  # same (seed, stream) -> same stream
+    arrivals = [request.arrival_s for request in first]
+    assert all(later >= earlier for earlier, later in zip(arrivals, arrivals[1:]))
+    assert all(request.arrival_s >= 0.0 for request in first)
+    assert all(0 <= request.user < 50 for request in first)
+    assert [request.request_id for request in first] == list(range(200))
+
+
+def test_different_streams_differ():
+    base = PoissonTraffic(1000.0, num_users=50, seed=3, stream=0).generate(50)
+    other = PoissonTraffic(1000.0, num_users=50, seed=3, stream=5).generate(50)
+    assert base != other
+
+
+def test_poisson_mean_rate():
+    requests = PoissonTraffic(2000.0, num_users=100, seed=0).generate(4000)
+    span = requests[-1].arrival_s - requests[0].arrival_s
+    measured = (len(requests) - 1) / span
+    assert measured == pytest.approx(2000.0, rel=0.1)
+
+
+def test_bursty_rate_between_calm_and_burst():
+    traffic = BurstyTraffic(
+        200.0, 20000.0, num_users=50, mean_calm_s=0.05, mean_burst_s=0.05, seed=1
+    )
+    requests = traffic.generate(4000)
+    span = requests[-1].arrival_s - requests[0].arrival_s
+    measured = (len(requests) - 1) / span
+    assert 200.0 < measured < 20000.0
+
+
+def test_diurnal_rate_modulates():
+    traffic = DiurnalTraffic(
+        1000.0, num_users=50, amplitude=0.9, period_s=1.0, seed=2
+    )
+    assert traffic.rate_at(0.25) > traffic.rate_at(0.75)  # peak vs trough
+    requests = traffic.generate(2000)
+    # Arrivals concentrate in the high-rate half-period.
+    phases = np.array([request.arrival_s % 1.0 for request in requests])
+    assert (phases < 0.5).mean() > 0.6
+
+
+def test_zipf_weights_skew_and_normalise():
+    weights = zipf_user_weights(100, exponent=1.2)
+    assert weights.sum() == pytest.approx(1.0)
+    assert weights[0] > weights[-1]
+    uniform = zipf_user_weights(100, exponent=0.0)
+    assert np.allclose(uniform, 0.01)
+
+
+def test_trace_replay_preserves_user_multiset():
+    trace = [0, 0, 0, 1, 2]
+    traffic = TraceReplayTraffic(trace, 100.0, seed=0)
+    requests = traffic.generate(10)  # two full cycles
+    users = sorted(request.user for request in requests)
+    assert users == sorted(trace * 2)
+
+
+def test_trace_replay_from_movielens():
+    dataset = MovieLensDataset(scale=0.03, seed=0)
+    traffic = TraceReplayTraffic.from_movielens(dataset, 1000.0, seed=0)
+    requests = traffic.generate(100)
+    assert all(0 <= request.user < dataset.num_users for request in requests)
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(ValueError):
+        PoissonTraffic(0.0, num_users=10)
+    with pytest.raises(ValueError):
+        BurstyTraffic(1000.0, 500.0, num_users=10)  # burst < calm
+    with pytest.raises(ValueError):
+        DiurnalTraffic(100.0, num_users=10, amplitude=1.5)
+    with pytest.raises(ValueError):
+        TraceReplayTraffic([], 100.0)
+    with pytest.raises(ValueError):
+        Request(request_id=0, arrival_s=-1.0, user=0)
+    with pytest.raises(ValueError):
+        PoissonTraffic(100.0, num_users=10).generate(0)
