@@ -1,0 +1,26 @@
+"""Bench E-AUTOSCALE -- closed-loop autoscaler (shards x replicas)."""
+
+from repro.experiments import run_autoscale_study
+
+
+def test_autoscale_study(benchmark, save_report):
+    report = benchmark.pedantic(run_autoscale_study, rounds=1, iterations=1)
+    save_report("autoscale_study", report.format())
+    # Every autoscaling invariant (convergence, earned scale-out,
+    # min-energy choice, per-tenant contracts) must hold exactly.
+    assert report.all_within(0.0), report.format()
+
+    outcomes = report.extras["outcomes"]
+    assert set(outcomes) == {"poisson", "bursty", "multi-tenant"}
+    for outcome in outcomes.values():
+        assert outcome.converged
+        # The loop started from a violating single engine and scaled out.
+        assert not outcome.steps[0].meets_slo
+        assert outcome.best.shards * outcome.best.replicas > 1
+        assert outcome.best.report.p95_ms <= report.extras["slo_ms"]
+        # The trajectory stayed inside the search bounds.
+        for step in outcome.steps:
+            assert 1 <= step.shards <= 3 and 1 <= step.replicas <= 3
+
+    mix = outcomes["multi-tenant"]
+    assert set(mix.best.tenant_reports) == {"movielens", "criteo"}

@@ -17,6 +17,7 @@ from typing import Dict
 
 from repro.experiments import (
     run_accuracy_study,
+    run_autoscale_study,
     run_design_space,
     run_end_to_end,
     run_fig2,
@@ -60,6 +61,10 @@ EXPERIMENTS: Dict[str, tuple] = {
         "Extension - online serving study (traffic, sharding, caching)",
         run_serving_study,
     ),
+    "E-AUTOSCALE": (
+        "Extension - closed-loop autoscaler (shards x replicas vs p95 SLO)",
+        run_autoscale_study,
+    ),
 }
 
 
@@ -87,7 +92,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser = subparsers.add_parser("run", help="run one experiment (or 'all')")
     run_parser.add_argument(
         "experiment",
-        help="experiment id (E1..E8, A1..A9, E-serve) or 'all'",
+        help="experiment id (E1..E8, A1..A9, E-serve, E-autoscale) or 'all'",
     )
     run_parser.add_argument(
         "--save",

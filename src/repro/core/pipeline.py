@@ -25,7 +25,13 @@ uniform batch interface the online serving subsystem
 * :meth:`serve_batch` -- serve a micro-batch, returning per-query results
   plus one engine-specific batched :class:`Cost`: the GPU amortises its
   kernel-launch/dispatch overheads across the batch, while iMARS pipelines
-  queries through its fabric stages (bounded by the slowest stage);
+  queries through its fabric stages (bounded by the slowest stage); an
+  empty batch is a legal no-op (a replica that received no queries in a
+  dispatch round);
+* :attr:`expected_query_latency_s` -- an EWMA of the engine's observed
+  per-query occupancy, the work estimate replica routers
+  (:class:`repro.serving.shard.ReplicaGroup`) use for
+  least-outstanding-work dispatch;
 * ``item_subset`` -- both engines can be built over a slice of the item
   corpus, the building block of the shard router
   (:class:`repro.serving.shard.ShardedEngine`); returned item ids are
@@ -148,6 +154,7 @@ class _EngineBase:
             config.ranking_extra_cardinalities
         )
         self.ranking_input_dim = config.embedding_dim * (2 + ranking_features)
+        self._ewma_query_latency_s: Optional[float] = None
 
     def _resolve_subset(
         self, num_items: int, item_subset: Optional[Sequence[int]]
@@ -184,16 +191,35 @@ class _EngineBase:
         """Serve one :class:`ServeQuery` (the batch-of-one convenience)."""
         return self.recommend(query.history, query.demographics, query.context)
 
+    @property
+    def expected_query_latency_s(self) -> Optional[float]:
+        """EWMA of observed per-query engine occupancy (None before any
+        serve).  Replica routers use this as the work estimate when
+        assigning queries to the least-loaded replica."""
+        return self._ewma_query_latency_s
+
     def serve_batch(self, queries: Sequence[ServeQuery]) -> BatchResult:
         """Serve a micro-batch through the engine.
 
         The functional results are exactly those of per-query
         :meth:`recommend` calls (batching never changes recommendations);
         the batched cost applies the engine's amortisation/pipelining
-        model via :meth:`_batch_cost`.
+        model via :meth:`_batch_cost`.  An empty batch is a no-op, so a
+        replica group can dispatch a round in which some replicas receive
+        no work.
         """
+        if not queries:
+            return BatchResult(results=[], cost=Cost())
         results = [self.recommend_query(query) for query in queries]
-        return BatchResult(results=results, cost=self._batch_cost(results))
+        cost = self._batch_cost(results)
+        observed = cost.latency_s / len(results)
+        if self._ewma_query_latency_s is None:
+            self._ewma_query_latency_s = observed
+        else:
+            self._ewma_query_latency_s += 0.3 * (
+                observed - self._ewma_query_latency_s
+            )
+        return BatchResult(results=results, cost=cost)
 
     def _batch_cost(self, results: Sequence[QueryResult]) -> Cost:
         """Engine occupancy for a batch; base class serialises queries."""

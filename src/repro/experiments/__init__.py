@@ -21,6 +21,7 @@ A7            Standby power (FeFET non-volatility benefit)
 A8            Trace-driven ET access locality
 A9            ET-operation scaling study
 E-SERVE       Online serving study (traffic, sharding, caching)
+E-AUTOSCALE   Closed-loop autoscaler (shards x replicas vs p95 SLO)
 ============  =======================================================
 """
 
@@ -54,8 +55,10 @@ from repro.experiments.standby_power import run_standby_power
 from repro.experiments.trace_locality import run_trace_locality
 from repro.experiments.scaling_study import run_scaling_study
 from repro.experiments.serving_study import run_serving_study
+from repro.experiments.autoscale_study import run_autoscale_study
 
 __all__ = [
+    "run_autoscale_study",
     "run_serving_study",
     "run_scaling_study",
     "run_variation_study",

@@ -3,55 +3,101 @@
 The paper evaluates iMARS with an offline, batch-1, whole-dataset
 protocol; this package turns the same calibrated cost models into a
 *traffic simulator* that answers the production questions the paper
-cannot: tail latency under bursty load, shard-count scaling, and
-cache-hit-driven energy savings.
+cannot: tail latency under bursty load, shard/replica scaling, cache
+admission, multi-tenant contention, and right-sizing.
 
 Pipeline of one simulation (:class:`~repro.serving.session.ServingSession`):
 
 1. a seeded :mod:`~repro.serving.traffic` generator emits timestamped
-   requests (Poisson, MMPP bursty, diurnal, or trace replay);
+   requests (Poisson, MMPP bursty, diurnal, or trace replay) -- or a
+   :class:`~repro.serving.traffic.MultiTenantTraffic` mixer interleaves
+   several tenants' streams (e.g. a MovieLens trace-replay tenant next
+   to a bursty Criteo-class tenant), each with its own p95 SLO;
 2. the :mod:`~repro.serving.scheduler` micro-batches them under a
-   max-batch-size / max-wait admission policy;
+   max-batch-size / max-wait admission policy; the
+   :class:`~repro.serving.scheduler.AdaptiveMicroBatchScheduler` variant
+   retunes both knobs online from the observed p95-vs-SLO gap;
 3. each batch is checked against the :mod:`~repro.serving.cache` (an LRU
-   result cache whose CMA lookups are charged to the energy ledger) and
-   the misses are served by a (possibly :mod:`~repro.serving.shard`-ed)
-   engine through the uniform ``serve_batch`` interface of
-   :mod:`repro.core.pipeline`;
+   result cache whose CMA lookups are charged to the energy ledger,
+   optionally guarded by a TinyLFU doorkeeper + count-min-sketch
+   admission filter, and warmable before traffic opens) and the misses
+   are served by a (possibly :mod:`~repro.serving.shard`-ed) engine
+   through the uniform ``serve_batch`` interface of
+   :mod:`repro.core.pipeline`; each shard can be a
+   :class:`~repro.serving.shard.ReplicaGroup` of R identical engines
+   load-balanced by least outstanding work -- partitioning cuts service
+   latency, replication cuts queueing;
 4. :mod:`~repro.serving.slo` folds the per-request records into
-   p50/p95/p99 latency, sustained QPS and energy-per-request.
+   p50/p95/p99 latency, sustained QPS and energy-per-request, globally
+   and per tenant;
+5. the :mod:`~repro.serving.autoscaler` closes the loop: it grows
+   (shards, replicas) along whichever axis measures better until every
+   tenant's p95 contract holds, then reports the cheapest feasible
+   deployment by energy per request.
 """
 
-from repro.serving.cache import ServingCache
-from repro.serving.scheduler import Batch, MicroBatchConfig, MicroBatchScheduler
+from repro.serving.autoscaler import (
+    AutoscaleResult,
+    Autoscaler,
+    AutoscalerConfig,
+    ScaleStep,
+)
+from repro.serving.cache import CountMinSketch, ServingCache, TinyLFUAdmission
+from repro.serving.scheduler import (
+    AdaptiveBatchConfig,
+    AdaptiveMicroBatchScheduler,
+    Batch,
+    MicroBatchConfig,
+    MicroBatchScheduler,
+)
 from repro.serving.session import ServingResult, ServingSession
-from repro.serving.shard import ShardedEngine, make_sharded_engine, partition_corpus
-from repro.serving.slo import RequestRecord, SLOReport, summarize
+from repro.serving.shard import (
+    ReplicaGroup,
+    ShardedEngine,
+    make_sharded_engine,
+    partition_corpus,
+)
+from repro.serving.slo import RequestRecord, SLOReport, summarize, summarize_tenants
 from repro.serving.traffic import (
     BurstyTraffic,
     DiurnalTraffic,
+    MultiTenantTraffic,
     PoissonTraffic,
     Request,
+    TenantSpec,
     TraceReplayTraffic,
     zipf_user_weights,
 )
 
 __all__ = [
+    "AdaptiveBatchConfig",
+    "AdaptiveMicroBatchScheduler",
+    "AutoscaleResult",
+    "Autoscaler",
+    "AutoscalerConfig",
     "Batch",
     "BurstyTraffic",
+    "CountMinSketch",
     "DiurnalTraffic",
     "MicroBatchConfig",
     "MicroBatchScheduler",
+    "MultiTenantTraffic",
     "PoissonTraffic",
+    "ReplicaGroup",
     "Request",
     "RequestRecord",
     "SLOReport",
+    "ScaleStep",
     "ServingCache",
     "ServingResult",
     "ServingSession",
     "ShardedEngine",
+    "TenantSpec",
+    "TinyLFUAdmission",
     "TraceReplayTraffic",
     "make_sharded_engine",
     "partition_corpus",
     "summarize",
+    "summarize_tenants",
     "zipf_user_weights",
 ]

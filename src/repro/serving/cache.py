@@ -1,4 +1,5 @@
-"""LRU query-result cache, charged against the hardware energy ledger.
+"""Query-result cache: LRU eviction with optional TinyLFU admission,
+charged against the hardware energy ledger.
 
 A recommendation front-end sees heavily repeated queries (the Zipf head of
 the user population), so a small result cache short-circuits the whole
@@ -14,27 +15,140 @@ so its traffic is charged with the Table II figures of merit:
 Because hits return the stored result object, the cache-hit path is
 *functionally identical* to the miss path that populated it -- only the
 charged cost differs (the acceptance property of the serving study).
+
+Admission (TinyLFU)
+-------------------
+Plain LRU admits every miss, so one burst of one-off queries flushes the
+Zipf head.  :class:`TinyLFUAdmission` guards the way in: a *doorkeeper*
+set absorbs first-time keys, a :class:`CountMinSketch` estimates the
+access frequency of everything seen more than once, and a full cache only
+evicts its LRU victim when the arriving key is estimated *at least as
+popular* as the victim.  Counters age by periodic halving (the "reset"
+of the TinyLFU paper), so the estimate tracks the recent window rather
+than all of history.  The filter is small SRAM-side metadata next to the
+CMA array; its energy is negligible against the ``rows_per_entry`` CMA
+rows it saves, so admission decisions are not charged to the ledger --
+only the avoided/performed CMA writes are.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, Hashable, Optional, Tuple
+from typing import Dict, Hashable, List, Optional, Set, Tuple
+
+import numpy as np
 
 from repro.circuits.foms import ArrayFoMs, TABLE_II
 from repro.energy.accounting import Cost
 
-__all__ = ["ServingCache"]
+__all__ = ["CountMinSketch", "TinyLFUAdmission", "ServingCache"]
+
+#: Large Mersenne prime for the sketch's universal hash family.
+_PRIME = (1 << 61) - 1
+
+
+class CountMinSketch:
+    """Conservative frequency sketch over hashable keys.
+
+    ``depth`` rows of ``width`` counters, indexed by a seeded universal
+    hash family over the key's Python hash (deterministic for the int
+    tuples serving keys are made of); ``estimate`` returns the row
+    minimum, an upper bound on the true count.
+    """
+
+    def __init__(self, width: int = 1024, depth: int = 4, seed: int = 0):
+        if width < 1 or depth < 1:
+            raise ValueError(f"need width, depth >= 1, got {width}x{depth}")
+        self.width = width
+        self.depth = depth
+        self._counters = np.zeros((depth, width), dtype=np.uint32)
+        rng = np.random.default_rng(seed)
+        # Odd multipliers + offsets: a multiply-shift universal family.
+        self._scale = rng.integers(1, _PRIME, size=depth) | 1
+        self._offset = rng.integers(0, _PRIME, size=depth)
+
+    def _columns(self, key: Hashable) -> List[int]:
+        # Arbitrary-precision Python ints: the scale*digest product runs to
+        # ~2^122, which would silently wrap (and void the universal-family
+        # collision bound) if done in int64.
+        digest = hash(key) & ((1 << 61) - 1)
+        return [
+            (int(scale) * digest + int(offset)) % _PRIME % self.width
+            for scale, offset in zip(self._scale, self._offset)
+        ]
+
+    def increment(self, key: Hashable) -> None:
+        self._counters[np.arange(self.depth), self._columns(key)] += 1
+
+    def estimate(self, key: Hashable) -> int:
+        return int(self._counters[np.arange(self.depth), self._columns(key)].min())
+
+    def halve(self) -> None:
+        """Age every counter (the TinyLFU reset operation)."""
+        self._counters >>= 1
+
+
+class TinyLFUAdmission:
+    """Doorkeeper + count-min sketch admission filter (TinyLFU).
+
+    ``record`` must be called on every cache access (hit or miss) so the
+    sketch sees the true popularity stream; ``admit`` compares a
+    candidate against the would-be eviction victim.
+    """
+
+    def __init__(
+        self,
+        sketch_width: int = 1024,
+        sketch_depth: int = 4,
+        sample_size: int = 4096,
+        seed: int = 0,
+    ):
+        if sample_size < 1:
+            raise ValueError(f"sample size must be >= 1, got {sample_size}")
+        self.sketch = CountMinSketch(sketch_width, sketch_depth, seed=seed)
+        self.sample_size = sample_size
+        self._doorkeeper: Set[Hashable] = set()
+        self._recorded = 0
+        self.resets = 0
+
+    def record(self, key: Hashable) -> None:
+        """Count one access to ``key``."""
+        if key in self._doorkeeper:
+            # Second-or-later sighting in this window: promote to the sketch.
+            self.sketch.increment(key)
+        else:
+            self._doorkeeper.add(key)
+        self._recorded += 1
+        if self._recorded >= self.sample_size:
+            self.sketch.halve()
+            self._doorkeeper.clear()
+            self._recorded = 0
+            self.resets += 1
+
+    def estimate(self, key: Hashable) -> int:
+        """Windowed access-frequency estimate for ``key``."""
+        return self.sketch.estimate(key) + (1 if key in self._doorkeeper else 0)
+
+    def admit(self, candidate: Hashable, victim: Hashable) -> bool:
+        """Should ``candidate`` displace ``victim``?  Ties favour the
+        newcomer (recency breaks frequency ties, as in W-TinyLFU)."""
+        return self.estimate(candidate) >= self.estimate(victim)
 
 
 class ServingCache:
-    """Bounded LRU map from query keys to served results."""
+    """Bounded LRU map from query keys to served results.
+
+    With an ``admission`` filter attached, a full cache consults TinyLFU
+    before evicting: unpopular newcomers are rejected (counted in
+    ``rejections``) and the resident entry survives.
+    """
 
     def __init__(
         self,
         capacity: int,
         rows_per_entry: int = 10,
         foms: ArrayFoMs = TABLE_II,
+        admission: Optional[TinyLFUAdmission] = None,
     ):
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
@@ -43,11 +157,13 @@ class ServingCache:
         self.capacity = capacity
         self.rows_per_entry = rows_per_entry
         self.foms = foms
+        self.admission = admission
         self._store: "OrderedDict[Hashable, object]" = OrderedDict()
         self.hits = 0
         self.misses = 0
         self.insertions = 0
         self.evictions = 0
+        self.rejections = 0
 
     def __len__(self) -> int:
         return len(self._store)
@@ -57,6 +173,8 @@ class ServingCache:
 
     def lookup(self, key: Hashable) -> Tuple[Optional[object], Cost]:
         """Probe the cache; returns (value or None, charged cost)."""
+        if self.admission is not None:
+            self.admission.record(key)
         probe = self.foms.cma_search
         if key in self._store:
             self._store.move_to_end(key)
@@ -67,17 +185,40 @@ class ServingCache:
         return None, probe
 
     def insert(self, key: Hashable, value: object) -> Cost:
-        """Store (or refresh) an entry, evicting the LRU one if full."""
+        """Store (or refresh) an entry, evicting the LRU one if full.
+
+        A rejected insertion (admission filter sides with the victim)
+        charges nothing: no CMA rows are written.
+        """
         if key in self._store:
             self._store.move_to_end(key)
             self._store[key] = value
             return self.foms.cma_write.repeated(self.rows_per_entry)
         if len(self._store) >= self.capacity:
+            victim = next(iter(self._store))
+            if self.admission is not None and not self.admission.admit(key, victim):
+                self.rejections += 1
+                return Cost()
             self._store.popitem(last=False)
             self.evictions += 1
         self._store[key] = value
         self.insertions += 1
         return self.foms.cma_write.repeated(self.rows_per_entry)
+
+    def warm(self, entries) -> Cost:
+        """Pre-populate from ``(key, value)`` pairs (most popular first).
+
+        Stops once the cache is full: warm-up never evicts, it only fills
+        cold capacity.  Returns the charged CMA write cost.
+        """
+        total = Cost()
+        for key, value in entries:
+            if len(self._store) >= self.capacity:
+                break
+            if key in self._store:
+                continue
+            total = total.then(self.insert(key, value))
+        return total
 
     @property
     def hit_rate(self) -> float:
@@ -95,4 +236,5 @@ class ServingCache:
             "hit_rate": self.hit_rate,
             "insertions": self.insertions,
             "evictions": self.evictions,
+            "rejections": self.rejections,
         }

@@ -25,7 +25,12 @@ from repro.core.pipeline import ServeQuery
 from repro.energy.accounting import Cost, Ledger
 from repro.serving.cache import ServingCache
 from repro.serving.scheduler import Batch, MicroBatchConfig, MicroBatchScheduler
-from repro.serving.slo import RequestRecord, SLOReport, summarize
+from repro.serving.slo import (
+    RequestRecord,
+    SLOReport,
+    summarize,
+    summarize_tenants,
+)
 from repro.serving.traffic import Request
 
 __all__ = ["ServingResult", "ServingSession"]
@@ -47,6 +52,11 @@ class ServingResult:
         if self._report is None:
             self._report = summarize(self.records, self.ledger, label=self.label)
         return self._report
+
+    @property
+    def tenant_reports(self) -> Dict[str, SLOReport]:
+        """Per-tenant SLO reports (energy attributed pro rata)."""
+        return summarize_tenants(self.records, self.ledger, label=self.label)
 
 
 class ServingSession:
@@ -70,13 +80,46 @@ class ServingSession:
         self.scheduler = scheduler or MicroBatchScheduler(MicroBatchConfig())
         self.cache = cache
         self.label = label
+        self._warm_cost = Cost()
 
     def _query_for(self, request: Request) -> ServeQuery:
         return self.workload[request.user % len(self.workload)]
 
+    def warm(self, users: Sequence[int]) -> Cost:
+        """Pre-serve ``users``' queries and seed the cache with the results.
+
+        The warm-up models a deployment's ramp phase: the most popular
+        queries (the Zipf head a trace analysis predicts) are served once
+        off the critical path and their results written into the cache, so
+        the session opens hot instead of paying the cold-start misses.
+        Serving and fill energy are real work -- they are charged to the
+        next :meth:`run`'s ledger under "Warm-up".  Returns that cost.
+        """
+        if self.cache is None:
+            raise ValueError("cannot warm a session without a cache")
+        pairs = []
+        serve_cost = Cost()
+        seen = set()
+        for user in users:
+            query = self.workload[user % len(self.workload)]
+            if query in seen:
+                continue
+            seen.add(query)
+            result = self.engine.recommend_query(query)
+            serve_cost = serve_cost.then(result.cost)
+            pairs.append((query, (tuple(result.items), tuple(result.scores))))
+        fill_cost = self.cache.warm(pairs)
+        self._warm_cost = self._warm_cost.then(serve_cost).then(fill_cost)
+        return self._warm_cost
+
     def run(self, requests: Sequence[Request]) -> ServingResult:
         """Drive the scheduler over ``requests`` and collect the records."""
         ledger = Ledger(name=self.label)
+        if self._warm_cost.energy_pj > 0.0 or self._warm_cost.latency_ns > 0.0:
+            # One-time work: charge it to this run only, not to every
+            # later run of a reused session.
+            ledger.charge("Warm-up", self._warm_cost)
+            self._warm_cost = Cost()
         records: List[RequestRecord] = []
 
         def service(batch: Batch) -> float:

@@ -7,9 +7,17 @@ shards in parallel (scatter), each shard runs NNS + ranking over its own
 slice with a proportionally smaller candidate budget, and the router
 merges the per-shard top-k by CTR score (gather).
 
-Cost semantics follow the repo's composition algebra: the shards run on
-disjoint hardware, so their batch costs compose with
-:meth:`Cost.alongside` (energy adds, latency is the slowest shard), and
+Sharding cuts *per-query* latency but not queueing: one engine per slice
+is still a serial resource.  :class:`ReplicaGroup` adds the throughput
+axis -- R functionally identical copies of one shard's engine, with each
+dispatched micro-batch split across replicas by least outstanding work,
+so the group's occupancy per batch approaches 1/R of a single replica's.
+Replicas share the slice *and* the construction seed, so the group
+returns bit-identical recommendations regardless of R.
+
+Cost semantics follow the repo's composition algebra: shards and
+replicas run on disjoint hardware, so their batch costs compose with
+:meth:`Cost.alongside` (energy adds, latency is the slowest member), and
 the merge is charged through the platform's own top-k model
 (:meth:`~repro.core.pipeline._EngineBase.merge_cost`).
 """
@@ -17,7 +25,7 @@ the merge is charged through the platform's own top-k model
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -31,7 +39,12 @@ from repro.core.pipeline import (
 )
 from repro.energy.accounting import Cost, Ledger
 
-__all__ = ["partition_corpus", "ShardedEngine", "make_sharded_engine"]
+__all__ = [
+    "partition_corpus",
+    "ReplicaGroup",
+    "ShardedEngine",
+    "make_sharded_engine",
+]
 
 
 def partition_corpus(num_items: int, num_shards: int) -> List[np.ndarray]:
@@ -48,6 +61,88 @@ def partition_corpus(num_items: int, num_shards: int) -> List[np.ndarray]:
         )
     ids = np.arange(num_items, dtype=np.int64)
     return [ids[shard::num_shards] for shard in range(num_shards)]
+
+
+class ReplicaGroup:
+    """R identical engines over one corpus slice, load-balanced per batch.
+
+    Each ``serve_batch`` round assigns queries greedily to the replica
+    with the least outstanding work -- cumulative busy seconds from past
+    assignments plus the estimated work already assigned this round
+    (:attr:`~repro.core.pipeline._EngineBase.expected_query_latency_s`,
+    falling back to uniform estimates before any replica has served).
+    The per-replica sub-batches run concurrently on disjoint hardware:
+    group occupancy is the slowest replica, energy is the sum.
+    """
+
+    def __init__(self, replicas: Sequence[object]):
+        if not replicas:
+            raise ValueError("need at least one replica")
+        self.replicas = list(replicas)
+        #: Cumulative busy seconds dispatched to each replica so far.
+        self.busy_s = [0.0] * len(self.replicas)
+
+    @property
+    def num_replicas(self) -> int:
+        return len(self.replicas)
+
+    @property
+    def top_k(self) -> int:
+        return self.replicas[0].top_k
+
+    def _work_estimates(self) -> List[float]:
+        """Per-replica expected seconds of work per assigned query."""
+        observed = [
+            getattr(replica, "expected_query_latency_s", None)
+            for replica in self.replicas
+        ]
+        known = [value for value in observed if value]
+        default = float(np.mean(known)) if known else 1.0
+        return [value if value else default for value in observed]
+
+    def assign(self, num_queries: int) -> List[List[int]]:
+        """Plan one dispatch round: query position -> replica, greedily
+        levelling projected busy time.  Deterministic (ties go to the
+        lowest replica index), so replays reproduce the same routing."""
+        estimates = self._work_estimates()
+        projected = list(self.busy_s)
+        assignment: List[List[int]] = [[] for _ in self.replicas]
+        for position in range(num_queries):
+            target = min(
+                range(len(self.replicas)), key=lambda index: (projected[index], index)
+            )
+            assignment[target].append(position)
+            projected[target] += estimates[target]
+        return assignment
+
+    def recommend_query(self, query: ServeQuery) -> QueryResult:
+        """Batch-of-one convenience mirroring the engine interface."""
+        return self.serve_batch([query]).results[0]
+
+    def serve_batch(self, queries: Sequence[ServeQuery]) -> BatchResult:
+        if not queries:
+            return BatchResult(results=[], cost=Cost())
+        assignment = self.assign(len(queries))
+        placed: Dict[int, QueryResult] = {}
+        sub_costs: List[Cost] = []
+        for index, positions in enumerate(assignment):
+            if not positions:
+                continue
+            sub_batch = self.replicas[index].serve_batch(
+                [queries[position] for position in positions]
+            )
+            self.busy_s[index] += sub_batch.cost.latency_s
+            sub_costs.append(sub_batch.cost)
+            for position, result in zip(positions, sub_batch.results):
+                placed[position] = result
+        return BatchResult(
+            results=[placed[position] for position in range(len(queries))],
+            cost=Cost.concurrent(sub_costs),
+        )
+
+    def merge_cost(self, num_entries: int) -> Cost:
+        """Expose the members' platform merge model (router nesting)."""
+        return self.replicas[0].merge_cost(num_entries)
 
 
 class ShardedEngine:
@@ -128,6 +223,7 @@ def make_sharded_engine(
     num_candidates: int = 72,
     top_k: int = 10,
     seed: int = 0,
+    replicas_per_shard: int = 1,
     **engine_kwargs,
 ) -> ShardedEngine:
     """Build a :class:`ShardedEngine` of ``kind`` ('imars' or 'gpu').
@@ -137,38 +233,56 @@ def make_sharded_engine(
     num_shards)``), so the merged candidate pool stays comparable to the
     unsharded engine's while each shard's serial ranking loop shortens by
     ~``num_shards``x -- the latency win sharding buys.
+
+    ``replicas_per_shard > 1`` wraps every shard in a
+    :class:`ReplicaGroup` of R engines built with *the same seed* (so
+    every replica owns an identical LSH index and recommendations do not
+    depend on R) -- the throughput win replication buys.
     """
     if kind not in ("imars", "gpu"):
         raise ValueError(f"unknown engine kind {kind!r} (use 'imars' or 'gpu')")
+    if replicas_per_shard < 1:
+        raise ValueError(
+            f"replicas per shard must be >= 1, got {replicas_per_shard}"
+        )
     num_items = filtering_model.config.num_items
     partitions = partition_corpus(num_items, num_shards)
     per_shard_candidates = max(1, math.ceil(num_candidates / num_shards))
-    shards: List[object] = []
-    for shard_index, subset in enumerate(partitions):
+
+    def build_engine(shard_index: int, subset: np.ndarray) -> object:
         if kind == "imars":
             if mapping is None:
                 raise ValueError("iMARS shards need a workload mapping")
-            shards.append(
-                IMARSEngine(
-                    filtering_model,
-                    ranking_model,
-                    mapping,
-                    num_candidates=per_shard_candidates,
-                    top_k=top_k,
-                    seed=seed + shard_index,
-                    item_subset=subset,
-                    **engine_kwargs,
-                )
+            return IMARSEngine(
+                filtering_model,
+                ranking_model,
+                mapping,
+                num_candidates=per_shard_candidates,
+                top_k=top_k,
+                seed=seed + shard_index,
+                item_subset=subset,
+                **engine_kwargs,
             )
+        return GPUReferenceEngine(
+            filtering_model,
+            ranking_model,
+            num_candidates=per_shard_candidates,
+            top_k=top_k,
+            item_subset=subset,
+            **engine_kwargs,
+        )
+
+    shards: List[object] = []
+    for shard_index, subset in enumerate(partitions):
+        if replicas_per_shard == 1:
+            shards.append(build_engine(shard_index, subset))
         else:
             shards.append(
-                GPUReferenceEngine(
-                    filtering_model,
-                    ranking_model,
-                    num_candidates=per_shard_candidates,
-                    top_k=top_k,
-                    item_subset=subset,
-                    **engine_kwargs,
+                ReplicaGroup(
+                    [
+                        build_engine(shard_index, subset)
+                        for _ in range(replicas_per_shard)
+                    ]
                 )
             )
     return ShardedEngine(shards, top_k=top_k)

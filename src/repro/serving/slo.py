@@ -14,10 +14,10 @@ from typing import Dict, Sequence, Tuple
 
 import numpy as np
 
-from repro.energy.accounting import Ledger
+from repro.energy.accounting import Cost, Ledger
 from repro.serving.traffic import Request
 
-__all__ = ["RequestRecord", "SLOReport", "summarize"]
+__all__ = ["RequestRecord", "SLOReport", "summarize", "summarize_tenants"]
 
 
 @dataclass(frozen=True)
@@ -113,3 +113,38 @@ def summarize(
         cache_hit_rate=hits / len(records),
         mean_batch_size=float(np.mean([record.batch_size for record in records])),
     )
+
+
+def summarize_tenants(
+    records: Sequence[RequestRecord],
+    ledger: Ledger,
+    label: str = "session",
+) -> Dict[str, SLOReport]:
+    """Per-tenant SLO reports of one mixed-tenant session.
+
+    Latency percentiles and throughput come from each tenant's own
+    records; the session ledger is global (the engine serves all tenants
+    on shared hardware), so energy is attributed pro rata by request
+    count -- the fair-share charging model of a shared deployment.
+    """
+    if not records:
+        raise ValueError("cannot summarise an empty session")
+    by_tenant: Dict[str, list] = {}
+    for record in records:
+        by_tenant.setdefault(record.request.tenant, []).append(record)
+    total = ledger.total()
+    reports: Dict[str, SLOReport] = {}
+    for tenant, tenant_records in sorted(by_tenant.items()):
+        share = len(tenant_records) / len(records)
+        tenant_ledger = Ledger(name=f"{label}/{tenant}")
+        tenant_ledger.charge(
+            "Fair share",
+            Cost(
+                energy_pj=total.energy_pj * share,
+                latency_ns=total.latency_ns * share,
+            ),
+        )
+        reports[tenant] = summarize(
+            tenant_records, tenant_ledger, label=f"{label} [{tenant}]"
+        )
+    return reports

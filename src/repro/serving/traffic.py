@@ -12,6 +12,13 @@ actually sees:
   an empirical user trace (MovieLens watch histories or the Criteo user
   column), preserving real popularity skew for cache studies.
 
+:class:`MultiTenantTraffic` composes any of the above into one front
+door: each :class:`TenantSpec` contributes its own arrival process, user
+population (offset into a disjoint id range) and p95 SLO, and the mixer
+interleaves the streams by arrival time -- the multi-tenant workloads
+(e.g. a MovieLens trace-replay tenant next to a bursty Criteo-class
+tenant) the autoscaler is sized against.
+
 Every generator is deterministic given (seed, stream): ``generate`` draws
 from a fresh :func:`repro.experiments.common.seeded_rng` each call, so the
 same generator object can be reused across sessions without coupling their
@@ -20,8 +27,8 @@ randomness.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -31,6 +38,8 @@ __all__ = [
     "BurstyTraffic",
     "DiurnalTraffic",
     "TraceReplayTraffic",
+    "TenantSpec",
+    "MultiTenantTraffic",
     "zipf_user_weights",
 ]
 
@@ -51,12 +60,15 @@ class Request:
     request_id: int
     arrival_s: float
     user: int
+    tenant: str = "default"
 
     def __post_init__(self) -> None:
         if self.arrival_s < 0.0:
             raise ValueError(f"arrival time must be non-negative, got {self.arrival_s}")
         if self.user < 0:
             raise ValueError(f"user id must be non-negative, got {self.user}")
+        if not self.tenant:
+            raise ValueError("tenant name must be non-empty")
 
 
 def zipf_user_weights(num_users: int, exponent: float = 1.1) -> np.ndarray:
@@ -318,3 +330,110 @@ class TraceReplayTraffic(_TrafficBase):
         users = np.tile(trace, repeats)[:num_requests]
         gaps = rng.exponential(1.0 / self.rate_qps, size=num_requests)
         return self._package(np.cumsum(gaps), users)
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant of a shared serving deployment.
+
+    ``share`` is the tenant's fraction of the mixed request volume
+    (normalised across tenants); ``p95_slo_ms`` is the latency contract
+    the autoscaler holds the deployment to for this tenant's requests.
+    """
+
+    name: str
+    traffic: object  # any generator above: .generate(n) and .num_users
+    share: float = 1.0
+    p95_slo_ms: float = float("inf")
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("tenant name must be non-empty")
+        if self.share <= 0.0:
+            raise ValueError(f"tenant share must be positive, got {self.share}")
+        if self.p95_slo_ms <= 0.0:
+            raise ValueError(f"p95 SLO must be positive, got {self.p95_slo_ms}")
+
+
+class MultiTenantTraffic:
+    """Interleave several tenants' arrival processes into one stream.
+
+    Each tenant keeps its own generator (and hence its own seeded
+    randomness), its requests are tagged with the tenant name, and its
+    user ids are offset into a disjoint range -- tenant 0 owns
+    ``[0, n_0)``, tenant 1 owns ``[n_0, n_0 + n_1)``, and so on -- so a
+    session workload built per tenant stays addressable by plain modulo
+    indexing and tenants never alias each other's cache keys.
+    """
+
+    name = "multi-tenant"
+
+    def __init__(self, tenants: Sequence[TenantSpec]):
+        if not tenants:
+            raise ValueError("need at least one tenant")
+        names = [tenant.name for tenant in tenants]
+        if len(set(names)) != len(names):
+            raise ValueError(f"tenant names must be unique, got {names}")
+        self.tenants = list(tenants)
+        self._offsets: Dict[str, int] = {}
+        offset = 0
+        for tenant in self.tenants:
+            self._offsets[tenant.name] = offset
+            offset += tenant.traffic.num_users
+        self.num_users = offset
+
+    def user_offset(self, tenant_name: str) -> int:
+        """Start of ``tenant_name``'s user-id range in the mixed stream."""
+        return self._offsets[tenant_name]
+
+    def slo_for(self, tenant_name: str) -> float:
+        """The p95 latency contract of ``tenant_name`` (ms)."""
+        for tenant in self.tenants:
+            if tenant.name == tenant_name:
+                return tenant.p95_slo_ms
+        raise KeyError(f"unknown tenant {tenant_name!r}")
+
+    def _request_counts(self, num_requests: int) -> List[int]:
+        """Split the volume by share: largest-remainder rounding, with a
+        floor of one request per tenant (every SLO needs evidence)."""
+        total_share = sum(tenant.share for tenant in self.tenants)
+        exact = [
+            num_requests * tenant.share / total_share for tenant in self.tenants
+        ]
+        counts = [int(value) for value in exact]
+        remainders = sorted(
+            range(len(exact)),
+            key=lambda index: (counts[index] - exact[index], index),
+        )
+        for index in remainders[: num_requests - sum(counts)]:
+            counts[index] += 1
+        for index in range(len(counts)):
+            if counts[index] == 0:
+                donor = max(range(len(counts)), key=counts.__getitem__)
+                if counts[donor] > 1:
+                    counts[donor] -= 1
+                    counts[index] = 1
+        return counts
+
+    def generate(self, num_requests: int) -> List[Request]:
+        if num_requests < len(self.tenants):
+            raise ValueError(
+                f"need at least one request per tenant "
+                f"({len(self.tenants)}), got {num_requests}"
+            )
+        mixed: List[Request] = []
+        for tenant, count in zip(self.tenants, self._request_counts(num_requests)):
+            offset = self._offsets[tenant.name]
+            for request in tenant.traffic.generate(count):
+                mixed.append(
+                    replace(
+                        request,
+                        user=request.user + offset,
+                        tenant=tenant.name,
+                    )
+                )
+        mixed.sort(key=lambda request: (request.arrival_s, request.tenant))
+        return [
+            replace(request, request_id=index)
+            for index, request in enumerate(mixed)
+        ]

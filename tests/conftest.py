@@ -1,0 +1,22 @@
+"""Repo-wide test configuration: deterministic Hypothesis profiles.
+
+CI runs with ``HYPOTHESIS_PROFILE=ci``: derandomized (the example
+sequence depends only on the test, not on a random seed), so a red
+property failure always reproduces locally with the same command.
+The default ``dev`` profile keeps random exploration for local runs.
+"""
+
+import os
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile("dev", deadline=None)
+settings.register_profile(
+    "ci",
+    deadline=None,
+    derandomize=True,
+    max_examples=60,
+    suppress_health_check=[HealthCheck.too_slow],
+    print_blob=True,
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))

@@ -1,0 +1,181 @@
+"""Unit tests for the closed-loop autoscaler's control law.
+
+The loop is exercised against synthetic deployments (no engines): an
+evaluate stub returns canned SLO reports per (shards, replicas), so each
+test controls exactly what the autoscaler measures.
+"""
+
+from dataclasses import dataclass
+from typing import Dict
+
+import pytest
+
+from repro.serving.autoscaler import Autoscaler, AutoscalerConfig
+from repro.serving.slo import SLOReport
+
+
+def _report(label, p95_ms, energy_uj):
+    return SLOReport(
+        label=label,
+        num_requests=10,
+        p50_ms=p95_ms / 2,
+        p95_ms=p95_ms,
+        p99_ms=p95_ms * 1.1,
+        mean_ms=p95_ms / 2,
+        max_ms=p95_ms * 1.2,
+        offered_qps=100.0,
+        sustained_qps=90.0,
+        energy_per_request_uj=energy_uj,
+        cache_hit_rate=0.0,
+        mean_batch_size=2.0,
+    )
+
+
+@dataclass
+class _StubResult:
+    report: SLOReport
+    tenant_reports: Dict[str, SLOReport]
+
+
+class _StubDeployments:
+    """evaluate() backed by a {(shards, replicas): (p95, energy)} table."""
+
+    def __init__(self, table, tenants=None):
+        self.table = table
+        self.tenants = tenants or {}
+        self.calls = []
+
+    def __call__(self, shards, replicas):
+        self.calls.append((shards, replicas))
+        p95_ms, energy_uj = self.table[(shards, replicas)]
+        label = f"s={shards} r={replicas}"
+        tenant_reports = {
+            tenant: _report(f"{label} [{tenant}]", factor * p95_ms, energy_uj)
+            for tenant, factor in self.tenants.items()
+        }
+        return _StubResult(_report(label, p95_ms, energy_uj), tenant_reports)
+
+
+def test_feasible_start_converges_without_scaling():
+    stub = _StubDeployments({(1, 1): (5.0, 1.0)})
+    outcome = Autoscaler(stub, AutoscalerConfig(p95_slo_ms=10.0)).run()
+    assert outcome.converged
+    assert outcome.chosen == (1, 1)
+    assert stub.calls == [(1, 1)]  # no speculative evaluations
+
+
+def test_greedy_follows_the_better_axis_until_feasible():
+    stub = _StubDeployments(
+        {
+            (1, 1): (40.0, 1.0),
+            (2, 1): (30.0, 1.2),  # sharding helps less here...
+            (1, 2): (20.0, 1.0),  # ...than replication
+            (2, 2): (9.0, 1.3),
+            (1, 3): (12.0, 1.0),
+        }
+    )
+    outcome = Autoscaler(
+        stub, AutoscalerConfig(p95_slo_ms=10.0, max_shards=3, max_replicas=3)
+    ).run()
+    assert outcome.converged
+    assert outcome.chosen == (2, 2)
+    # Round 1 compared both axes and moved to (1, 2), round 2 found (2, 2).
+    assert (1, 2) in stub.calls and (2, 2) in stub.calls
+
+
+def test_min_energy_feasible_config_wins():
+    stub = _StubDeployments(
+        {
+            (1, 1): (40.0, 1.0),
+            (2, 1): (8.0, 2.0),  # feasible but costly
+            (1, 2): (9.0, 1.1),  # feasible and cheap -> chosen
+        }
+    )
+    outcome = Autoscaler(
+        stub, AutoscalerConfig(p95_slo_ms=10.0, max_shards=2, max_replicas=2)
+    ).run()
+    assert outcome.converged
+    assert outcome.chosen == (1, 2)
+
+
+def test_bounds_exhausted_reports_best_effort():
+    table = {
+        (shards, replicas): (100.0 - 10 * shards - 5 * replicas, 1.0)
+        for shards in (1, 2)
+        for replicas in (1, 2)
+    }
+    stub = _StubDeployments(table)
+    outcome = Autoscaler(
+        stub,
+        AutoscalerConfig(p95_slo_ms=1.0, max_shards=2, max_replicas=2, max_steps=8),
+    ).run()
+    assert not outcome.converged
+    # Best effort: the lowest-p95 config measured, here the largest one.
+    assert outcome.chosen == (2, 2)
+    assert not outcome.best.meets_slo
+    assert outcome.best.violations
+
+
+def test_evaluations_are_memoized():
+    stub = _StubDeployments(
+        {(1, 1): (40.0, 1.0), (2, 1): (30.0, 1.0), (1, 2): (35.0, 1.0),
+         (3, 1): (25.0, 1.0), (2, 2): (28.0, 1.0), (3, 2): (22.0, 1.0)}
+    )
+    Autoscaler(
+        stub,
+        AutoscalerConfig(p95_slo_ms=1.0, max_shards=3, max_replicas=2, max_steps=6),
+    ).run()
+    assert len(stub.calls) == len(set(stub.calls))
+
+
+def test_tenant_slo_violation_forces_scale_out():
+    # Global p95 is fine from the start, but the strict tenant (2x the
+    # global p95 in the stub) breaches its contract until (1, 2).
+    stub = _StubDeployments(
+        {(1, 1): (8.0, 1.0), (2, 1): (6.0, 1.5), (1, 2): (4.0, 1.0)},
+        tenants={"strict": 2.0, "lax": 0.5},
+    )
+    outcome = Autoscaler(
+        stub,
+        AutoscalerConfig(
+            p95_slo_ms=20.0,
+            tenant_slos_ms={"strict": 10.0, "lax": 20.0},
+            max_shards=2,
+            max_replicas=2,
+        ),
+    ).run()
+    assert outcome.converged
+    assert outcome.chosen == (1, 2)
+    first = outcome.steps[0]
+    assert not first.meets_slo
+    assert any("strict" in violation for violation in first.violations)
+
+
+def test_missing_tenant_is_a_violation():
+    stub = _StubDeployments({(1, 1): (1.0, 1.0)}, tenants={"present": 1.0})
+    outcome = Autoscaler(
+        stub,
+        AutoscalerConfig(
+            p95_slo_ms=10.0,
+            tenant_slos_ms={"ghost": 5.0},
+            max_shards=1,
+            max_replicas=1,
+        ),
+    ).run()
+    assert not outcome.converged
+    assert any("ghost" in violation for violation in outcome.steps[0].violations)
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"p95_slo_ms": 0.0},
+        {"p95_slo_ms": 5.0, "tenant_slos_ms": {"t": -1.0}},
+        {"p95_slo_ms": 5.0, "min_shards": 3, "max_shards": 2},
+        {"p95_slo_ms": 5.0, "min_replicas": 0},
+        {"p95_slo_ms": 5.0, "max_steps": 0},
+    ],
+)
+def test_config_validation(kwargs):
+    with pytest.raises(ValueError):
+        AutoscalerConfig(**kwargs)

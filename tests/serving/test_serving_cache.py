@@ -1,9 +1,10 @@
-"""Tests for the LRU result cache and its energy accounting."""
+"""Tests for the result cache: LRU, TinyLFU admission, energy accounting."""
 
 import pytest
 
 from repro.circuits.foms import TABLE_II
-from repro.serving.cache import ServingCache
+from repro.energy.accounting import Cost
+from repro.serving.cache import CountMinSketch, ServingCache, TinyLFUAdmission
 
 
 def test_miss_then_hit():
@@ -64,3 +65,121 @@ def test_invalid_parameters_rejected():
         ServingCache(capacity=0)
     with pytest.raises(ValueError):
         ServingCache(capacity=1, rows_per_entry=0)
+    with pytest.raises(ValueError):
+        CountMinSketch(width=0)
+    with pytest.raises(ValueError):
+        TinyLFUAdmission(sample_size=0)
+
+
+class TestCountMinSketch:
+    def test_estimate_upper_bounds_true_count(self):
+        sketch = CountMinSketch(width=64, depth=4, seed=0)
+        truth = {}
+        for key in [1, 2, 1, 3, 1, 2, 4, 1]:
+            sketch.increment(key)
+            truth[key] = truth.get(key, 0) + 1
+        for key, count in truth.items():
+            assert sketch.estimate(key) >= count
+        assert sketch.estimate("never-seen") >= 0
+
+    def test_halving_ages_counters(self):
+        sketch = CountMinSketch(width=64, depth=4, seed=0)
+        for _ in range(8):
+            sketch.increment("hot")
+        before = sketch.estimate("hot")
+        sketch.halve()
+        assert sketch.estimate("hot") == before // 2
+
+
+class TestTinyLFUAdmission:
+    def test_doorkeeper_promotes_on_second_sighting(self):
+        admission = TinyLFUAdmission(sample_size=1000, seed=0)
+        admission.record("k")
+        assert admission.estimate("k") == 1  # doorkeeper only
+        admission.record("k")
+        assert admission.estimate("k") >= 2  # sketch + doorkeeper
+
+    def test_admit_prefers_the_more_frequent_key(self):
+        admission = TinyLFUAdmission(sample_size=1000, seed=0)
+        for _ in range(5):
+            admission.record("popular")
+        admission.record("one-off")
+        assert admission.admit("popular", "one-off")
+        assert not admission.admit("one-off", "popular")
+
+    def test_ties_favour_the_newcomer(self):
+        admission = TinyLFUAdmission(sample_size=1000, seed=0)
+        admission.record("a")
+        admission.record("b")
+        assert admission.admit("a", "b")
+
+    def test_window_reset_halves_and_clears_doorkeeper(self):
+        admission = TinyLFUAdmission(sample_size=4, seed=0)
+        for _ in range(4):
+            admission.record("k")
+        assert admission.resets == 1
+        # Doorkeeper cleared, sketch halved: the estimate decayed.
+        assert admission.estimate("k") < 4
+
+
+class TestCacheAdmission:
+    def _full_cache_with_popular_resident(self):
+        cache = ServingCache(
+            capacity=2, rows_per_entry=2, admission=TinyLFUAdmission(seed=0)
+        )
+        for _ in range(4):
+            cache.lookup("hot")  # builds hot's frequency
+        cache.insert("hot", "H")
+        cache.lookup("warm")
+        cache.insert("warm", "W")
+        return cache
+
+    def test_unpopular_newcomer_rejected_and_charges_nothing(self):
+        cache = self._full_cache_with_popular_resident()
+        cache.lookup("cold")  # first sighting: doorkeeper only
+        cost = cache.insert("cold", "C")
+        assert cost == Cost()  # no CMA rows written
+        assert cache.rejections == 1
+        assert "cold" not in cache
+        assert "hot" in cache and "warm" in cache  # victim survived
+        assert cache.stats()["rejections"] == 1
+
+    def test_popular_newcomer_displaces_the_lru_victim(self):
+        cache = self._full_cache_with_popular_resident()
+        for _ in range(6):
+            cache.lookup("rising")  # now clearly more popular than "hot"
+        cost = cache.insert("rising", "R")
+        assert cost.energy_pj > 0.0
+        assert "rising" in cache
+        assert "hot" not in cache  # LRU victim evicted
+        assert cache.evictions == 1
+
+    def test_without_admission_every_insert_is_accepted(self):
+        cache = ServingCache(capacity=1, rows_per_entry=2)
+        cache.insert("a", 1)
+        cache.insert("b", 2)
+        assert cache.rejections == 0
+        assert cache.evictions == 1
+
+
+class TestWarmup:
+    def test_warm_fills_cold_capacity_only(self):
+        cache = ServingCache(capacity=2, rows_per_entry=3)
+        cost = cache.warm([("a", 1), ("b", 2), ("c", 3)])
+        assert len(cache) == 2
+        assert "a" in cache and "b" in cache and "c" not in cache
+        assert cache.evictions == 0  # warm-up never evicts
+        assert cost == TABLE_II.cma_write.repeated(3).repeated(2)
+
+    def test_warm_skips_duplicates(self):
+        cache = ServingCache(capacity=4, rows_per_entry=1)
+        cache.warm([("a", 1), ("a", 2), ("b", 3)])
+        assert len(cache) == 2
+        assert cache.lookup("a")[0] == 1  # first value wins
+
+    def test_warmed_entries_hit(self):
+        cache = ServingCache(capacity=4, rows_per_entry=1)
+        cache.warm([("a", 1)])
+        value, _ = cache.lookup("a")
+        assert value == 1
+        assert cache.hits == 1 and cache.misses == 0

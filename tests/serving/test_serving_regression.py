@@ -1,0 +1,101 @@
+"""Deterministic-replay regression tests for the serving stack.
+
+PR 2 established the seeded_rng stream contract: one master seed, many
+streams, so a whole serving run is reproducible from one number.  These
+tests pin it end to end: a fixed-seed session produces a byte-identical
+SLO report across two independently constructed runs, at every
+(shards, replicas) deployment shape, and the E-AUTOSCALE closed loop
+converges to the same (shards, replicas) every time.
+"""
+
+import pytest
+
+from repro.experiments.autoscale_study import run_autoscale_study
+from repro.serving.cache import ServingCache, TinyLFUAdmission
+from repro.serving.scheduler import AdaptiveBatchConfig, AdaptiveMicroBatchScheduler
+from repro.serving.session import ServingSession
+from repro.serving.shard import make_sharded_engine
+from repro.serving.traffic import PoissonTraffic
+
+
+def _run_once(serving_setup, shards, replicas):
+    """Build the whole stack from seed 0 and serve one Poisson stream."""
+    dataset, filtering, ranking, mapping, workload = serving_setup
+    engine = make_sharded_engine(
+        "imars",
+        filtering,
+        ranking,
+        shards,
+        mapping=mapping,
+        num_candidates=24,
+        top_k=5,
+        seed=0,
+        replicas_per_shard=replicas,
+    )
+    rate_qps = 8.0 / engine.recommend_query(workload[0]).cost.latency_s
+    requests = PoissonTraffic(
+        rate_qps, num_users=dataset.num_users, seed=0, stream=3
+    ).generate(64)
+    session = ServingSession(
+        engine,
+        workload,
+        scheduler=AdaptiveMicroBatchScheduler(
+            AdaptiveBatchConfig(target_p95_s=0.001, max_batch_size=8)
+        ),
+        cache=ServingCache(
+            capacity=16, rows_per_entry=5, admission=TinyLFUAdmission(seed=0)
+        ),
+        label=f"replay s={shards} r={replicas}",
+    )
+    session.warm(range(8))
+    return session.run(requests)
+
+
+@pytest.mark.parametrize("shards,replicas", [(1, 1), (2, 1), (1, 2), (2, 2)])
+def test_slo_report_byte_identical_across_runs(serving_setup, shards, replicas):
+    first = _run_once(serving_setup, shards, replicas)
+    second = _run_once(serving_setup, shards, replicas)
+    # Byte-identical SLO reports: same floats, same formatting.
+    assert repr(first.report.as_dict()) == repr(second.report.as_dict())
+    assert first.report.format_row() == second.report.format_row()
+    # And the functional outputs match item for item.
+    assert [record.items for record in first.records] == [
+        record.items for record in second.records
+    ]
+    assert first.cache_stats == second.cache_stats
+
+
+def test_replication_never_changes_recommendations(serving_setup):
+    # Replicas share slice and seed, so R must not affect what is served.
+    single = _run_once(serving_setup, 2, 1)
+    replicated = _run_once(serving_setup, 2, 2)
+    assert [record.items for record in single.records] == [
+        record.items for record in replicated.records
+    ]
+
+
+def test_autoscale_study_convergence_pinned():
+    """E-AUTOSCALE's closed loop is a deterministic artefact: it converges,
+    and always to the same (shards, replicas), on every traffic pattern."""
+    report = run_autoscale_study(seed=0)
+    assert report.all_within(0.0), report.format()
+    chosen = report.extras["chosen"]
+    # >= 2 traffic patterns converge to an SLO-meeting config (acceptance
+    # criterion); with the default operating point all three do, and the
+    # min-energy choice is replication (it adds throughput without the
+    # merge/candidate overhead sharding pays).
+    assert chosen == {
+        "poisson": (1, 2),
+        "bursty": (1, 2),
+        "multi-tenant": (1, 2),
+    }
+    rerun = run_autoscale_study(seed=0)
+    assert rerun.extras["chosen"] == chosen
+    for name, outcome in report.extras["outcomes"].items():
+        twin = rerun.extras["outcomes"][name]
+        assert [step.config_key for step in outcome.steps] == [
+            step.config_key for step in twin.steps
+        ]
+        assert repr(outcome.best.report.as_dict()) == repr(
+            twin.best.report.as_dict()
+        )

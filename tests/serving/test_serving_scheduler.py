@@ -1,8 +1,14 @@
-"""Tests for the micro-batching scheduler's admission control."""
+"""Tests for the micro-batching schedulers' admission control."""
 
 import pytest
 
-from repro.serving.scheduler import Batch, MicroBatchConfig, MicroBatchScheduler
+from repro.serving.scheduler import (
+    AdaptiveBatchConfig,
+    AdaptiveMicroBatchScheduler,
+    Batch,
+    MicroBatchConfig,
+    MicroBatchScheduler,
+)
 from repro.serving.traffic import Request
 
 
@@ -86,3 +92,83 @@ def test_batch_helpers():
     batch = Batch(requests=_requests([0.0, 0.1]), open_s=0.0, dispatch_s=0.2)
     assert len(batch) == 2
     assert batch.queue_delays_s == pytest.approx([0.2, 0.1])
+
+
+def test_default_config_not_shared_between_schedulers():
+    # Pins the mutable-default fix: a dataclass default instance in the
+    # signature would couple every scheduler built without a config.
+    first = MicroBatchScheduler()
+    second = MicroBatchScheduler()
+    assert first.config is not second.config
+    assert first.config == MicroBatchConfig()
+
+
+class TestAdaptiveScheduler:
+    def test_initial_knobs_inside_bounds(self):
+        config = AdaptiveBatchConfig(
+            target_p95_s=0.01, min_batch_size=2, max_batch_size=32,
+            min_wait_s=0.0001, max_wait_s=0.002,
+        )
+        scheduler = AdaptiveMicroBatchScheduler(config)
+        assert config.min_batch_size <= scheduler.config.max_batch_size <= config.max_batch_size
+        assert config.min_wait_s <= scheduler.config.max_wait_s <= config.max_wait_s
+
+    def test_overshoot_shrinks_wait_and_grows_cap(self):
+        config = AdaptiveBatchConfig(
+            target_p95_s=0.01, window=1, max_batch_size=64, max_wait_s=0.01
+        )
+        scheduler = AdaptiveMicroBatchScheduler(config)
+        wait_before = scheduler.config.max_wait_s
+        cap_before = scheduler.config.max_batch_size
+        # One saturating batch: service 10x the target blows the p95.
+        scheduler.run(_requests([0.0]), lambda batch: 0.1)
+        decision = scheduler.knob_history[-1]
+        assert decision["p95_s"] > config.target_p95_s
+        assert scheduler.config.max_wait_s <= wait_before
+        assert scheduler.config.max_batch_size >= cap_before
+        assert scheduler.config.max_batch_size <= config.max_batch_size
+
+    def test_headroom_grows_wait_back(self):
+        config = AdaptiveBatchConfig(
+            target_p95_s=0.01, window=1, max_batch_size=64, max_wait_s=0.01
+        )
+        scheduler = AdaptiveMicroBatchScheduler(config)
+        # Deep undershoot: near-instant service on an idle stream.
+        scheduler.run(_requests([0.0]), lambda batch: 1e-6)
+        wait_after_relax = scheduler.config.max_wait_s
+        assert scheduler.knob_history[-1]["p95_s"] < config.target_p95_s
+        assert wait_after_relax > 0.0  # a zero wait can recover
+        assert wait_after_relax <= config.max_wait_s
+
+    def test_knobs_never_leave_bounds_over_a_long_run(self):
+        config = AdaptiveBatchConfig(
+            target_p95_s=0.005, window=2, min_batch_size=2, max_batch_size=16,
+            min_wait_s=0.0, max_wait_s=0.004,
+        )
+        scheduler = AdaptiveMicroBatchScheduler(config)
+        arrivals = [0.001 * index for index in range(60)]
+        # Alternate saturation and idleness to push the controller around.
+        scheduler.run(
+            _requests(arrivals),
+            lambda batch: 0.05 if len(batch) % 2 else 1e-6,
+        )
+        assert scheduler.knob_history  # the controller actually ran
+        for decision in scheduler.knob_history:
+            assert config.min_batch_size <= decision["max_batch_size"] <= config.max_batch_size
+            assert config.min_wait_s <= decision["max_wait_s"] <= config.max_wait_s
+
+    def test_adaptive_config_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveBatchConfig(target_p95_s=0.0)
+        with pytest.raises(ValueError):
+            AdaptiveBatchConfig(target_p95_s=0.01, window=0)
+        with pytest.raises(ValueError):
+            AdaptiveBatchConfig(target_p95_s=0.01, min_batch_size=8, max_batch_size=4)
+        with pytest.raises(ValueError):
+            AdaptiveBatchConfig(target_p95_s=0.01, min_wait_s=0.2, max_wait_s=0.1)
+        with pytest.raises(ValueError):
+            AdaptiveBatchConfig(target_p95_s=0.01, shrink=1.0)
+        with pytest.raises(ValueError):
+            AdaptiveBatchConfig(target_p95_s=0.01, grow=0.5)
+        with pytest.raises(ValueError):
+            AdaptiveBatchConfig(target_p95_s=0.01, relax_watermark=1.5)

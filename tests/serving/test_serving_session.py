@@ -8,7 +8,12 @@ from repro.serving.cache import ServingCache
 from repro.serving.scheduler import MicroBatchConfig, MicroBatchScheduler
 from repro.serving.session import ServingSession
 from repro.serving.slo import RequestRecord, summarize
-from repro.serving.traffic import PoissonTraffic, Request
+from repro.serving.traffic import (
+    MultiTenantTraffic,
+    PoissonTraffic,
+    Request,
+    TenantSpec,
+)
 
 
 @pytest.fixture(scope="module")
@@ -98,6 +103,90 @@ def test_duplicate_queries_deduplicated_within_batch(serving_setup, engine):
 def test_empty_workload_rejected(engine):
     with pytest.raises(ValueError):
         ServingSession(engine, [])
+
+
+def test_warm_cache_opens_hot_and_charges_the_ledger(serving_setup, engine):
+    dataset, _, _, _, workload = serving_setup
+    requests = PoissonTraffic(3000.0, num_users=dataset.num_users, seed=5).generate(60)
+    cold_session = ServingSession(
+        engine, workload,
+        cache=ServingCache(capacity=dataset.num_users, rows_per_entry=4),
+        label="cold",
+    )
+    cold = cold_session.run(requests)
+
+    warm_session = ServingSession(
+        engine, workload,
+        cache=ServingCache(capacity=dataset.num_users, rows_per_entry=4),
+        label="warm",
+    )
+    warm_cost = warm_session.warm(request.user for request in requests)
+    assert warm_cost.energy_pj > 0.0
+    warm = warm_session.run(requests)
+    # Every request's query was warmed: the session opens fully hot.
+    assert warm.report.cache_hit_rate > cold.report.cache_hit_rate
+    assert warm.report.cache_hit_rate == 1.0
+    # The warm-up work is real: it must appear in the session ledger.
+    assert "Warm-up" in warm.ledger.categories()
+    assert warm.ledger.by_category()["Warm-up"].energy_pj == pytest.approx(
+        warm_cost.energy_pj
+    )
+    # Warmed results are exactly what the engine would have served.
+    for record in warm.records:
+        assert record.cache_hit
+        assert record.items == tuple(
+            engine.recommend_query(workload[record.request.user % len(workload)]).items
+        )
+
+
+def test_warm_cost_charged_to_one_run_only(serving_setup, engine):
+    dataset, _, _, _, workload = serving_setup
+    requests = PoissonTraffic(3000.0, num_users=dataset.num_users, seed=7).generate(30)
+    session = ServingSession(
+        engine, workload,
+        cache=ServingCache(capacity=dataset.num_users, rows_per_entry=4),
+        label="reused",
+    )
+    session.warm([0, 1, 2])
+    first = session.run(requests)
+    second = session.run(requests)
+    # The one-time warm-up energy lands in the first run's ledger only.
+    assert "Warm-up" in first.ledger.categories()
+    assert "Warm-up" not in second.ledger.categories()
+
+
+def test_warm_requires_a_cache(engine, serving_setup):
+    _, _, _, _, workload = serving_setup
+    with pytest.raises(ValueError):
+        ServingSession(engine, workload).warm([0])
+
+
+def test_tenant_reports_split_the_session(serving_setup, engine):
+    dataset, _, _, _, workload = serving_setup
+    half = dataset.num_users // 2
+    traffic = MultiTenantTraffic(
+        [
+            TenantSpec(
+                name="a",
+                traffic=PoissonTraffic(3000.0, num_users=half, seed=6, stream=1),
+                share=0.5,
+            ),
+            TenantSpec(
+                name="b",
+                traffic=PoissonTraffic(3000.0, num_users=half, seed=6, stream=2),
+                share=0.5,
+            ),
+        ]
+    )
+    result = _run(engine, workload, traffic.generate(60))
+    reports = result.tenant_reports
+    assert set(reports) == {"a", "b"}
+    assert sum(report.num_requests for report in reports.values()) == 60
+    total_uj = sum(
+        report.energy_per_request_uj * report.num_requests
+        for report in reports.values()
+    )
+    assert total_uj == pytest.approx(result.ledger.total().energy_uj)
 
 
 def test_summarize_validation():

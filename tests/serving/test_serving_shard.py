@@ -1,10 +1,15 @@
-"""Tests for serve_batch, corpus sharding and the scatter-gather router."""
+"""Tests for serve_batch, corpus sharding, replica groups and the router."""
 
 import numpy as np
 import pytest
 
 from repro.core.pipeline import GPUReferenceEngine, IMARSEngine, ServeQuery
-from repro.serving.shard import ShardedEngine, make_sharded_engine, partition_corpus
+from repro.serving.shard import (
+    ReplicaGroup,
+    ShardedEngine,
+    make_sharded_engine,
+    partition_corpus,
+)
 
 
 def test_partition_covers_corpus_without_overlap():
@@ -165,3 +170,73 @@ class TestShardedEngine:
         _, filtering, ranking, _, _ = serving_setup
         with pytest.raises(ValueError):
             make_sharded_engine("imars", filtering, ranking, 2, mapping=None)
+
+
+class TestReplicaGroup:
+    def _engines(self, serving_setup, replicas):
+        _, filtering, ranking, mapping, _ = serving_setup
+        return make_sharded_engine(
+            "imars", filtering, ranking, 2, mapping=mapping,
+            num_candidates=12, top_k=4, seed=0, replicas_per_shard=replicas,
+        )
+
+    def test_replication_never_changes_recommendations(self, serving_setup):
+        _, _, _, _, workload = serving_setup
+        single = self._engines(serving_setup, 1)
+        tripled = self._engines(serving_setup, 3)
+        batch = workload[:6]
+        for lhs, rhs in zip(
+            single.serve_batch(batch).results, tripled.serve_batch(batch).results
+        ):
+            assert lhs.items == rhs.items
+            assert lhs.scores == rhs.scores
+
+    def test_replication_cuts_occupancy_not_energy(self, serving_setup):
+        _, _, _, _, workload = serving_setup
+        batch = workload[:6]
+        single = self._engines(serving_setup, 1).serve_batch(batch)
+        doubled = self._engines(serving_setup, 2).serve_batch(batch)
+        # The dispatch round splits across replicas: the group's occupancy
+        # (slowest member) drops, while the work (energy) is unchanged.
+        assert doubled.cost.latency_ns < single.cost.latency_ns
+        assert doubled.cost.energy_pj == pytest.approx(single.cost.energy_pj)
+
+    def test_assignment_levels_work_deterministically(self, serving_setup):
+        _, filtering, ranking, mapping, _ = serving_setup
+        replicas = [
+            IMARSEngine(
+                filtering, ranking, mapping, num_candidates=12, top_k=4, seed=0
+            )
+            for _ in range(3)
+        ]
+        group = ReplicaGroup(replicas)
+        assignment = group.assign(7)
+        positions = sorted(position for member in assignment for position in member)
+        assert positions == list(range(7))  # every query placed exactly once
+        sizes = [len(member) for member in assignment]
+        assert max(sizes) - min(sizes) <= 1  # levelled before any history
+        assert group.assign(7) == assignment  # deterministic replan
+
+    def test_busy_time_accumulates_and_balances(self, serving_setup):
+        _, _, _, _, workload = serving_setup
+        group = self._engines(serving_setup, 2).shards[0]
+        assert isinstance(group, ReplicaGroup)
+        assert group.busy_s == [0.0, 0.0]
+        group.serve_batch(workload[:4])
+        assert all(busy > 0.0 for busy in group.busy_s)
+
+    def test_empty_batch_is_a_noop(self, serving_setup):
+        group = self._engines(serving_setup, 2).shards[0]
+        result = group.serve_batch([])
+        assert result.results == []
+        assert result.cost.energy_pj == 0.0
+
+    def test_validation(self, serving_setup):
+        _, filtering, ranking, mapping, _ = serving_setup
+        with pytest.raises(ValueError):
+            ReplicaGroup([])
+        with pytest.raises(ValueError):
+            make_sharded_engine(
+                "imars", filtering, ranking, 2, mapping=mapping,
+                replicas_per_shard=0,
+            )

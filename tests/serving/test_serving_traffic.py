@@ -7,8 +7,10 @@ from repro.data.movielens import MovieLensDataset
 from repro.serving.traffic import (
     BurstyTraffic,
     DiurnalTraffic,
+    MultiTenantTraffic,
     PoissonTraffic,
     Request,
+    TenantSpec,
     TraceReplayTraffic,
     zipf_user_weights,
 )
@@ -103,3 +105,98 @@ def test_invalid_parameters_rejected():
         Request(request_id=0, arrival_s=-1.0, user=0)
     with pytest.raises(ValueError):
         PoissonTraffic(100.0, num_users=10).generate(0)
+
+
+class TestMultiTenantTraffic:
+    def _mixer(self):
+        return MultiTenantTraffic(
+            [
+                TenantSpec(
+                    name="alpha",
+                    traffic=PoissonTraffic(1000.0, num_users=20, seed=3, stream=1),
+                    share=0.75,
+                    p95_slo_ms=1.0,
+                ),
+                TenantSpec(
+                    name="beta",
+                    traffic=BurstyTraffic(
+                        500.0, 5000.0, num_users=30, seed=3, stream=2
+                    ),
+                    share=0.25,
+                    p95_slo_ms=5.0,
+                ),
+            ]
+        )
+
+    def test_interleaves_sorted_with_sequential_ids(self):
+        mixed = self._mixer().generate(100)
+        assert [request.request_id for request in mixed] == list(range(100))
+        arrivals = [request.arrival_s for request in mixed]
+        assert arrivals == sorted(arrivals)
+        assert {request.tenant for request in mixed} == {"alpha", "beta"}
+
+    def test_user_id_ranges_are_disjoint(self):
+        mixer = self._mixer()
+        assert mixer.num_users == 50
+        assert mixer.user_offset("alpha") == 0
+        assert mixer.user_offset("beta") == 20
+        for request in mixer.generate(100):
+            if request.tenant == "alpha":
+                assert 0 <= request.user < 20
+            else:
+                assert 20 <= request.user < 50
+
+    def test_share_split_uses_largest_remainder(self):
+        mixed = self._mixer().generate(100)
+        by_tenant = {
+            tenant: sum(1 for request in mixed if request.tenant == tenant)
+            for tenant in ("alpha", "beta")
+        }
+        assert by_tenant == {"alpha": 75, "beta": 25}
+
+    def test_every_tenant_gets_at_least_one_request(self):
+        mixer = MultiTenantTraffic(
+            [
+                TenantSpec(
+                    name="whale",
+                    traffic=PoissonTraffic(1000.0, num_users=5, seed=0, stream=1),
+                    share=0.99,
+                ),
+                TenantSpec(
+                    name="minnow",
+                    traffic=PoissonTraffic(1000.0, num_users=5, seed=0, stream=2),
+                    share=0.01,
+                ),
+            ]
+        )
+        mixed = mixer.generate(10)
+        assert any(request.tenant == "minnow" for request in mixed)
+
+    def test_deterministic(self):
+        assert self._mixer().generate(60) == self._mixer().generate(60)
+
+    def test_slo_lookup(self):
+        mixer = self._mixer()
+        assert mixer.slo_for("alpha") == 1.0
+        assert mixer.slo_for("beta") == 5.0
+        with pytest.raises(KeyError):
+            mixer.slo_for("gamma")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MultiTenantTraffic([])
+        spec = TenantSpec(
+            name="dup", traffic=PoissonTraffic(1.0, num_users=2, seed=0)
+        )
+        with pytest.raises(ValueError):
+            MultiTenantTraffic([spec, spec])
+        with pytest.raises(ValueError):
+            self._mixer().generate(1)  # fewer requests than tenants
+        with pytest.raises(ValueError):
+            TenantSpec(name="", traffic=None)
+        with pytest.raises(ValueError):
+            TenantSpec(name="t", traffic=None, share=0.0)
+        with pytest.raises(ValueError):
+            TenantSpec(name="t", traffic=None, p95_slo_ms=0.0)
+        with pytest.raises(ValueError):
+            Request(request_id=0, arrival_s=0.0, user=0, tenant="")
