@@ -1,0 +1,37 @@
+"""Bench E-HETERO -- heterogeneous fleet (spillover, live scaling, admission)."""
+
+from repro.experiments import run_hetero_study
+
+
+def test_hetero_study(benchmark, save_report):
+    report = benchmark.pedantic(run_hetero_study, rounds=1, iterations=1)
+    save_report("hetero_study", report.format())
+    # Every heterogeneity invariant (bit-identical spillover, ordered
+    # energy frontier, tail relief, recorded scale events with charged
+    # migration, shed/degrade under overload) must hold exactly.
+    assert report.all_within(0.0), report.format()
+
+    frontier = report.extras["frontier"]
+    assert set(frontier) == {"imc-only", "gpu-only", "spillover"}
+    energy = {name: rep.energy_per_request_uj for name, rep in frontier.items()}
+    assert energy["imc-only"] < energy["spillover"] < energy["gpu-only"]
+    # Spillover stays within an order of magnitude of the IMC floor while
+    # the GPU-only fleet pays two orders of magnitude over it.
+    assert energy["spillover"] < 0.5 * energy["gpu-only"]
+    assert frontier["spillover"].p95_ms < frontier["imc-only"].p95_ms
+
+    spill = report.extras["spill_stats"]
+    assert spill["spilled"] > 0
+    assert 0.0 < spill["spill_rate"] < 0.5  # overflow, not a 50/50 split
+
+    events = report.extras["scale_events"]
+    assert events, "the online scaler never rescaled"
+    for event in events:
+        assert event.moved_rows > 0
+        assert event.cost.energy_pj > 0.0
+    assert report.extras["scaled_report"].p95_ms < report.extras["frozen_report"].p95_ms
+
+    guarded = report.extras["guarded_report"]
+    assert guarded.shed_count > 0 and guarded.degraded_count > 0
+    assert guarded.shed_count + guarded.degraded_count < guarded.num_requests
+    assert report.extras["admission_stats"]["shed"] == guarded.shed_count

@@ -1,0 +1,154 @@
+"""Heterogeneous serving demo: one iMARS fabric, one GPU, one contract.
+
+Builds a MovieLens-shaped corpus, overloads a single iMARS engine with
+Poisson traffic, then serves the same stream three ways -- IMC-only,
+GPU-only, and an IMC+GPU spillover fleet whose router keeps queries on
+the cheap fabric until its queued work threatens the p95 target.  The
+GPU replica serves the *deployed* model (same int8 tables, same LSH
+index), so routing never changes a recommendation -- the demo checks
+that record-for-record.  Finally it rescales the spillover deployment
+mid-run through an online scaler, printing the migration bill, and
+turns on admission control to shed the hopeless tail.
+
+Run:  python examples/hetero_serving.py
+"""
+
+from repro.core import ServeQuery, WorkloadMapping
+from repro.data.movielens import MovieLensDataset, movielens_table_specs
+from repro.models.youtube_dnn import (
+    YouTubeDNNConfig,
+    YouTubeDNNFiltering,
+    YouTubeDNNRanking,
+)
+from repro.serving import (
+    AdmissionConfig,
+    AdmissionController,
+    MicroBatchConfig,
+    MicroBatchScheduler,
+    OnlineScaler,
+    OnlineScalerConfig,
+    PoissonTraffic,
+    ServingCache,
+    ServingSession,
+    make_sharded_engine,
+)
+
+SCALE = 0.03
+NUM_CANDIDATES = 24
+TOP_K = 5
+NUM_REQUESTS = 300
+
+print(f"Generating a MovieLens-shaped corpus (scale={SCALE}) ...")
+dataset = MovieLensDataset(scale=SCALE, seed=0)
+config = YouTubeDNNConfig(
+    num_items=dataset.num_items,
+    demographic_cardinalities=(dataset.num_users, 3, 7, 21, 450),
+    seed=0,
+)
+filtering, ranking = YouTubeDNNFiltering(config), YouTubeDNNRanking(config)
+mapping = WorkloadMapping(movielens_table_specs())
+workload = [
+    ServeQuery.make(
+        dataset.histories[user],
+        dataset.demographics[user],
+        dataset.ranking_context[user],
+    )
+    for user in range(dataset.num_users)
+]
+
+print("Calibrating the operating point against one iMARS engine ...")
+probe = make_sharded_engine(
+    "imars", filtering, ranking, 1, mapping=mapping,
+    num_candidates=NUM_CANDIDATES, top_k=TOP_K, seed=0,
+)
+batch_one_s = probe.recommend_query(workload[0]).cost.latency_s
+capacity_qps = 16 / probe.serve_batch(workload[:16]).cost.latency_s
+rate_qps = 5.0 * capacity_qps  # deliberately overloads the lone fabric
+slo_s = 6.0 * batch_one_s
+requests = PoissonTraffic(
+    rate_qps, num_users=dataset.num_users, seed=0, stream=1
+).generate(NUM_REQUESTS)
+print(f"  offered {rate_qps:,.0f} q/s (5x one fabric); p95 contract {slo_s * 1e3:.3f} ms")
+
+scheduler_config = MicroBatchConfig(max_batch_size=64, max_wait_s=0.25 * slo_s)
+
+
+def build(name):
+    if name == "spillover":
+        return make_sharded_engine(
+            "imars", filtering, ranking, 1, mapping=mapping,
+            num_candidates=NUM_CANDIDATES, top_k=TOP_K, seed=0,
+            spillover_replicas_per_shard=1, spillover_slo_s=slo_s,
+        )
+    kind = "imars" if name == "imc-only" else "gpu"
+    return make_sharded_engine(
+        kind, filtering, ranking, 1,
+        mapping=mapping if kind == "imars" else None,
+        num_candidates=NUM_CANDIDATES, top_k=TOP_K, seed=0,
+    )
+
+
+def serve(name, engine):
+    session = ServingSession(
+        engine, workload,
+        scheduler=MicroBatchScheduler(scheduler_config),
+        cache=ServingCache(capacity=max(4, dataset.num_users // 4), rows_per_entry=TOP_K),
+        label=name,
+    )
+    return session.run(requests)
+
+
+print("\n-- fleet frontier (same traffic, three fleets) --")
+results = {name: serve(name, build(name)) for name in ("imc-only", "gpu-only", "spillover")}
+for name, result in results.items():
+    print(result.report.format_row())
+identical = all(
+    a.items == b.items
+    for a, b in zip(results["imc-only"].records, results["spillover"].records)
+)
+print(f"spillover recommendations identical to IMC-only: {identical}")
+print(f"spillover routed to GPU: {results['spillover'].spill_stats}")
+
+print("\n-- online scale-out (migration charged, no restart) --")
+
+
+def factory(shards, replicas):
+    return make_sharded_engine(
+        "imars", filtering, ranking, shards, mapping=mapping,
+        num_candidates=NUM_CANDIDATES, top_k=TOP_K, seed=0,
+        replicas_per_shard=replicas,
+    )
+
+
+scaled_session = ServingSession(
+    factory(1, 1), workload,
+    scheduler=MicroBatchScheduler(MicroBatchConfig(max_batch_size=16, max_wait_s=0.25 * slo_s)),
+    cache=ServingCache(capacity=max(4, dataset.num_users // 4), rows_per_entry=TOP_K),
+    label="online-scaled",
+    engine_factory=factory,
+    deployment=(1, 1),
+    scaler=OnlineScaler(OnlineScalerConfig(p95_target_s=slo_s, window=16, cooldown=16)),
+)
+scaled = scaled_session.run(requests)
+print(scaled.report.format_row())
+for event in scaled.scale_events:
+    print(
+        f"  scale event @{event.time_s * 1e3:8.3f}ms "
+        f"{event.old_deployment} -> {event.new_deployment}: "
+        f"{event.moved_rows} rows migrated, "
+        f"{event.invalidated_entries} cache entries invalidated, "
+        f"{event.cost.energy_uj:.4f} uJ"
+    )
+
+print("\n-- admission control at the ceiling --")
+controller = AdmissionController(
+    AdmissionConfig(slo_ms=slo_s * 1e3, degraded_top_k=2)
+)
+guarded = ServingSession(
+    factory(2, 2), workload,
+    scheduler=MicroBatchScheduler(MicroBatchConfig(max_batch_size=16, max_wait_s=0.25 * slo_s)),
+    label="guarded",
+    admission=controller,
+).run(requests)
+print(guarded.report.format_row())
+print(f"  admission: {guarded.admission_stats}")

@@ -12,7 +12,7 @@ Run:  python examples/quickstart.py
 import numpy as np
 
 from repro.core import EmbeddingTableSpec, IMARSCostModel, IMARSFabric, WorkloadMapping
-from repro.core.mapping import FILTERING, RANKING
+from repro.core.mapping import FILTERING
 
 # ---------------------------------------------------------------------------
 # 1. Define a small workload and map it onto the fabric.

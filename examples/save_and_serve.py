@@ -10,7 +10,6 @@ Run:  python examples/save_and_serve.py
 import pathlib
 import tempfile
 
-import numpy as np
 
 from repro.core import IMARSEngine, WorkloadMapping
 from repro.data.movielens import MovieLensDataset, movielens_table_specs

@@ -18,6 +18,7 @@ from typing import Dict
 from repro.experiments import (
     run_accuracy_study,
     run_autoscale_study,
+    run_hetero_study,
     run_design_space,
     run_end_to_end,
     run_fig2,
@@ -65,6 +66,11 @@ EXPERIMENTS: Dict[str, tuple] = {
         "Extension - closed-loop autoscaler (shards x replicas vs p95 SLO)",
         run_autoscale_study,
     ),
+    "E-HETERO": (
+        "Extension - heterogeneous fleet (IMC+GPU spillover, live scaling, "
+        "admission control)",
+        run_hetero_study,
+    ),
 }
 
 
@@ -92,7 +98,8 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser = subparsers.add_parser("run", help="run one experiment (or 'all')")
     run_parser.add_argument(
         "experiment",
-        help="experiment id (E1..E8, A1..A9, E-serve, E-autoscale) or 'all'",
+        help="experiment id (E1..E8, A1..A9, E-serve, E-autoscale, "
+        "E-hetero) or 'all'",
     )
     run_parser.add_argument(
         "--save",

@@ -9,6 +9,15 @@ charging their respective hardware cost models:
 * :class:`IMARSEngine` -- the accelerated pipeline: int8-quantised tables,
   LSH signatures + fixed-radius Hamming NNS, CTR-buffer top-k; costs from
   the analytic iMARS model.
+* :class:`GPUSpilloverEngine` -- the heterogeneous-fleet overflow backend:
+  it serves the *iMARS functional pipeline* (same int8 tables, same LSH
+  index, same fixed radius, same seed -- recommendations are bit-identical
+  to the IMC replicas it stands beside) while charging the calibrated GPU
+  kernel models (ET lookups, DNN GEMMs, an XOR+popcount Hamming scan, a
+  top-k kernel).  This models a CUDA port of the *deployed* model rather
+  than the FP32 exact-cosine baseline, which is what a production fleet
+  spills to: routing a query to the GPU must never change what the user
+  sees, only what the ledger pays.
 
 Both wrap the same trained YouTubeDNN models, so accuracy differences come
 only from the IMC-friendly substitutions (quantisation, distance function,
@@ -55,6 +64,7 @@ from repro.gpu.kernels import (
     gpu_dnn_stack,
     gpu_et_operation,
     gpu_nns_cosine,
+    gpu_nns_lsh,
     gpu_topk,
 )
 from repro.lsh.hyperplane import RandomHyperplaneLSH
@@ -69,8 +79,20 @@ __all__ = [
     "QueryResult",
     "BatchResult",
     "GPUReferenceEngine",
+    "GPUSpilloverEngine",
     "IMARSEngine",
 ]
+
+
+def _gpu_table_counts(config) -> Tuple[int, int]:
+    """(filtering, ranking) embedding-table counts of the paper's layout."""
+    filtering_tables = 1 + len(config.demographic_cardinalities)
+    ranking_tables = (
+        2
+        + len(config.demographic_cardinalities)
+        + len(config.ranking_extra_cardinalities)
+    ) - 1  # user+demographics+extras+item = 7 tables for the paper layout
+    return filtering_tables, ranking_tables
 
 
 @dataclass(frozen=True)
@@ -155,6 +177,7 @@ class _EngineBase:
         )
         self.ranking_input_dim = config.embedding_dim * (2 + ranking_features)
         self._ewma_query_latency_s: Optional[float] = None
+        self._ewma_query_energy_pj: Optional[float] = None
 
     def _resolve_subset(
         self, num_items: int, item_subset: Optional[Sequence[int]]
@@ -198,6 +221,14 @@ class _EngineBase:
         assigning queries to the least-loaded replica."""
         return self._ewma_query_latency_s
 
+    @property
+    def expected_query_energy_pj(self) -> Optional[float]:
+        """EWMA of observed per-query energy (None before any serve).
+        Spillover routers use this to rank a heterogeneous replica group
+        cheapest-first, so overflow lands on the hungry backend only when
+        the frugal one is saturated."""
+        return self._ewma_query_energy_pj
+
     def serve_batch(self, queries: Sequence[ServeQuery]) -> BatchResult:
         """Serve a micro-batch through the engine.
 
@@ -218,6 +249,13 @@ class _EngineBase:
         else:
             self._ewma_query_latency_s += 0.3 * (
                 observed - self._ewma_query_latency_s
+            )
+        observed_energy = cost.energy_pj / len(results)
+        if self._ewma_query_energy_pj is None:
+            self._ewma_query_energy_pj = observed_energy
+        else:
+            self._ewma_query_energy_pj += 0.3 * (
+                observed_energy - self._ewma_query_energy_pj
             )
         return BatchResult(results=results, cost=cost)
 
@@ -249,7 +287,61 @@ class _EngineBase:
         return self.ranking_model.predict_ctr(users, item_vectors, ctx)
 
 
-class GPUReferenceEngine(_EngineBase):
+class _GPUBatchCostMixin:
+    """GPU batch-amortisation model shared by every GPU-costed engine.
+
+    Requires ``self.device``, ``self.filtering_model`` and the usual
+    :class:`_EngineBase` attributes.  The batching model mirrors A4: the
+    fixed per-query dispatch work (ET-stage overheads, per-layer kernel
+    launches, the NNS base cost, the top-k launch) is paid once per
+    *batch* instead of once per query, while the marginal (bytes/FLOPs)
+    terms keep scaling with the queries served.
+    """
+
+    device: GPUDeviceModel
+
+    def _nns_overhead_terms(self) -> Tuple[float, float]:
+        """(base latency us, power W) of the engine's NNS kernel."""
+        return self.device.nns_cosine_base_us, self.device.power_nns_cosine_w
+
+    def _query_overhead(self, candidate_count: int) -> Cost:
+        """Per-query fixed dispatch work amortised away in batched serving."""
+        config = self.filtering_model.config
+        filtering_layers = len(config.filtering_spec.split("-"))
+        ranking_layers = len(config.ranking_spec.split("-"))
+        et_us = self.device.et_base_us * (1 + candidate_count)
+        launch_us = self.device.kernel_launch_us * (
+            filtering_layers + candidate_count * ranking_layers + 1
+        )
+        nns_us, nns_power_w = self._nns_overhead_terms()
+        energy_pj = (
+            et_us * self.device.power_et_w
+            + launch_us * self.device.power_dnn_w
+            + nns_us * nns_power_w
+        ) * 1e6  # W x us = uJ; 1 uJ = 1e6 pJ
+        return Cost(energy_pj=energy_pj, latency_ns=(et_us + launch_us + nns_us) * 1e3)
+
+    def _batch_cost(self, results: Sequence[QueryResult]) -> Cost:
+        """Batched GPU serving: fixed overheads paid once, marginals summed."""
+        total = Cost.sequence(result.cost for result in results)
+        if len(results) <= 1:
+            return total
+        saved = Cost.sequence(
+            self._query_overhead(result.candidate_count) for result in results[1:]
+        )
+        return Cost(
+            energy_pj=max(total.energy_pj - saved.energy_pj, 0.0),
+            latency_ns=max(total.latency_ns - saved.latency_ns, 0.0),
+        )
+
+    def merge_cost(self, num_entries: int) -> Cost:
+        """Host-side top-k reduction over the gathered shard entries."""
+        if num_entries < 1:
+            return Cost()
+        return gpu_topk(num_entries, device=self.device)
+
+
+class GPUReferenceEngine(_GPUBatchCostMixin, _EngineBase):
     """FP32 + exact-cosine baseline with the calibrated GPU cost model."""
 
     def __init__(
@@ -267,12 +359,7 @@ class GPUReferenceEngine(_EngineBase):
         self._global_ids = self._resolve_subset(full_table.shape[0], item_subset)
         self.item_table = full_table[self._global_ids]
         config = filtering_model.config
-        self._filtering_tables = 1 + len(config.demographic_cardinalities)
-        self._ranking_tables = (
-            2
-            + len(config.demographic_cardinalities)
-            + len(config.ranking_extra_cardinalities)
-        ) - 1  # user+demographics+extras+item = 7 tables for the paper layout
+        self._filtering_tables, self._ranking_tables = _gpu_table_counts(config)
 
     def recommend(
         self,
@@ -316,48 +403,6 @@ class GPUReferenceEngine(_EngineBase):
             scores=[float(ctrs[index]) for index in order],
         )
 
-    def _query_overhead(self, candidate_count: int) -> Cost:
-        """Per-query fixed dispatch work amortised away in batched serving.
-
-        Mirrors the A4 batching model: ET-stage overheads, per-layer kernel
-        launches, the NNS base cost and the top-k launch are paid once per
-        *batch* position instead of once per query, while the marginal
-        (bytes/FLOPs) terms keep scaling with the queries served.
-        """
-        config = self.filtering_model.config
-        filtering_layers = len(config.filtering_spec.split("-"))
-        ranking_layers = len(config.ranking_spec.split("-"))
-        et_us = self.device.et_base_us * (1 + candidate_count)
-        launch_us = self.device.kernel_launch_us * (
-            filtering_layers + candidate_count * ranking_layers + 1
-        )
-        nns_us = self.device.nns_cosine_base_us
-        energy_pj = (
-            et_us * self.device.power_et_w
-            + launch_us * self.device.power_dnn_w
-            + nns_us * self.device.power_nns_cosine_w
-        ) * 1e6  # W x us = uJ; 1 uJ = 1e6 pJ
-        return Cost(energy_pj=energy_pj, latency_ns=(et_us + launch_us + nns_us) * 1e3)
-
-    def _batch_cost(self, results: Sequence[QueryResult]) -> Cost:
-        """Batched GPU serving: fixed overheads paid once, marginals summed."""
-        total = Cost.sequence(result.cost for result in results)
-        if len(results) <= 1:
-            return total
-        saved = Cost.sequence(
-            self._query_overhead(result.candidate_count) for result in results[1:]
-        )
-        return Cost(
-            energy_pj=max(total.energy_pj - saved.energy_pj, 0.0),
-            latency_ns=max(total.latency_ns - saved.latency_ns, 0.0),
-        )
-
-    def merge_cost(self, num_entries: int) -> Cost:
-        """Host-side top-k reduction over the gathered shard entries."""
-        if num_entries < 1:
-            return Cost()
-        return gpu_topk(num_entries, device=self.device)
-
 
 class IMARSEngine(_EngineBase):
     """The iMARS pipeline: int8 + LSH fixed-radius NNS + CTR-buffer top-k."""
@@ -393,6 +438,7 @@ class IMARSEngine(_EngineBase):
                 rng=np.random.default_rng(seed + 11),
             )
         bits = signature_bits or self.cost_model.config.lsh_signature_bits
+        self.signature_bits = bits
 
         # Quantise the item table to int8 (the ItET contents) and hash it.
         # With an ``item_subset`` the shard only stores (and searches) its
@@ -435,23 +481,42 @@ class IMARSEngine(_EngineBase):
         logits, _ = self._analog_bank.forward(features)
         return 1.0 / (1.0 + np.exp(-np.clip(logits.reshape(-1), -60.0, 60.0)))
 
-    def recommend(
-        self,
-        history: Sequence[int],
-        demographics: Sequence[int],
-        context: Sequence[int],
-    ) -> QueryResult:
-        ledger = Ledger(name="imars-query")
-        config = self.filtering_model.config
+    # -- cost hooks (overridden by :class:`GPUSpilloverEngine`) ---------
+    def _ledger_name(self) -> str:
+        return "imars-query"
 
-        # Filtering (1a)-(1d*): cost charged analytically, functional result
-        # from the quantised tables + LSH index.
+    def _charge_filtering(self, ledger: Ledger) -> None:
+        """Filtering (1a)-(1d*): charged analytically against the fabric."""
+        config = self.filtering_model.config
         self.cost_model.filtering_query(
             self.filtering_input_dim,
             config.filtering_spec,
             self.num_candidates,
             ledger=ledger,
         )
+
+    def _charge_ranking(self, ledger: Ledger, candidate_count: int) -> None:
+        """Ranking (2a)-(2d): per-candidate ET + DNN + CTR store."""
+        per_candidate = self.cost_model.ranking_candidate(
+            self.ranking_input_dim, self.filtering_model.config.ranking_spec
+        )
+        ledger.charge("Ranking", per_candidate.repeated(candidate_count))
+
+    def _charge_topk(self, ledger: Ledger, candidate_count: int) -> None:
+        """Top-k (2e) through the CTR buffer's threshold sweep."""
+        self.cost_model.topk_operation(candidate_count, self.top_k, ledger=ledger)
+
+    def recommend(
+        self,
+        history: Sequence[int],
+        demographics: Sequence[int],
+        context: Sequence[int],
+    ) -> QueryResult:
+        ledger = Ledger(name=self._ledger_name())
+
+        # Functional result from the quantised tables + LSH index; the
+        # platform's cost hooks charge the matching hardware bill.
+        self._charge_filtering(ledger)
         user = self._user_embedding(history, demographics)
         distances = self.index.distances(user)
         candidates = fixed_radius_candidates(distances, self.radius)
@@ -460,15 +525,10 @@ class IMARSEngine(_EngineBase):
             candidates = np.array([int(np.argmin(distances))])
         candidates = cap_candidates(candidates, distances, self.num_candidates)
 
-        # Ranking (2a)-(2d): per-candidate ET + DNN + CTR store.
-        per_candidate = self.cost_model.ranking_candidate(
-            self.ranking_input_dim, config.ranking_spec
-        )
-        ledger.charge("Ranking", per_candidate.repeated(len(candidates)))
+        self._charge_ranking(ledger, len(candidates))
         ctrs = self._score_candidates(user, self.item_table[candidates], context)
 
-        # Top-k (2e) through the CTR buffer's threshold sweep.
-        self.cost_model.topk_operation(len(candidates), self.top_k, ledger=ledger)
+        self._charge_topk(ledger, len(candidates))
         order = np.argsort(-ctrs, kind="stable")[: self.top_k]
         winners = [int(self._global_ids[candidates[index]]) for index in order]
         return QueryResult(
@@ -505,3 +565,87 @@ class IMARSEngine(_EngineBase):
         if num_entries < 1:
             return Cost()
         return self.cost_model.topk_operation(num_entries, min(self.top_k, num_entries))
+
+
+class GPUSpilloverEngine(_GPUBatchCostMixin, IMARSEngine):
+    """A GPU replica of the *deployed* iMARS model for spillover routing.
+
+    Functionally this IS an :class:`IMARSEngine`: built with the same
+    models, mapping, seed and ``item_subset`` it holds the same int8
+    tables, the same LSH index and the same calibrated radius, so its
+    recommendations (items *and* scores) are bit-identical -- the
+    heterogeneous-fleet invariant that routing a query to the overflow
+    backend never changes what the user sees.
+
+    Only the bill differs: the cost hooks charge the calibrated GPU
+    kernel models instead of the fabric's analytic ones -- ET lookups and
+    DNN GEMMs per stage, an XOR+popcount Hamming scan over the signature
+    table (:func:`~repro.gpu.kernels.gpu_nns_lsh`), a top-k kernel -- and
+    batches amortise kernel-launch/dispatch overheads the GPU way rather
+    than pipelining through fabric stages.  ``analog_dnn`` is rejected:
+    a CUDA port has no analog crossbars to be non-ideal.
+    """
+
+    def __init__(
+        self,
+        filtering_model: YouTubeDNNFiltering,
+        ranking_model: YouTubeDNNRanking,
+        mapping: WorkloadMapping,
+        num_candidates: int = 72,
+        top_k: int = 10,
+        signature_bits: Optional[int] = None,
+        cost_model: Optional[IMARSCostModel] = None,
+        seed: int = 0,
+        item_subset: Optional[Sequence[int]] = None,
+        device: GPUDeviceModel = GTX1080,
+    ):
+        super().__init__(
+            filtering_model,
+            ranking_model,
+            mapping,
+            num_candidates=num_candidates,
+            top_k=top_k,
+            signature_bits=signature_bits,
+            cost_model=cost_model,
+            analog_dnn=False,
+            seed=seed,
+            item_subset=item_subset,
+        )
+        self.device = device
+        self._filtering_tables, self._ranking_tables = _gpu_table_counts(
+            filtering_model.config
+        )
+
+    def _nns_overhead_terms(self) -> Tuple[float, float]:
+        return self.device.nns_lsh_base_us, self.device.power_nns_lsh_w
+
+    def _ledger_name(self) -> str:
+        return "gpu-spillover-query"
+
+    def _charge_filtering(self, ledger: Ledger) -> None:
+        config = self.filtering_model.config
+        ledger.charge(
+            "ET Lookup", gpu_et_operation(self._filtering_tables, device=self.device)
+        )
+        ledger.charge(
+            "DNN Stack",
+            gpu_dnn_stack(
+                self.filtering_input_dim, config.filtering_spec, device=self.device
+            ),
+        )
+        ledger.charge(
+            "NNS",
+            gpu_nns_lsh(self.corpus_size, self.signature_bits, device=self.device),
+        )
+
+    def _charge_ranking(self, ledger: Ledger, candidate_count: int) -> None:
+        config = self.filtering_model.config
+        per_candidate = gpu_et_operation(
+            self._ranking_tables, device=self.device
+        ).then(
+            gpu_dnn_stack(self.ranking_input_dim, config.ranking_spec, device=self.device)
+        )
+        ledger.charge("Ranking", per_candidate.repeated(candidate_count))
+
+    def _charge_topk(self, ledger: Ledger, candidate_count: int) -> None:
+        ledger.charge("TopK", gpu_topk(candidate_count, device=self.device))

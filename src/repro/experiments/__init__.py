@@ -22,6 +22,8 @@ A8            Trace-driven ET access locality
 A9            ET-operation scaling study
 E-SERVE       Online serving study (traffic, sharding, caching)
 E-AUTOSCALE   Closed-loop autoscaler (shards x replicas vs p95 SLO)
+E-HETERO      Heterogeneous fleet (IMC+GPU spillover, live scaling,
+              admission control)
 ============  =======================================================
 """
 
@@ -56,9 +58,11 @@ from repro.experiments.trace_locality import run_trace_locality
 from repro.experiments.scaling_study import run_scaling_study
 from repro.experiments.serving_study import run_serving_study
 from repro.experiments.autoscale_study import run_autoscale_study
+from repro.experiments.hetero_study import run_hetero_study
 
 __all__ = [
     "run_autoscale_study",
+    "run_hetero_study",
     "run_serving_study",
     "run_scaling_study",
     "run_variation_study",

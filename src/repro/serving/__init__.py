@@ -4,43 +4,66 @@ The paper evaluates iMARS with an offline, batch-1, whole-dataset
 protocol; this package turns the same calibrated cost models into a
 *traffic simulator* that answers the production questions the paper
 cannot: tail latency under bursty load, shard/replica scaling, cache
-admission, multi-tenant contention, and right-sizing.
+admission, multi-tenant contention, right-sizing, heterogeneous
+IMC+GPU fleets, live scale events and overload shedding.
 
 Pipeline of one simulation (:class:`~repro.serving.session.ServingSession`):
 
 1. a seeded :mod:`~repro.serving.traffic` generator emits timestamped
    requests (Poisson, MMPP bursty, diurnal, or trace replay) -- or a
    :class:`~repro.serving.traffic.MultiTenantTraffic` mixer interleaves
-   several tenants' streams (e.g. a MovieLens trace-replay tenant next
-   to a bursty Criteo-class tenant), each with its own p95 SLO;
-2. the :mod:`~repro.serving.scheduler` micro-batches them under a
-   max-batch-size / max-wait admission policy; the
+   several tenants' streams, each with its own p95 SLO;
+2. an optional :mod:`~repro.serving.admission` controller rules on every
+   request at dispatch: requests whose projected completion fits the
+   tenant's budget are served in full, ones that eat past the degrade
+   watermark are answered with a reduced top-k, and ones that would
+   overrun the budget are shed at the front door -- with shed/degrade
+   volumes reported first-class in the SLO report;
+3. the :mod:`~repro.serving.scheduler` micro-batches admitted requests
+   under a max-batch-size / max-wait admission policy; the
    :class:`~repro.serving.scheduler.AdaptiveMicroBatchScheduler` variant
    retunes both knobs online from the observed p95-vs-SLO gap;
-3. each batch is checked against the :mod:`~repro.serving.cache` (an LRU
+4. each batch is checked against the :mod:`~repro.serving.cache` (an LRU
    result cache whose CMA lookups are charged to the energy ledger,
-   optionally guarded by a TinyLFU doorkeeper + count-min-sketch
-   admission filter, and warmable before traffic opens) and the misses
-   are served by a (possibly :mod:`~repro.serving.shard`-ed) engine
-   through the uniform ``serve_batch`` interface of
-   :mod:`repro.core.pipeline`; each shard can be a
-   :class:`~repro.serving.shard.ReplicaGroup` of R identical engines
-   load-balanced by least outstanding work -- partitioning cuts service
-   latency, replication cuts queueing;
-4. :mod:`~repro.serving.slo` folds the per-request records into
-   p50/p95/p99 latency, sustained QPS and energy-per-request, globally
-   and per tenant;
-5. the :mod:`~repro.serving.autoscaler` closes the loop: it grows
-   (shards, replicas) along whichever axis measures better until every
-   tenant's p95 contract holds, then reports the cheapest feasible
-   deployment by energy per request.
+   optionally guarded by TinyLFU admission, warmable, and invalidated
+   range-wise when re-sharding moves item rows) and the misses are
+   served by a (possibly :mod:`~repro.serving.shard`-ed) engine through
+   the uniform ``serve_batch`` interface of :mod:`repro.core.pipeline`;
+   each shard can be a :class:`~repro.serving.shard.ReplicaGroup` --
+   homogeneous (R seed-identical engines, least-outstanding-work
+   routing) or *heterogeneous*: IMC primaries plus
+   :class:`~repro.core.pipeline.GPUSpilloverEngine` replicas serving
+   bit-identical recommendations, with a cost-aware spillover router
+   that fills the cheapest engine until its outstanding work threatens
+   the p95 target and overflows the rest to the fast-but-hungry backend;
+5. :mod:`~repro.serving.slo` folds the per-request records into
+   p50/p95/p99 latency, sustained QPS, energy-per-request and
+   shed/degrade counts, globally and per tenant;
+6. the :mod:`~repro.serving.autoscaler` closes the loop two ways: the
+   replaying :class:`~repro.serving.autoscaler.Autoscaler` searches
+   (shards, replicas) against recorded traffic for capacity planning,
+   while the live :class:`~repro.serving.autoscaler.OnlineScaler` (or a
+   :class:`~repro.serving.autoscaler.ScheduledScalePlan`) rescales the
+   running session itself -- every online event paying a state-migration
+   bill (re-partitioned item rows, replica-slice copies, cache
+   invalidation) to the energy ledger instead of restarting the world.
 """
 
+from repro.serving.admission import (
+    ACCEPT,
+    DEGRADE,
+    SHED,
+    AdmissionConfig,
+    AdmissionController,
+)
 from repro.serving.autoscaler import (
     AutoscaleResult,
     Autoscaler,
     AutoscalerConfig,
+    OnlineScaler,
+    OnlineScalerConfig,
     ScaleStep,
+    ScheduledScalePlan,
 )
 from repro.serving.cache import CountMinSketch, ServingCache, TinyLFUAdmission
 from repro.serving.scheduler import (
@@ -50,12 +73,15 @@ from repro.serving.scheduler import (
     MicroBatchConfig,
     MicroBatchScheduler,
 )
-from repro.serving.session import ServingResult, ServingSession
+from repro.serving.session import ScaleEvent, ServingResult, ServingSession
 from repro.serving.shard import (
     ReplicaGroup,
     ShardedEngine,
     make_sharded_engine,
+    migration_cost,
+    migration_plan,
     partition_corpus,
+    plan_scale_migration,
 )
 from repro.serving.slo import RequestRecord, SLOReport, summarize, summarize_tenants
 from repro.serving.traffic import (
@@ -70,8 +96,13 @@ from repro.serving.traffic import (
 )
 
 __all__ = [
+    "ACCEPT",
+    "DEGRADE",
+    "SHED",
     "AdaptiveBatchConfig",
     "AdaptiveMicroBatchScheduler",
+    "AdmissionConfig",
+    "AdmissionController",
     "AutoscaleResult",
     "Autoscaler",
     "AutoscalerConfig",
@@ -82,12 +113,16 @@ __all__ = [
     "MicroBatchConfig",
     "MicroBatchScheduler",
     "MultiTenantTraffic",
+    "OnlineScaler",
+    "OnlineScalerConfig",
     "PoissonTraffic",
     "ReplicaGroup",
     "Request",
     "RequestRecord",
     "SLOReport",
+    "ScaleEvent",
     "ScaleStep",
+    "ScheduledScalePlan",
     "ServingCache",
     "ServingResult",
     "ServingSession",
@@ -96,7 +131,10 @@ __all__ = [
     "TinyLFUAdmission",
     "TraceReplayTraffic",
     "make_sharded_engine",
+    "migration_cost",
+    "migration_plan",
     "partition_corpus",
+    "plan_scale_migration",
     "summarize",
     "summarize_tenants",
     "zipf_user_weights",

@@ -24,17 +24,45 @@ not merely "a big enough one".
 Evaluations are memoized by config, and everything downstream of the
 seeded traffic is deterministic, so a fixed-seed autoscaler run (its
 step sequence and its chosen config) is exactly reproducible.
+
+Online controllers
+------------------
+The closed loop above *replays* the traffic against each candidate
+deployment -- fine for capacity planning, impossible in production,
+where the stream happens once.  :class:`OnlineScaler` is the live
+counterpart: attached to a :class:`~repro.serving.session.ServingSession`
+it watches completed requests in windows, and when the windowed p95
+overshoots the contract it scales out *mid-run* -- adding a replica when
+queueing dominates the latency (requests wait for the engine), a shard
+when service time does (the engine itself is too slow) -- paying the
+state-migration bill through
+:meth:`~repro.serving.session.ServingSession.scale_to` instead of
+restarting.  Under sustained headroom it scales back in (replicas first:
+dropping state is free, re-partitioning is not).
+:class:`ScheduledScalePlan` drives the same mechanism from a fixed
+timetable (pre-provisioning for a known flash crowd).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
+import numpy as np
+
+from repro.serving.scheduler import Batch
 from repro.serving.session import ServingResult
-from repro.serving.slo import SLOReport
+from repro.serving.slo import RequestRecord, SLOReport
 
-__all__ = ["AutoscalerConfig", "ScaleStep", "AutoscaleResult", "Autoscaler"]
+__all__ = [
+    "AutoscalerConfig",
+    "ScaleStep",
+    "AutoscaleResult",
+    "Autoscaler",
+    "OnlineScalerConfig",
+    "OnlineScaler",
+    "ScheduledScalePlan",
+]
 
 
 @dataclass(frozen=True)
@@ -226,3 +254,176 @@ class Autoscaler:
         return AutoscaleResult(
             steps=steps, best=best, converged=bool(feasible_steps)
         )
+
+
+@dataclass(frozen=True)
+class OnlineScalerConfig:
+    """Contract, bounds and control law of one live scaling controller.
+
+    A control decision fires once every ``window`` completed (served)
+    requests, then the controller holds for ``cooldown`` further
+    completions so the previous event's effect is measured, not guessed.
+    Overshoot of ``p95_target_s`` scales out along the axis the window's
+    evidence blames (queueing -> replicas, service -> shards); a p95
+    under ``relax_watermark * target`` scales back in, replicas first.
+    """
+
+    p95_target_s: float
+    window: int = 24
+    cooldown: int = 24
+    min_shards: int = 1
+    max_shards: int = 4
+    min_replicas: int = 1
+    max_replicas: int = 4
+    relax_watermark: float = 0.3
+
+    def __post_init__(self) -> None:
+        if self.p95_target_s <= 0.0:
+            raise ValueError(
+                f"p95 target must be positive, got {self.p95_target_s}"
+            )
+        if self.window < 1:
+            raise ValueError(f"window must be >= 1, got {self.window}")
+        if self.cooldown < 0:
+            raise ValueError(f"cooldown must be >= 0, got {self.cooldown}")
+        if not 1 <= self.min_shards <= self.max_shards:
+            raise ValueError(
+                f"need 1 <= min_shards <= max_shards, got "
+                f"[{self.min_shards}, {self.max_shards}]"
+            )
+        if not 1 <= self.min_replicas <= self.max_replicas:
+            raise ValueError(
+                f"need 1 <= min_replicas <= max_replicas, got "
+                f"[{self.min_replicas}, {self.max_replicas}]"
+            )
+        if not 0.0 < self.relax_watermark < 1.0:
+            raise ValueError(
+                f"relax watermark must be in (0, 1), got {self.relax_watermark}"
+            )
+
+
+class OnlineScaler:
+    """Reactive mid-run scale controller for a :class:`ServingSession`.
+
+    The session calls :meth:`observe` after every dispatched batch with
+    the batch, its engine occupancy and the records it produced; the
+    return value (None or a new (shards, replicas)) feeds
+    :meth:`~repro.serving.session.ServingSession.scale_to`.  Everything
+    is driven by observed completions, so a seeded session replays the
+    same scale events at the same dispatch clocks.
+    """
+
+    def __init__(self, config: OnlineScalerConfig):
+        self.config = config
+        self._latencies: List[float] = []
+        self._queue_s = 0.0
+        self._service_s = 0.0
+        self._hold = 0
+        #: One entry per decision: (time_s, p95_s, old, new).
+        self.decisions: List[Tuple[float, float, Tuple[int, int], Tuple[int, int]]] = []
+
+    def _scale_out(
+        self, current: Tuple[int, int], queue_bound: bool
+    ) -> Optional[Tuple[int, int]]:
+        shards, replicas = current
+        prefer_replica = queue_bound and replicas < self.config.max_replicas
+        if prefer_replica:
+            return (shards, replicas + 1)
+        if shards < self.config.max_shards:
+            return (shards + 1, replicas)
+        if replicas < self.config.max_replicas:
+            return (shards, replicas + 1)
+        return None  # at the ceiling: admission control's problem now
+
+    def _scale_in(self, current: Tuple[int, int]) -> Optional[Tuple[int, int]]:
+        shards, replicas = current
+        if replicas > self.config.min_replicas:
+            return (shards, replicas - 1)  # dropping replica state is free
+        if shards > self.config.min_shards:
+            return (shards - 1, replicas)
+        return None
+
+    def observe(
+        self,
+        batch: Batch,
+        occupancy_s: float,
+        records: Sequence[RequestRecord],
+        current: Tuple[int, int],
+    ) -> Optional[Tuple[int, int]]:
+        """Fold one batch's evidence; maybe return a new deployment."""
+        served = [record for record in records if not record.shed]
+        self._latencies.extend(record.latency_s for record in served)
+        self._queue_s += sum(
+            batch.dispatch_s - record.request.arrival_s for record in served
+        )
+        self._service_s += occupancy_s * len(served)
+        if self._hold > 0:
+            self._hold = max(0, self._hold - len(served))
+            if self._hold > 0:
+                return None
+            self._reset_window()
+            return None
+        if len(self._latencies) < self.config.window:
+            return None
+        p95_s = float(np.percentile(self._latencies, 95))
+        queue_bound = self._queue_s > self._service_s
+        decision: Optional[Tuple[int, int]] = None
+        if p95_s > self.config.p95_target_s:
+            decision = self._scale_out(current, queue_bound)
+        elif p95_s < self.config.relax_watermark * self.config.p95_target_s:
+            decision = self._scale_in(current)
+        self._reset_window()
+        if decision is not None:
+            end_s = batch.dispatch_s + occupancy_s
+            self.decisions.append((end_s, p95_s, tuple(current), decision))
+            self._hold = self.config.cooldown
+        return decision
+
+    def _reset_window(self) -> None:
+        self._latencies.clear()
+        self._queue_s = 0.0
+        self._service_s = 0.0
+
+
+class ScheduledScalePlan:
+    """A fixed timetable of deployments, fired by the dispatch clock.
+
+    ``events`` is a sequence of ``(time_s, (shards, replicas))`` pairs;
+    each fires at the first batch dispatched at or after its time (the
+    pre-provisioning pattern: grow *before* the advertised flash crowd,
+    shrink after it).  Implements the same ``observe`` protocol as
+    :class:`OnlineScaler`.
+    """
+
+    def __init__(self, events: Sequence[Tuple[float, Tuple[int, int]]]):
+        if not events:
+            raise ValueError("need at least one scheduled event")
+        self.events = sorted(
+            ((float(time_s), (int(s), int(r))) for time_s, (s, r) in events),
+            key=lambda event: event[0],
+        )
+        for time_s, (shards, replicas) in self.events:
+            if time_s < 0.0:
+                raise ValueError(f"event time must be non-negative, got {time_s}")
+            if shards < 1 or replicas < 1:
+                raise ValueError(
+                    f"deployment axes must be >= 1, got ({shards}, {replicas})"
+                )
+        self._next = 0
+
+    def observe(
+        self,
+        batch: Batch,
+        occupancy_s: float,
+        records: Sequence[RequestRecord],
+        current: Tuple[int, int],
+    ) -> Optional[Tuple[int, int]]:
+        """Fire every due event; the latest due deployment wins."""
+        decision: Optional[Tuple[int, int]] = None
+        while (
+            self._next < len(self.events)
+            and self.events[self._next][0] <= batch.dispatch_s
+        ):
+            decision = self.events[self._next][1]
+            self._next += 1
+        return decision

@@ -34,7 +34,7 @@ only the avoided/performed CMA writes are.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, Hashable, List, Optional, Set, Tuple
+from typing import Callable, Dict, Hashable, Iterable, List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -164,6 +164,7 @@ class ServingCache:
         self.insertions = 0
         self.evictions = 0
         self.rejections = 0
+        self.invalidations = 0
 
     def __len__(self) -> int:
         return len(self._store)
@@ -205,6 +206,36 @@ class ServingCache:
         self.insertions += 1
         return self.foms.cma_write.repeated(self.rows_per_entry)
 
+    def invalidate(
+        self,
+        item_ids: Iterable[int],
+        items_of: Callable[[object], Iterable[int]] = lambda value: value[0],
+    ) -> Tuple[int, Cost]:
+        """Drop entries whose cached rows reference any of ``item_ids``.
+
+        Online re-sharding relocates item rows; a cached result pins
+        (item, score) rows by their physical location, so entries
+        touching a moved range are dropped rather than chased (the
+        conservative consistency policy of a CMA-resident cache).  Every
+        resident entry pays one associative probe for the scan;
+        ``items_of`` extracts the referenced item ids from a stored
+        value (default: the session's ``(items, scores)`` layout).
+        Returns (dropped entry count, charged cost).
+        """
+        moved = {int(item) for item in item_ids}
+        if not moved or not self._store:
+            return 0, Cost()
+        scan = self.foms.cma_search.repeated(len(self._store))
+        victims = [
+            key
+            for key, value in self._store.items()
+            if not moved.isdisjoint(int(item) for item in items_of(value))
+        ]
+        for key in victims:
+            del self._store[key]
+        self.invalidations += len(victims)
+        return len(victims), scan
+
     def warm(self, entries) -> Cost:
         """Pre-populate from ``(key, value)`` pairs (most popular first).
 
@@ -237,4 +268,5 @@ class ServingCache:
             "insertions": self.insertions,
             "evictions": self.evictions,
             "rejections": self.rejections,
+            "invalidations": self.invalidations,
         }

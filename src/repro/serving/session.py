@@ -8,23 +8,45 @@ probes, cache fills) in one session ledger.
 
 Timing model of one dispatched batch:
 
-* cache lookups run first; hits complete at ``dispatch + lookup latency``
+* an attached :class:`~repro.serving.admission.AdmissionController`
+  rules first: shed requests complete (rejected) at dispatch and never
+  touch the cache or engine; degraded ones are served with a reduced
+  top-k;
+* cache lookups run next; hits complete at ``dispatch + lookup latency``
   (they never wait for the engine);
 * the remaining misses are served as one engine micro-batch; they
   complete when the engine batch finishes;
 * the engine is occupied for lookups + miss batch + cache fills, which is
   what the scheduler's free-time clock advances by.
+
+Online scale events
+-------------------
+With an ``engine_factory`` the deployment is no longer fixed for the
+run: :meth:`ServingSession.scale_to` swaps the engine for a new
+(shards, replicas) build *mid-run*, charging the state migration --
+re-partitioned item rows streamed into their new shards, replica-slice
+copies (:func:`~repro.serving.shard.plan_scale_migration`) -- to the
+session ledger under "Migration", and invalidating cache entries that
+reference moved item ranges.  The swap stalls the data plane: the
+migration latency extends the batch occupancy the scheduler sees, so
+scaling out under pressure costs real tail latency *now* in exchange for
+capacity *afterwards* -- no simulation restart, no free lunch.  A
+``scaler`` (e.g. :class:`~repro.serving.autoscaler.OnlineScaler` or a
+:class:`~repro.serving.autoscaler.ScheduledScalePlan`) automates the
+trigger after every batch.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.pipeline import ServeQuery
 from repro.energy.accounting import Cost, Ledger
+from repro.serving.admission import ACCEPT, DEGRADE, SHED, AdmissionController
 from repro.serving.cache import ServingCache
 from repro.serving.scheduler import Batch, MicroBatchConfig, MicroBatchScheduler
+from repro.serving.shard import migration_cost, plan_scale_migration
 from repro.serving.slo import (
     RequestRecord,
     SLOReport,
@@ -33,7 +55,19 @@ from repro.serving.slo import (
 )
 from repro.serving.traffic import Request
 
-__all__ = ["ServingResult", "ServingSession"]
+__all__ = ["ScaleEvent", "ServingResult", "ServingSession"]
+
+
+@dataclass(frozen=True)
+class ScaleEvent:
+    """One online deployment change and what it cost."""
+
+    time_s: float
+    old_deployment: Tuple[int, int]
+    new_deployment: Tuple[int, int]
+    moved_rows: int
+    invalidated_entries: int
+    cost: Cost
 
 
 @dataclass
@@ -45,6 +79,9 @@ class ServingResult:
     batches: List[Batch]
     ledger: Ledger
     cache_stats: Optional[Dict[str, float]] = None
+    admission_stats: Optional[Dict[str, object]] = None
+    spill_stats: Optional[Dict[str, object]] = None
+    scale_events: List[ScaleEvent] = field(default_factory=list)
     _report: Optional[SLOReport] = field(default=None, repr=False)
 
     @property
@@ -59,6 +96,32 @@ class ServingResult:
         return summarize_tenants(self.records, self.ledger, label=self.label)
 
 
+def _primary_engine(engine) -> object:
+    """Descend routers (shards[0] / replicas[0]) to a concrete engine."""
+    seen = 0
+    while seen < 8:  # routers never nest deeper than shard -> replica
+        if hasattr(engine, "shards"):
+            engine = engine.shards[0]
+        elif hasattr(engine, "replicas"):
+            engine = engine.replicas[0]
+        else:
+            return engine
+        seen += 1
+    return engine
+
+
+def _collect_spill(engine) -> Tuple[int, int]:
+    """(spilled, assigned) totals across an engine's replica groups."""
+    spilled = 0
+    assigned = 0
+    groups = engine.shards if hasattr(engine, "shards") else [engine]
+    for group in groups:
+        if hasattr(group, "spilled"):
+            spilled += group.spilled
+            assigned += sum(group.assigned)
+    return spilled, assigned
+
+
 class ServingSession:
     """Simulate online serving of a request stream against one engine."""
 
@@ -69,18 +132,42 @@ class ServingSession:
         scheduler: Optional[MicroBatchScheduler] = None,
         cache: Optional[ServingCache] = None,
         label: str = "session",
+        admission: Optional[AdmissionController] = None,
+        engine_factory: Optional[Callable[[int, int], object]] = None,
+        deployment: Tuple[int, int] = (1, 1),
+        scaler=None,
     ):
         """``engine`` is anything with ``serve_batch`` (a pipeline engine
         or a :class:`~repro.serving.shard.ShardedEngine`); ``workload[u]``
-        is the query user ``u`` issues (users wrap modulo the workload)."""
+        is the query user ``u`` issues (users wrap modulo the workload).
+
+        ``engine_factory(shards, replicas)`` rebuilds the engine for an
+        online scale event (required by :meth:`scale_to` and by a
+        ``scaler``); ``deployment`` names the (shards, replicas) the
+        initial engine was built with.  ``scaler`` is consulted after
+        every batch with the observed records and may return a new
+        deployment (see :mod:`repro.serving.autoscaler`).
+        """
         if not workload:
             raise ValueError("workload must contain at least one query")
+        if scaler is not None and engine_factory is None:
+            raise ValueError("an online scaler needs an engine_factory")
+        if min(deployment) < 1:
+            raise ValueError(f"deployment axes must be >= 1, got {deployment}")
         self.engine = engine
         self.workload = list(workload)
         self.scheduler = scheduler or MicroBatchScheduler(MicroBatchConfig())
         self.cache = cache
         self.label = label
+        self.admission = admission
+        self.engine_factory = engine_factory
+        self.deployment = tuple(deployment)
+        self.scaler = scaler
+        self.scale_events: List[ScaleEvent] = []
         self._warm_cost = Cost()
+        self._pending_migration = Cost()
+        self._reported_events = 0  # scale events already returned by a run
+        self._retired_spill = (0, 0)  # totals from engines already swapped out
 
     def _query_for(self, request: Request) -> ServeQuery:
         return self.workload[request.user % len(self.workload)]
@@ -112,6 +199,80 @@ class ServingSession:
         self._warm_cost = self._warm_cost.then(serve_cost).then(fill_cost)
         return self._warm_cost
 
+    def scale_to(
+        self, shards: int, replicas: int, now_s: float = 0.0
+    ) -> Optional[ScaleEvent]:
+        """Swap the deployment online, paying the state migration.
+
+        Builds the new engine through ``engine_factory``, computes the
+        migration bill (re-partitioned rows + replica-slice copies,
+        priced by :func:`~repro.serving.shard.migration_cost` from the
+        engine's own corpus shape), invalidates cache entries referencing
+        moved ranges, and queues the cost for the next dispatched batch
+        (or the next :meth:`run`, if called between runs).  Returns the
+        recorded event, or None when the deployment is unchanged.
+        """
+        if self.engine_factory is None:
+            raise ValueError("online scaling needs an engine_factory")
+        if shards < 1 or replicas < 1:
+            raise ValueError(
+                f"deployment axes must be >= 1, got ({shards}, {replicas})"
+            )
+        new = (shards, replicas)
+        if new == self.deployment:
+            return None
+        primary = _primary_engine(self.engine)
+        try:
+            num_items = primary.filtering_model.config.num_items
+            embedding_dim = primary.filtering_model.config.embedding_dim
+            signature_bits = primary.signature_bits
+        except AttributeError as error:
+            raise ValueError(
+                "engine does not expose corpus metadata "
+                "(filtering_model/signature_bits) needed to price migration"
+            ) from error
+        moved_ids, total_rows = plan_scale_migration(
+            num_items, self.deployment, new
+        )
+        cost = migration_cost(total_rows, embedding_dim, signature_bits)
+        invalidated = 0
+        if self.cache is not None and moved_ids.size:
+            invalidated, scan_cost = self.cache.invalidate(moved_ids)
+            cost = cost.then(scan_cost)
+        self._retire_engine_stats()
+        self.engine = self.engine_factory(shards, replicas)
+        event = ScaleEvent(
+            time_s=now_s,
+            old_deployment=self.deployment,
+            new_deployment=new,
+            moved_rows=total_rows,
+            invalidated_entries=invalidated,
+            cost=cost,
+        )
+        self.deployment = new
+        self.scale_events.append(event)
+        self._pending_migration = self._pending_migration.then(cost)
+        return event
+
+    def _retire_engine_stats(self) -> None:
+        """Fold the outgoing engine's spill counters into the session."""
+        spilled, assigned = _collect_spill(self.engine)
+        retired_spilled, retired_assigned = self._retired_spill
+        self._retired_spill = (retired_spilled + spilled, retired_assigned + assigned)
+
+    def _spill_stats(self) -> Optional[Dict[str, object]]:
+        spilled, assigned = _collect_spill(self.engine)
+        retired_spilled, retired_assigned = self._retired_spill
+        spilled += retired_spilled
+        assigned += retired_assigned
+        if assigned == 0:
+            return None
+        return {
+            "assigned": assigned,
+            "spilled": spilled,
+            "spill_rate": spilled / assigned,
+        }
+
     def run(self, requests: Sequence[Request]) -> ServingResult:
         """Drive the scheduler over ``requests`` and collect the records."""
         ledger = Ledger(name=self.label)
@@ -121,22 +282,36 @@ class ServingSession:
             ledger.charge("Warm-up", self._warm_cost)
             self._warm_cost = Cost()
         records: List[RequestRecord] = []
+        # A scale_to issued between runs queued its migration for this
+        # run's ledger, so this run also reports its event.
+        run_events_start = self._reported_events
 
         def service(batch: Batch) -> float:
+            batch_records: List[RequestRecord] = []
             queries = [self._query_for(request) for request in batch.requests]
-            hit_values: List[Optional[Tuple[Tuple[int, ...], Tuple[float, ...]]]] = []
+            outcomes = self._admission_outcomes(batch)
+            degraded_k = (
+                self.admission.config.degraded_top_k
+                if self.admission is not None
+                else None
+            )
+            active = [
+                position
+                for position, outcome in enumerate(outcomes)
+                if outcome != SHED
+            ]
+            hit_values: Dict[int, Tuple[Tuple[int, ...], Tuple[float, ...]]] = {}
             lookup_cost = Cost()
             if self.cache is not None:
-                for query in queries:
-                    value, cost = self.cache.lookup(query)
+                for position in active:
+                    value, cost = self.cache.lookup(queries[position])
                     ledger.charge("Cache", cost)
                     lookup_cost = lookup_cost.then(cost)
-                    hit_values.append(value)
-            else:
-                hit_values = [None] * len(queries)
+                    if value is not None:
+                        hit_values[position] = value
 
             miss_positions = [
-                position for position, value in enumerate(hit_values) if value is None
+                position for position in active if position not in hit_values
             ]
             serve_cost = Cost()
             miss_results = {}
@@ -166,37 +341,93 @@ class ServingSession:
 
             occupancy = lookup_cost.then(serve_cost)
             for position, request in enumerate(batch.requests):
-                if hit_values[position] is not None:
+                degraded = outcomes[position] == DEGRADE
+                if outcomes[position] == SHED:
+                    batch_records.append(
+                        RequestRecord(
+                            request=request,
+                            completion_s=batch.dispatch_s,
+                            batch_size=len(batch.requests),
+                            cache_hit=False,
+                            items=(),
+                            shed=True,
+                        )
+                    )
+                elif position in hit_values:
                     items, _scores = hit_values[position]
                     completion = batch.dispatch_s + lookup_cost.latency_s
-                    records.append(
+                    batch_records.append(
                         RequestRecord(
                             request=request,
                             completion_s=completion,
                             batch_size=len(batch.requests),
                             cache_hit=True,
-                            items=tuple(items),
+                            items=tuple(items)[:degraded_k] if degraded else tuple(items),
+                            degraded=degraded,
                         )
                     )
                 else:
                     completion = batch.dispatch_s + occupancy.latency_s
-                    records.append(
+                    items = tuple(miss_results[position].items)
+                    batch_records.append(
                         RequestRecord(
                             request=request,
                             completion_s=completion,
                             batch_size=len(batch.requests),
                             cache_hit=False,
-                            items=tuple(miss_results[position].items),
+                            items=items[:degraded_k] if degraded else items,
+                            degraded=degraded,
                         )
                     )
+            records.extend(batch_records)
+
+            # Pay any migration queued by a pre-run scale_to, then let the
+            # online scaler react to what this batch measured.
+            occupancy = self._drain_migration(ledger, occupancy)
+            if self.scaler is not None:
+                end_s = batch.dispatch_s + occupancy.latency_s
+                decision = self.scaler.observe(
+                    batch, occupancy.latency_s, batch_records, self.deployment
+                )
+                if decision is not None and tuple(decision) != self.deployment:
+                    self.scale_to(*decision, now_s=end_s)
+                    occupancy = self._drain_migration(ledger, occupancy)
             return occupancy.latency_s
 
         batches = self.scheduler.run(requests, service)
         records.sort(key=lambda record: record.request.request_id)
+        self._reported_events = len(self.scale_events)
         return ServingResult(
             label=self.label,
             records=records,
             batches=batches,
             ledger=ledger,
             cache_stats=self.cache.stats() if self.cache is not None else None,
+            admission_stats=(
+                self.admission.stats() if self.admission is not None else None
+            ),
+            spill_stats=self._spill_stats(),
+            scale_events=list(self.scale_events[run_events_start:]),
         )
+
+    def _admission_outcomes(self, batch: Batch) -> List[str]:
+        """Front-door rulings for every request in the batch."""
+        if self.admission is None:
+            return [ACCEPT] * len(batch.requests)
+        expected_s = getattr(self.engine, "expected_query_latency_s", None)
+        return [
+            self.admission.decide(request, batch.dispatch_s, expected_s)
+            for request in batch.requests
+        ]
+
+    def _drain_migration(self, ledger: Ledger, occupancy: Cost) -> Cost:
+        """Charge queued migration work and stall the data plane with it."""
+        if (
+            self._pending_migration.energy_pj == 0.0
+            and self._pending_migration.latency_ns == 0.0
+        ):
+            return occupancy
+        ledger.charge("Migration", self._pending_migration)
+        occupancy = occupancy.then(self._pending_migration)
+        self._pending_migration = Cost()
+        return occupancy

@@ -15,36 +15,70 @@ so the group's occupancy per batch approaches 1/R of a single replica's.
 Replicas share the slice *and* the construction seed, so the group
 returns bit-identical recommendations regardless of R.
 
+A :class:`ReplicaGroup` may also be *heterogeneous*: IMC replicas next
+to GPU replicas of the same deployed model
+(:class:`~repro.core.pipeline.GPUSpilloverEngine`, bit-identical
+recommendations by construction).  With a ``p95_target_s`` the group
+routes cost-aware: queries fill the cheapest replica (by observed energy
+per query) until its outstanding work this dispatch round threatens the
+latency target, and only the overflow spills to the fast-but-hungry
+backend -- so the energy bill stays near the IMC-only floor while the
+tail stays under the contract.
+
 Cost semantics follow the repo's composition algebra: shards and
 replicas run on disjoint hardware, so their batch costs compose with
 :meth:`Cost.alongside` (energy adds, latency is the slowest member), and
 the merge is charged through the platform's own top-k model
 (:meth:`~repro.core.pipeline._EngineBase.merge_cost`).
+
+Online re-sharding (:func:`migration_plan`, :func:`migration_cost`)
+models what a *live* scale event pays: every item row whose round-robin
+home changes streams its int8 embedding words and LSH signature into the
+new shard's arrays, and each added replica copies its shard's full
+slice.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.circuits.foms import ArrayFoMs, TABLE_II
 from repro.core.mapping import WorkloadMapping
 from repro.core.pipeline import (
     BatchResult,
     GPUReferenceEngine,
+    GPUSpilloverEngine,
     IMARSEngine,
     QueryResult,
     ServeQuery,
 )
 from repro.energy.accounting import Cost, Ledger
+from repro.gpu.device import GPUDeviceModel, GTX1080
 
 __all__ = [
     "partition_corpus",
+    "migration_plan",
+    "migration_cost",
+    "plan_scale_migration",
     "ReplicaGroup",
     "ShardedEngine",
     "make_sharded_engine",
 ]
+
+
+def _member_merge_cost(members: Sequence[object], num_entries: int) -> Cost:
+    """The platform top-k merge model shared by a router's members.
+
+    Scatter-gather routers (:class:`ShardedEngine`) and replica routers
+    (:class:`ReplicaGroup`) both charge the merge through the platform of
+    their *first* member -- the primary engine whose front-end owns the
+    gather in a heterogeneous group.  One helper, one formula: replicated
+    and unreplicated merges charge identical energy by construction.
+    """
+    return members[0].merge_cost(num_entries)
 
 
 def partition_corpus(num_items: int, num_shards: int) -> List[np.ndarray]:
@@ -64,23 +98,59 @@ def partition_corpus(num_items: int, num_shards: int) -> List[np.ndarray]:
 
 
 class ReplicaGroup:
-    """R identical engines over one corpus slice, load-balanced per batch.
+    """R engines over one corpus slice, load-balanced per dispatch round.
 
-    Each ``serve_batch`` round assigns queries greedily to the replica
-    with the least outstanding work -- cumulative busy seconds from past
-    assignments plus the estimated work already assigned this round
+    Homogeneous mode (``p95_target_s=None``): each ``serve_batch`` round
+    assigns queries greedily to the replica with the least outstanding
+    work -- cumulative busy seconds from past assignments plus the
+    estimated work already assigned this round
     (:attr:`~repro.core.pipeline._EngineBase.expected_query_latency_s`,
     falling back to uniform estimates before any replica has served).
-    The per-replica sub-batches run concurrently on disjoint hardware:
-    group occupancy is the slowest replica, energy is the sum.
+
+    Spillover mode (``p95_target_s`` set): the group may mix engine
+    kinds (IMC primaries plus :class:`~repro.core.pipeline.GPUSpilloverEngine`
+    overflow replicas serving bit-identical recommendations).  Replicas
+    are ranked cheapest-first by their observed energy per query
+    (:attr:`~repro.core.pipeline._EngineBase.expected_query_energy_pj`;
+    list order -- cheapest first -- breaks the tie until every replica
+    has served).  Each query goes to the cheapest replica whose work
+    already queued *this round* leaves its projected completion inside
+    ``spill_headroom * p95_target_s``; only the overflow spills to the
+    next-cheapest backend.  When every replica is saturated the router
+    degenerates to least-projected-completion levelling -- the SLO is
+    lost either way, so it drains as fast as possible.  Spilled queries
+    are counted in :attr:`spilled`.
+
+    In both modes the per-replica sub-batches run concurrently on
+    disjoint hardware: group occupancy is the slowest replica, energy is
+    the sum, and recommendations never depend on the routing.
     """
 
-    def __init__(self, replicas: Sequence[object]):
+    def __init__(
+        self,
+        replicas: Sequence[object],
+        p95_target_s: Optional[float] = None,
+        spill_headroom: float = 0.8,
+    ):
         if not replicas:
             raise ValueError("need at least one replica")
+        if p95_target_s is not None and p95_target_s <= 0.0:
+            raise ValueError(f"p95 target must be positive, got {p95_target_s}")
+        if not 0.0 < spill_headroom <= 1.0:
+            raise ValueError(
+                f"spill headroom must be in (0, 1], got {spill_headroom}"
+            )
         self.replicas = list(replicas)
+        if len({replica.top_k for replica in self.replicas}) != 1:
+            raise ValueError("replicas must agree on top-k")
+        self.p95_target_s = p95_target_s
+        self.spill_headroom = spill_headroom
         #: Cumulative busy seconds dispatched to each replica so far.
         self.busy_s = [0.0] * len(self.replicas)
+        #: Cumulative queries dispatched to each replica so far.
+        self.assigned = [0] * len(self.replicas)
+        #: Queries routed past the cheapest replica (spillover mode only).
+        self.spilled = 0
 
     @property
     def num_replicas(self) -> int:
@@ -89,6 +159,19 @@ class ReplicaGroup:
     @property
     def top_k(self) -> int:
         return self.replicas[0].top_k
+
+    @property
+    def expected_query_latency_s(self) -> Optional[float]:
+        """Group-level work estimate: mean member estimate over R
+        concurrent replicas (None before any member has served)."""
+        known = [
+            value
+            for replica in self.replicas
+            if (value := getattr(replica, "expected_query_latency_s", None))
+        ]
+        if not known:
+            return None
+        return float(np.mean(known)) / len(self.replicas)
 
     def _work_estimates(self) -> List[float]:
         """Per-replica expected seconds of work per assigned query."""
@@ -100,19 +183,90 @@ class ReplicaGroup:
         default = float(np.mean(known)) if known else 1.0
         return [value if value else default for value in observed]
 
+    def _energy_order(self) -> List[int]:
+        """Replica indices cheapest-first.
+
+        Ranked by the observed energy-per-query EWMA once every replica
+        has served; until then the constructor's list order stands (the
+        builder lists IMC primaries before GPU spillover replicas).
+        """
+        energies = [
+            getattr(replica, "expected_query_energy_pj", None)
+            for replica in self.replicas
+        ]
+        if any(value is None for value in energies):
+            return list(range(len(self.replicas)))
+        return sorted(range(len(self.replicas)), key=lambda i: (energies[i], i))
+
     def assign(self, num_queries: int) -> List[List[int]]:
-        """Plan one dispatch round: query position -> replica, greedily
-        levelling projected busy time.  Deterministic (ties go to the
-        lowest replica index), so replays reproduce the same routing."""
+        """Plan one dispatch round: query position -> replica.
+
+        Deterministic (ties go to the lowest replica index), so replays
+        reproduce the same routing.
+        """
         estimates = self._work_estimates()
-        projected = list(self.busy_s)
         assignment: List[List[int]] = [[] for _ in self.replicas]
+        if self.p95_target_s is None:
+            projected = list(self.busy_s)
+            for position in range(num_queries):
+                target = min(
+                    range(len(self.replicas)),
+                    key=lambda index: (projected[index], index),
+                )
+                assignment[target].append(position)
+                projected[target] += estimates[target]
+            return assignment
+
+        # Spillover: all replicas start this batch together (the
+        # scheduler serialises batches), so the latency threat is the
+        # work queued on a replica *within this round*.
+        order = self._energy_order()
+        primary = order[0]
+        if getattr(self.replicas[primary], "expected_query_latency_s", None) is None:
+            # Cold start: no latency evidence yet, so no threat to react
+            # to -- stay on the cheapest replica until it has served.
+            assignment[primary] = list(range(num_queries))
+            return assignment
+        slack_s = self.spill_headroom * self.p95_target_s
+        round_work = [0.0] * len(self.replicas)
+        # Slow-start: a replica whose speed is still unobserved gets at
+        # most one probe query per round -- its work estimate is a guess,
+        # and guessing wrong on a batch poisons the whole round's tail.
+        quota = [
+            num_queries
+            if getattr(replica, "expected_query_latency_s", None) is not None
+            else 1
+            for replica in self.replicas
+        ]
         for position in range(num_queries):
-            target = min(
-                range(len(self.replicas)), key=lambda index: (projected[index], index)
-            )
+            target = None
+            for index in order:
+                if (
+                    len(assignment[index]) < quota[index]
+                    and round_work[index] + estimates[index] <= slack_s
+                ):
+                    target = index
+                    break
+            if target is None:
+                # Saturated everywhere: level projected completions and
+                # use cumulative busy time as the long-run tiebreak.
+                candidates = [
+                    index
+                    for index in range(len(self.replicas))
+                    if len(assignment[index]) < quota[index]
+                ] or [primary]
+                target = min(
+                    candidates,
+                    key=lambda index: (
+                        round_work[index] + estimates[index],
+                        self.busy_s[index],
+                        index,
+                    ),
+                )
+            if target != primary:
+                self.spilled += 1
             assignment[target].append(position)
-            projected[target] += estimates[target]
+            round_work[target] += estimates[target]
         return assignment
 
     def recommend_query(self, query: ServeQuery) -> QueryResult:
@@ -132,6 +286,7 @@ class ReplicaGroup:
                 [queries[position] for position in positions]
             )
             self.busy_s[index] += sub_batch.cost.latency_s
+            self.assigned[index] += len(positions)
             sub_costs.append(sub_batch.cost)
             for position, result in zip(positions, sub_batch.results):
                 placed[position] = result
@@ -140,9 +295,18 @@ class ReplicaGroup:
             cost=Cost.concurrent(sub_costs),
         )
 
+    def stats(self) -> Dict[str, object]:
+        """Routing counters (per-replica load and spill volume)."""
+        return {
+            "assigned": list(self.assigned),
+            "busy_s": list(self.busy_s),
+            "spilled": self.spilled,
+            "spill_rate": self.spilled / max(1, sum(self.assigned)),
+        }
+
     def merge_cost(self, num_entries: int) -> Cost:
         """Expose the members' platform merge model (router nesting)."""
-        return self.replicas[0].merge_cost(num_entries)
+        return _member_merge_cost(self.replicas, num_entries)
 
 
 class ShardedEngine:
@@ -159,6 +323,19 @@ class ShardedEngine:
     @property
     def num_shards(self) -> int:
         return len(self.shards)
+
+    @property
+    def expected_query_latency_s(self) -> Optional[float]:
+        """Scatter-gather work estimate: the slowest shard dominates
+        (None before any shard has served)."""
+        known = [
+            value
+            for shard in self.shards
+            if (value := getattr(shard, "expected_query_latency_s", None))
+        ]
+        if not known:
+            return None
+        return float(max(known))
 
     def recommend_query(self, query: ServeQuery) -> QueryResult:
         """Batch-of-one convenience mirroring the engine interface."""
@@ -186,7 +363,7 @@ class ShardedEngine:
             order = sorted(
                 range(len(entries)), key=lambda index: (-entries[index][1], index)
             )[: self.top_k]
-            merge_cost = self.shards[0].merge_cost(len(entries))
+            merge_cost = _member_merge_cost(self.shards, len(entries))
             merge_total = merge_total.then(merge_cost)
 
             ledger = Ledger(name="sharded-query")
@@ -211,7 +388,7 @@ class ShardedEngine:
 
     def merge_cost(self, num_entries: int) -> Cost:
         """Expose the underlying platform's merge model (router nesting)."""
-        return self.shards[0].merge_cost(num_entries)
+        return _member_merge_cost(self.shards, num_entries)
 
 
 def make_sharded_engine(
@@ -224,6 +401,10 @@ def make_sharded_engine(
     top_k: int = 10,
     seed: int = 0,
     replicas_per_shard: int = 1,
+    spillover_replicas_per_shard: int = 0,
+    spillover_slo_s: Optional[float] = None,
+    spill_headroom: float = 0.8,
+    spillover_device: GPUDeviceModel = GTX1080,
     **engine_kwargs,
 ) -> ShardedEngine:
     """Build a :class:`ShardedEngine` of ``kind`` ('imars' or 'gpu').
@@ -238,6 +419,15 @@ def make_sharded_engine(
     :class:`ReplicaGroup` of R engines built with *the same seed* (so
     every replica owns an identical LSH index and recommendations do not
     depend on R) -- the throughput win replication buys.
+
+    ``spillover_replicas_per_shard > 0`` (iMARS only) additionally puts
+    that many :class:`~repro.core.pipeline.GPUSpilloverEngine` replicas
+    -- same models, same seed, same slice, bit-identical recommendations
+    -- behind each shard, and the group routes cost-aware against
+    ``spillover_slo_s`` (required): the IMC primaries absorb traffic up
+    to ``spill_headroom`` of the latency target, the GPUs absorb only
+    the overflow -- the heterogeneous-fleet trade the E-hetero study
+    measures.
     """
     if kind not in ("imars", "gpu"):
         raise ValueError(f"unknown engine kind {kind!r} (use 'imars' or 'gpu')")
@@ -245,6 +435,23 @@ def make_sharded_engine(
         raise ValueError(
             f"replicas per shard must be >= 1, got {replicas_per_shard}"
         )
+    if spillover_replicas_per_shard < 0:
+        raise ValueError(
+            f"spillover replicas must be >= 0, got {spillover_replicas_per_shard}"
+        )
+    if spillover_replicas_per_shard > 0:
+        if kind != "imars":
+            raise ValueError("spillover replicas only back iMARS primaries")
+        if spillover_slo_s is None:
+            raise ValueError(
+                "spillover routing needs spillover_slo_s (the latency target "
+                "that decides when overflow leaves the IMC primaries)"
+            )
+        if engine_kwargs.get("analog_dnn"):
+            raise ValueError(
+                "analog_dnn primaries cannot be mirrored bit-identically by "
+                "GPU spillover replicas (a CUDA port has no crossbar noise)"
+            )
     num_items = filtering_model.config.num_items
     partitions = partition_corpus(num_items, num_shards)
     per_shard_candidates = max(1, math.ceil(num_candidates / num_shards))
@@ -272,17 +479,126 @@ def make_sharded_engine(
             **engine_kwargs,
         )
 
+    def build_spillover(shard_index: int, subset: np.ndarray) -> object:
+        # Forward the primaries' engine kwargs (signature_bits, cost_model,
+        # ...): the GPU replica must be built exactly like its IMC peers or
+        # the bit-identical-recommendations invariant breaks.  analog_dnn
+        # was rejected above; it has no GPU counterpart.
+        spill_kwargs = {
+            key: value
+            for key, value in engine_kwargs.items()
+            if key != "analog_dnn"
+        }
+        return GPUSpilloverEngine(
+            filtering_model,
+            ranking_model,
+            mapping,
+            num_candidates=per_shard_candidates,
+            top_k=top_k,
+            seed=seed + shard_index,
+            item_subset=subset,
+            device=spillover_device,
+            **spill_kwargs,
+        )
+
     shards: List[object] = []
     for shard_index, subset in enumerate(partitions):
-        if replicas_per_shard == 1:
-            shards.append(build_engine(shard_index, subset))
-        else:
+        members = [
+            build_engine(shard_index, subset) for _ in range(replicas_per_shard)
+        ]
+        members.extend(
+            build_spillover(shard_index, subset)
+            for _ in range(spillover_replicas_per_shard)
+        )
+        if len(members) == 1:
+            shards.append(members[0])
+        elif spillover_replicas_per_shard > 0:
             shards.append(
                 ReplicaGroup(
-                    [
-                        build_engine(shard_index, subset)
-                        for _ in range(replicas_per_shard)
-                    ]
+                    members,
+                    p95_target_s=spillover_slo_s,
+                    spill_headroom=spill_headroom,
                 )
             )
+        else:
+            shards.append(ReplicaGroup(members))
     return ShardedEngine(shards, top_k=top_k)
+
+
+# -- online re-sharding: what a live scale event pays ---------------------
+
+
+def migration_plan(
+    num_items: int, old_shards: int, new_shards: int
+) -> np.ndarray:
+    """Global item ids whose round-robin home changes old -> new shards.
+
+    :func:`partition_corpus` places item ``i`` on shard ``i % N``, so the
+    moved set is exactly the ids whose residue differs under the two
+    moduli.  Growing 1 -> 2 shards moves every other item; shrinking
+    undoes the same moves; ``old == new`` moves nothing.
+    """
+    if num_items < 1:
+        raise ValueError("need at least one item")
+    for label, count in (("old", old_shards), ("new", new_shards)):
+        if not 1 <= count <= num_items:
+            raise ValueError(
+                f"{label} shard count must be in [1, {num_items}], got {count}"
+            )
+    ids = np.arange(num_items, dtype=np.int64)
+    return ids[(ids % old_shards) != (ids % new_shards)]
+
+
+def migration_cost(
+    num_rows: int,
+    embedding_dim: int,
+    signature_bits: int,
+    embedding_bits: int = 8,
+    foms: ArrayFoMs = TABLE_II,
+) -> Cost:
+    """Cost of streaming ``num_rows`` item rows into their new arrays.
+
+    Each moved row writes its int8 embedding (``embedding_dim *
+    embedding_bits`` bits) into the new shard's ItET CMAs and its LSH
+    signature into the TCAM arrays, 256-bit words per CMA write; the
+    writes serialise over the destination shard's write port.  Charged
+    to the session ledger under "Migration" -- the price of *not*
+    restarting the deployment.
+    """
+    if num_rows < 0:
+        raise ValueError(f"row count must be non-negative, got {num_rows}")
+    if embedding_dim < 1 or signature_bits < 1 or embedding_bits < 1:
+        raise ValueError("embedding dim, signature bits and width must be >= 1")
+    words_per_row = math.ceil(embedding_dim * embedding_bits / 256) + math.ceil(
+        signature_bits / 256
+    )
+    return foms.cma_write.repeated(num_rows * words_per_row)
+
+
+def plan_scale_migration(
+    num_items: int,
+    old_deployment: Tuple[int, int],
+    new_deployment: Tuple[int, int],
+) -> Tuple[np.ndarray, int]:
+    """(moved item ids, total rows written) of one online scale event.
+
+    Re-partitioning writes every moved item once into its new shard;
+    each *added* replica additionally copies its shard's full slice
+    (summing to the whole corpus per added replica).  Removing replicas
+    is free -- state is dropped, not moved.  The moved-id array (the
+    re-partitioned ranges only) is what the result cache invalidates:
+    replica copies add rows without relocating any.
+    """
+    old_shards, old_replicas = old_deployment
+    new_shards, new_replicas = new_deployment
+    for label, count in (
+        ("old replica", old_replicas),
+        ("new replica", new_replicas),
+    ):
+        if count < 1:
+            raise ValueError(f"{label} count must be >= 1, got {count}")
+    moved = migration_plan(num_items, old_shards, new_shards)
+    total_rows = int(moved.size)
+    if new_replicas > old_replicas:
+        total_rows += (new_replicas - old_replicas) * num_items
+    return moved, total_rows

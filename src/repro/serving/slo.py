@@ -22,19 +22,29 @@ __all__ = ["RequestRecord", "SLOReport", "summarize", "summarize_tenants"]
 
 @dataclass(frozen=True)
 class RequestRecord:
-    """One request's journey through the serving stack."""
+    """One request's journey through the serving stack.
+
+    ``shed`` marks a request the admission controller rejected at the
+    front door (``completion_s`` is the rejection time; no items were
+    served); ``degraded`` marks one served with a reduced top-k to
+    protect the SLO.
+    """
 
     request: Request
     completion_s: float
     batch_size: int
     cache_hit: bool
     items: Tuple[int, ...]
+    shed: bool = False
+    degraded: bool = False
 
     def __post_init__(self) -> None:
         if self.completion_s < self.request.arrival_s:
             raise ValueError("completion cannot precede arrival")
         if self.batch_size < 1:
             raise ValueError("batch size must be >= 1")
+        if self.shed and self.items:
+            raise ValueError("a shed request cannot carry served items")
 
     @property
     def latency_s(self) -> float:
@@ -58,6 +68,23 @@ class SLOReport:
     energy_per_request_uj: float
     cache_hit_rate: float
     mean_batch_size: float
+    shed_count: int = 0
+    degraded_count: int = 0
+
+    @property
+    def served_count(self) -> int:
+        """Requests that actually received recommendations."""
+        return self.num_requests - self.shed_count
+
+    @property
+    def shed_rate(self) -> float:
+        """Fraction of offered requests rejected at the front door."""
+        return self.shed_count / self.num_requests if self.num_requests else 0.0
+
+    @property
+    def degraded_rate(self) -> float:
+        """Fraction of *served* requests answered with a reduced top-k."""
+        return self.degraded_count / self.served_count if self.served_count else 0.0
 
     def as_dict(self) -> Dict[str, float]:
         return {
@@ -72,16 +99,21 @@ class SLOReport:
             "energy_per_request_uj": self.energy_per_request_uj,
             "cache_hit_rate": self.cache_hit_rate,
             "mean_batch_size": self.mean_batch_size,
+            "shed_count": self.shed_count,
+            "degraded_count": self.degraded_count,
         }
 
     def format_row(self) -> str:
-        return (
+        row = (
             f"  {self.label:<28s} p50={self.p50_ms:8.3f}ms p95={self.p95_ms:8.3f}ms "
             f"p99={self.p99_ms:8.3f}ms qps={self.sustained_qps:9.1f} "
             f"E/req={self.energy_per_request_uj:10.4f}uJ "
             f"hit={self.cache_hit_rate * 100.0:5.1f}% "
             f"batch={self.mean_batch_size:4.1f}"
         )
+        if self.shed_count or self.degraded_count:
+            row += f" shed={self.shed_count} deg={self.degraded_count}"
+        return row
 
 
 def summarize(
@@ -89,16 +121,30 @@ def summarize(
     ledger: Ledger,
     label: str = "session",
 ) -> SLOReport:
-    """Fold per-request records + the session ledger into an SLO report."""
+    """Fold per-request records + the session ledger into an SLO report.
+
+    Latency percentiles, cache hit rate, batch sizes and the energy
+    denominator cover *served* requests only: a shed request received no
+    recommendations, and letting its (tiny) time-to-rejection into the
+    tail would reward shedding with better percentiles.  Shed volume is
+    reported separately (``shed_count`` / ``shed_rate``); sustained QPS
+    is goodput (served requests over the makespan).  A session where
+    everything was shed degenerates to zero latencies.
+    """
     if not records:
         raise ValueError("cannot summarise an empty session")
-    latencies_ms = np.array([record.latency_s * 1e3 for record in records])
+    served = [record for record in records if not record.shed]
+    latencies_ms = (
+        np.array([record.latency_s * 1e3 for record in served])
+        if served
+        else np.zeros(1)
+    )
     arrivals = np.array([record.request.arrival_s for record in records])
     completions = np.array([record.completion_s for record in records])
     span_s = float(arrivals.max() - arrivals.min())
     makespan_s = float(completions.max() - arrivals.min())
     total_energy_uj = ledger.total().energy_uj
-    hits = sum(1 for record in records if record.cache_hit)
+    hits = sum(1 for record in served if record.cache_hit)
     return SLOReport(
         label=label,
         num_requests=len(records),
@@ -108,10 +154,18 @@ def summarize(
         mean_ms=float(latencies_ms.mean()),
         max_ms=float(latencies_ms.max()),
         offered_qps=(len(records) - 1) / span_s if span_s > 0.0 else float("inf"),
-        sustained_qps=len(records) / makespan_s if makespan_s > 0.0 else float("inf"),
-        energy_per_request_uj=total_energy_uj / len(records),
-        cache_hit_rate=hits / len(records),
-        mean_batch_size=float(np.mean([record.batch_size for record in records])),
+        sustained_qps=(
+            len(served) / makespan_s if makespan_s > 0.0 else float("inf")
+        ),
+        energy_per_request_uj=total_energy_uj / max(1, len(served)),
+        cache_hit_rate=hits / max(1, len(served)),
+        mean_batch_size=(
+            float(np.mean([record.batch_size for record in served]))
+            if served
+            else 0.0
+        ),
+        shed_count=len(records) - len(served),
+        degraded_count=sum(1 for record in served if record.degraded),
     )
 
 
@@ -124,8 +178,13 @@ def summarize_tenants(
 
     Latency percentiles and throughput come from each tenant's own
     records; the session ledger is global (the engine serves all tenants
-    on shared hardware), so energy is attributed pro rata by request
-    count -- the fair-share charging model of a shared deployment.
+    on shared hardware), so energy is attributed pro rata by *served*
+    request count -- the fair-share charging model of a shared
+    deployment, consistent with :func:`summarize`'s served-only energy
+    denominator.  A shed request consumed (almost) no engine energy, so
+    a heavily-shed tenant must not be billed for its rejected volume.
+    When every request was shed the attribution degenerates to offered
+    counts (there is no served work to split by).
     """
     if not records:
         raise ValueError("cannot summarise an empty session")
@@ -133,9 +192,16 @@ def summarize_tenants(
     for record in records:
         by_tenant.setdefault(record.request.tenant, []).append(record)
     total = ledger.total()
+    total_served = sum(1 for record in records if not record.shed)
     reports: Dict[str, SLOReport] = {}
     for tenant, tenant_records in sorted(by_tenant.items()):
-        share = len(tenant_records) / len(records)
+        if total_served:
+            share = (
+                sum(1 for record in tenant_records if not record.shed)
+                / total_served
+            )
+        else:
+            share = len(tenant_records) / len(records)
         tenant_ledger = Ledger(name=f"{label}/{tenant}")
         tenant_ledger.charge(
             "Fair share",

@@ -4,7 +4,6 @@ import pytest
 
 from repro.circuits.foms import (
     TABLE_II,
-    ArrayFoMs,
     derive_foms,
     intra_bank_tree,
     intra_mat_tree,

@@ -6,6 +6,9 @@ The serving subsystem's contracts, checked over arbitrary inputs:
   never holds a request past the wait window (fixed and adaptive);
 * scatter-gather top-k over shards (and replica groups) equals the
   unsharded top-k;
+* cost-aware spillover routing never changes recommendations: for any
+  queue state (busy history, work/energy estimates, target, headroom)
+  the heterogeneous group's serve_batch equals the IMC-only reference;
 * every cache lookup -- hit and miss alike -- charges probe energy, and
   the ledger total equals the sum of the charged costs;
 * SLO percentiles are monotone (p50 <= p95 <= p99 <= max) for arbitrary
@@ -185,6 +188,121 @@ def test_scatter_gather_topk_equals_unsharded(
     for expected_result, merged_result in zip(expected.results, merged.results):
         assert merged_result.items == expected_result.items
         assert merged_result.scores == expected_result.scores
+
+
+# -- spillover routing never changes recommendations ----------------------
+
+
+class _HeteroEngine(_MatrixEngine):
+    """Matrix engine with a configurable speed/energy profile.
+
+    Models one member of a heterogeneous replica group: same functional
+    scores (the spillover contract), different observed occupancy and
+    energy estimates for the router to chew on.
+    """
+
+    def __init__(
+        self,
+        scores,
+        query_index,
+        item_subset,
+        top_k,
+        latency_est=None,
+        energy_est=None,
+    ):
+        super().__init__(scores, query_index, item_subset, top_k)
+        self.expected_query_latency_s = latency_est
+        self.expected_query_energy_pj = energy_est
+
+
+@given(
+    num_items=st.integers(min_value=1, max_value=30),
+    num_queries=st.integers(min_value=1, max_value=10),
+    num_shards=st.integers(min_value=1, max_value=3),
+    num_replicas=st.integers(min_value=2, max_value=4),
+    top_k=st.integers(min_value=1, max_value=6),
+    p95_target_s=st.floats(min_value=1e-6, max_value=10.0, allow_nan=False),
+    spill_headroom=st.floats(min_value=0.05, max_value=1.0, allow_nan=False),
+    profile_seed=st.integers(min_value=0, max_value=2**16),
+    rounds=st.integers(min_value=1, max_value=3),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+@settings(max_examples=60)
+def test_spillover_routing_never_changes_recommendations(
+    num_items,
+    num_queries,
+    num_shards,
+    num_replicas,
+    top_k,
+    p95_target_s,
+    spill_headroom,
+    profile_seed,
+    rounds,
+    seed,
+):
+    """For ANY queue state -- arbitrary busy history, latency/energy
+    estimates (including unobserved members), target and headroom -- the
+    heterogeneous group's top-k equals the IMC-only reference's."""
+    num_shards = min(num_shards, num_items)
+    top_k = min(top_k, num_items)
+    rng = np.random.default_rng(seed)
+    scores = rng.permutation(num_queries * num_items).reshape(
+        num_queries, num_items
+    ).astype(np.float64)
+    queries = [
+        ServeQuery.make([index], [index], [index]) for index in range(num_queries)
+    ]
+    query_index = {query: index for index, query in enumerate(queries)}
+
+    profile_rng = np.random.default_rng(profile_seed)
+
+    def replica_profile():
+        latency = (
+            None
+            if profile_rng.random() < 0.3
+            else float(profile_rng.uniform(1e-6, 2.0 * p95_target_s))
+        )
+        energy = (
+            None
+            if profile_rng.random() < 0.3
+            else float(profile_rng.uniform(1.0, 1e6))
+        )
+        return latency, energy
+
+    unsharded = _MatrixEngine(scores, query_index, np.arange(num_items), top_k)
+    shards = []
+    for subset in partition_corpus(num_items, num_shards):
+        members = []
+        for _ in range(num_replicas):
+            latency, energy = replica_profile()
+            members.append(
+                _HeteroEngine(
+                    scores, query_index, subset, top_k,
+                    latency_est=latency, energy_est=energy,
+                )
+            )
+        group = ReplicaGroup(
+            members, p95_target_s=p95_target_s, spill_headroom=spill_headroom
+        )
+        # Arbitrary pre-existing queue state.
+        group.busy_s = [
+            float(value)
+            for value in profile_rng.uniform(0.0, 5.0, size=num_replicas)
+        ]
+        shards.append(group)
+    sharded = ShardedEngine(shards, top_k=top_k)
+
+    for _ in range(rounds):
+        expected = unsharded.serve_batch(queries)
+        merged = sharded.serve_batch(queries)
+        for expected_result, merged_result in zip(expected.results, merged.results):
+            assert merged_result.items == expected_result.items
+            assert merged_result.scores == expected_result.scores
+
+    for group in shards:
+        total_assigned = sum(group.assigned)
+        assert 0 <= group.spilled <= total_assigned
+        assert total_assigned == rounds * num_queries
 
 
 # -- cache energy accounting ---------------------------------------------

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.pipeline import GPUReferenceEngine, IMARSEngine, ServeQuery
+from repro.core.pipeline import GPUReferenceEngine, IMARSEngine
 from repro.serving.shard import (
     ReplicaGroup,
     ShardedEngine,
