@@ -69,8 +69,12 @@ from repro.gpu.kernels import (
 )
 from repro.lsh.hyperplane import RandomHyperplaneLSH
 from repro.models.youtube_dnn import YouTubeDNNFiltering, YouTubeDNNRanking
-from repro.nns.exact import cosine_topk
-from repro.nns.fixed_radius import cap_candidates, fixed_radius_candidates
+from repro.nns.exact import cosine_topk, topk_indices_batch
+from repro.nns.fixed_radius import (
+    cap_candidates,
+    fixed_radius_candidates,
+    fixed_radius_candidates_batch,
+)
 from repro.nns.lsh_search import LSHHammingIndex
 from repro.quant.int8 import dequantize, quantize_symmetric
 
@@ -241,7 +245,7 @@ class _EngineBase:
         """
         if not queries:
             return BatchResult(results=[], cost=Cost())
-        results = [self.recommend_query(query) for query in queries]
+        results = self._serve_results(queries)
         cost = self._batch_cost(results)
         observed = cost.latency_s / len(results)
         if self._ewma_query_latency_s is None:
@@ -258,6 +262,12 @@ class _EngineBase:
                 observed_energy - self._ewma_query_energy_pj
             )
         return BatchResult(results=results, cost=cost)
+
+    def _serve_results(self, queries: Sequence[ServeQuery]) -> List[QueryResult]:
+        """Per-query results for a batch; the base class loops
+        :meth:`recommend_query` (engines with multi-query kernels
+        override this -- results must stay bit-identical either way)."""
+        return [self.recommend_query(query) for query in queries]
 
     def _batch_cost(self, results: Sequence[QueryResult]) -> Cost:
         """Engine occupancy for a batch; base class serialises queries."""
@@ -419,14 +429,26 @@ class IMARSEngine(_EngineBase):
         analog_dnn: bool = False,
         seed: int = 0,
         item_subset: Optional[Sequence[int]] = None,
+        use_vector_kernels: bool = True,
     ):
         """``analog_dnn=True`` routes the ranking MLP through the functional
         analog crossbar tiles (DAC/ADC quantisation + conductance noise)
-        instead of exact arithmetic -- the full-fidelity simulation mode."""
+        instead of exact arithmetic -- the full-fidelity simulation mode.
+
+        ``use_vector_kernels=False`` pins :meth:`serve_batch` to the
+        scalar per-query reference path -- the oracle the equivalence
+        suite compares the multi-query kernels against (recommendations,
+        scores and ledger energies are bit-identical either way).
+        ``analog_dnn`` implies the scalar path: crossbar noise draws
+        depend on call order, which batching would reshuffle."""
         super().__init__(filtering_model, ranking_model, num_candidates, top_k)
         self.mapping = mapping
         self.cost_model = cost_model or IMARSCostModel(mapping)
         self.analog_dnn = analog_dnn
+        self.use_vector_kernels = use_vector_kernels and not analog_dnn
+        self._filtering_entries_cache: Optional[List[Tuple[str, Cost]]] = None
+        self._stage_entries_cache: dict = {}
+        self._query_template_cache: dict = {}
         self._analog_bank = None
         if analog_dnn:
             from repro.core.dnn_stack import CrossbarBank
@@ -453,15 +475,21 @@ class IMARSEngine(_EngineBase):
         )
         self.index = LSHHammingIndex(self.item_table, hasher=hasher)
 
+        # First-layer-decomposed CTR scorer over the shard's (dequantised)
+        # table: the scalar oracle and the multi-query kernels both score
+        # through it, so recommendations stay bit-identical across batch
+        # sizes.  The analog mode keeps the full per-candidate forward --
+        # crossbar noise has no decomposable form.
+        self._scorer = (
+            None if analog_dnn else ranking_model.make_serving_scorer(self.item_table)
+        )
+
         # Population-level fixed radius calibrated for the target candidate
         # count (the dummy-cell reference setting).
         rng = np.random.default_rng(seed)
         probes = rng.normal(0.0, 1.0, size=(32, float_table.shape[1]))
         target = min(self.num_candidates, self.corpus_size)
-        radii = [
-            self.index.calibrate_radius(probe, target)
-            for probe in probes
-        ]
+        radii = self.index.calibrate_radius_batch(probes, target)
         self.radius = int(round(float(np.median(radii))))
 
     def _score_candidates(
@@ -526,7 +554,12 @@ class IMARSEngine(_EngineBase):
         candidates = cap_candidates(candidates, distances, self.num_candidates)
 
         self._charge_ranking(ledger, len(candidates))
-        ctrs = self._score_candidates(user, self.item_table[candidates], context)
+        if self._scorer is None:
+            ctrs = self._score_candidates(
+                user, self.item_table[candidates], context
+            )
+        else:
+            ctrs = self._scorer.score_query(user, candidates, context)
 
         self._charge_topk(ledger, len(candidates))
         order = np.argsort(-ctrs, kind="stable")[: self.top_k]
@@ -538,6 +571,124 @@ class IMARSEngine(_EngineBase):
             ledger=ledger,
             scores=[float(ctrs[index]) for index in order],
         )
+
+    # -- cost templates (vectorised serving) ----------------------------
+    #
+    # Every charge the cost hooks make is a pure function of the engine's
+    # configuration and the query's candidate count, so the vectorised
+    # path evaluates each hook once (per distinct count) and replays the
+    # cached entries into every query's ledger: identical categories,
+    # identical Cost values, identical entry order -- hence bitwise the
+    # same per-query totals as the scalar hooks recomputing them.
+
+    def _filtering_entries(self) -> List[Tuple[str, Cost]]:
+        """The (query-independent) filtering-stage ledger entries."""
+        if self._filtering_entries_cache is None:
+            probe = Ledger()
+            self._charge_filtering(probe)
+            self._filtering_entries_cache = list(probe)
+        return self._filtering_entries_cache
+
+    def _post_filter_entries(self, candidate_count: int) -> List[Tuple[str, Cost]]:
+        """Ranking + top-k ledger entries for one candidate count."""
+        cached = self._stage_entries_cache.get(candidate_count)
+        if cached is None:
+            probe = Ledger()
+            self._charge_ranking(probe, candidate_count)
+            self._charge_topk(probe, candidate_count)
+            cached = list(probe)
+            self._stage_entries_cache[candidate_count] = cached
+        return cached
+
+    def _query_cost_template(
+        self, candidate_count: int
+    ) -> Tuple[List[Tuple[str, Cost]], Cost]:
+        """Full per-query ledger entries + their sequential total.
+
+        The total is the same ``Cost.sequence`` fold ``Ledger.total()``
+        performs over the same entries in the same order, computed once
+        per distinct candidate count instead of once per query.
+        """
+        cached = self._query_template_cache.get(candidate_count)
+        if cached is None:
+            entries = self._filtering_entries() + self._post_filter_entries(
+                candidate_count
+            )
+            cached = (entries, Cost.sequence(cost for _, cost in entries))
+            self._query_template_cache[candidate_count] = cached
+        return cached
+
+    def _serve_results(self, queries: Sequence[ServeQuery]) -> List[QueryResult]:
+        """Multi-query kernels for the whole batch (Sec. III's array view).
+
+        One batched user-embedding pass, one packed XOR+popcount Hamming
+        scan, one stable-argsort candidate selection, one flat ranking
+        pass and one multi-query top-k serve every query at once;
+        per-query ledgers replay the cached cost templates.  Bit-identical
+        to the scalar loop by construction (pinned by the equivalence
+        suite); ``use_vector_kernels=False`` or ``analog_dnn`` falls back
+        to the per-query reference path.
+        """
+        if not self.use_vector_kernels:
+            return super()._serve_results(queries)
+        num_queries = len(queries)
+        histories = [list(query.history) for query in queries]
+        demographics = np.asarray(
+            [query.demographics for query in queries], dtype=np.int64
+        )
+        contexts = np.asarray([query.context for query in queries], dtype=np.int64)
+
+        users = self.filtering_model.user_embedding(histories, demographics)
+        distances = self.index.distances_batch(users)
+        padded, counts = fixed_radius_candidates_batch(
+            distances, self.radius, self.num_candidates
+        )
+        width = padded.shape[1]
+        valid = np.arange(width) < counts[:, None]
+
+        # Flat ranking pass: candidate rows of all queries concatenated
+        # (row-major over ``padded``, so each query's block keeps its
+        # ascending-index candidate order); per-query first-layer
+        # constants computed once, candidates gathered from the scorer's
+        # pre-projected item table.
+        flat_candidates = padded[valid]
+        flat_query = np.repeat(np.arange(num_queries), counts)
+        constants = self._scorer.query_constants(users, contexts)
+        flat_ctrs = self._scorer.score_grouped(
+            constants, flat_query, flat_candidates
+        )
+
+        # Multi-query top-k over the ragged score groups: CTRs are
+        # sigmoid outputs (> 0), so -1 padding can never be selected.
+        scores = np.full((num_queries, width), -1.0)
+        scores[valid] = flat_ctrs
+        order = topk_indices_batch(scores, self.top_k, valid_counts=counts)
+
+        # One gather turns the ranked positions back into global item ids
+        # and scores for every query at once; rows shorter than top-k are
+        # clamped before the id lookup (the clamped tail is sliced away
+        # below) so the sentinel column can never index out of range.
+        ranked = np.take_along_axis(padded, order, axis=1)
+        item_lists = self._global_ids[
+            np.minimum(ranked, self.index.num_items - 1)
+        ].tolist()
+        score_lists = np.take_along_axis(scores, order, axis=1).tolist()
+
+        ledger_name = self._ledger_name()
+        results: List[QueryResult] = []
+        for position, count in enumerate(counts.tolist()):
+            take = min(self.top_k, count)
+            entries, total = self._query_cost_template(count)
+            results.append(
+                QueryResult(
+                    items=item_lists[position][:take],
+                    candidate_count=count,
+                    cost=total,
+                    ledger=Ledger(name=ledger_name, _entries=list(entries)),
+                    scores=score_lists[position][:take],
+                )
+            )
+        return results
 
     def _batch_cost(self, results: Sequence[QueryResult]) -> Cost:
         """Pipelined iMARS serving: stages overlap across batched queries.
@@ -598,6 +749,7 @@ class GPUSpilloverEngine(_GPUBatchCostMixin, IMARSEngine):
         seed: int = 0,
         item_subset: Optional[Sequence[int]] = None,
         device: GPUDeviceModel = GTX1080,
+        use_vector_kernels: bool = True,
     ):
         super().__init__(
             filtering_model,
@@ -610,6 +762,7 @@ class GPUSpilloverEngine(_GPUBatchCostMixin, IMARSEngine):
             analog_dnn=False,
             seed=seed,
             item_subset=item_subset,
+            use_vector_kernels=use_vector_kernels,
         )
         self.device = device
         self._filtering_tables, self._ranking_tables = _gpu_table_counts(

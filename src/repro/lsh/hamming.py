@@ -3,6 +3,13 @@
 These are the software counterparts of the TCAM match operation: packed
 XOR + popcount for speed on the GPU-baseline side, and plain bit-matrix
 distances for cross-checking the CMA search results.
+
+The multi-query serving kernels work on ``uint64`` bitplanes
+(:func:`pack_bits_u64`): a (Q, words) query block XORs against an
+(N, words) item block and popcounts in one vectorised (Q, N) scan
+(:func:`hamming_matrix_packed`) -- the software shape of the TCAM array
+matching all rows at once.  Distances are exact integer counts, so the
+packed kernels agree bitwise with the byte-table reference paths.
 """
 
 from __future__ import annotations
@@ -11,10 +18,12 @@ import numpy as np
 
 __all__ = [
     "pack_bits",
+    "pack_bits_u64",
     "unpack_bits",
     "hamming_distance",
     "pairwise_hamming",
     "hamming_matrix",
+    "hamming_matrix_packed",
 ]
 
 
@@ -35,7 +44,62 @@ def unpack_bits(packed: np.ndarray, num_bits: int) -> np.ndarray:
     return unpacked[:, :num_bits]
 
 
+def pack_bits_u64(bits: np.ndarray) -> np.ndarray:
+    """Pack a (n, b) 0/1 matrix into (n, ceil(b/64)) uint64 words.
+
+    The word layout is byte-compatible with :func:`pack_bits` (big-endian
+    bit order within each byte) widened to 64-bit lanes, so XOR+popcount
+    over these words counts exactly the same mismatching bits.
+    """
+    packed8 = pack_bits(bits)
+    num_rows, num_bytes = packed8.shape
+    pad = (-num_bytes) % 8
+    if pad:
+        packed8 = np.concatenate(
+            [packed8, np.zeros((num_rows, pad), dtype=np.uint8)], axis=1
+        )
+    return packed8.view(np.uint64)
+
+
 _POPCOUNT_TABLE = np.array([bin(value).count("1") for value in range(256)], dtype=np.uint8)
+
+#: Cap on the uint64 words a single XOR block may hold (~32 MiB) before
+#: :func:`hamming_matrix_packed` falls back to query-chunked scans.
+_PACKED_CHUNK_WORDS = 1 << 22
+
+
+def _popcount_rows(words: np.ndarray) -> np.ndarray:
+    """Sum of per-element popcounts along the last axis (int64 result)."""
+    if hasattr(np, "bitwise_count"):  # numpy >= 2.0
+        return np.bitwise_count(words).sum(axis=-1, dtype=np.int64)
+    return _POPCOUNT_TABLE[words.view(np.uint8)].sum(axis=-1, dtype=np.int64)
+
+
+def hamming_matrix_packed(
+    query_words: np.ndarray, item_words: np.ndarray
+) -> np.ndarray:
+    """(Q, N) Hamming distances between two :func:`pack_bits_u64` blocks.
+
+    One vectorised XOR + popcount scan per query chunk -- the multi-query
+    kernel the serving hot path runs instead of per-row
+    :func:`pairwise_hamming` calls.  Distances are exact integers.
+    """
+    queries = np.atleast_2d(np.asarray(query_words, dtype=np.uint64))
+    items = np.atleast_2d(np.asarray(item_words, dtype=np.uint64))
+    if queries.shape[1] != items.shape[1]:
+        raise ValueError(
+            f"word widths differ: {queries.shape[1]} vs {items.shape[1]}"
+        )
+    num_queries, words = queries.shape
+    num_items = items.shape[0]
+    out = np.empty((num_queries, num_items), dtype=np.int64)
+    per_row = max(1, num_items * words)
+    chunk = max(1, _PACKED_CHUNK_WORDS // per_row)
+    for start in range(0, num_queries, chunk):
+        stop = min(start + chunk, num_queries)
+        xored = queries[start:stop, None, :] ^ items[None, :, :]
+        out[start:stop] = _popcount_rows(xored)
+    return out
 
 
 def hamming_distance(bits_a: np.ndarray, bits_b: np.ndarray) -> int:

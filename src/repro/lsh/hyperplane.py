@@ -18,6 +18,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.nn.stable import stable_matmul
+
 __all__ = ["RandomHyperplaneLSH", "expected_collision_probability"]
 
 
@@ -52,7 +54,9 @@ class RandomHyperplaneLSH:
             raise ValueError(
                 f"expected vectors of dimension {self.input_dim}, got {matrix.shape[1]}"
             )
-        projections = matrix @ self._planes
+        # stable_matmul: a query hashed alone and the same query hashed
+        # inside a batch must project (and therefore sign) identically.
+        projections = stable_matmul(matrix, self._planes)
         return (projections >= 0.0).astype(np.uint8)
 
     def signature(self, vector: np.ndarray) -> np.ndarray:

@@ -16,6 +16,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.nn.module import Module, Parameter
+from repro.nn.stable import stable_matmul
 
 __all__ = [
     "Linear",
@@ -59,7 +60,10 @@ class Linear(Module):
                 f"expected (batch, {self.in_features}) input, got {inputs.shape}"
             )
         self._input_cache = inputs
-        outputs = inputs @ self.weight.data
+        # stable_matmul keeps each output row bitwise-independent of the
+        # batch it rides in -- the invariant the serving subsystem's
+        # scalar-vs-vectorised equivalence contract rests on.
+        outputs = stable_matmul(inputs, self.weight.data)
         if self.bias is not None:
             outputs = outputs + self.bias.data
         return outputs

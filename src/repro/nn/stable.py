@@ -1,0 +1,58 @@
+"""Batch-size-stable dense matmul.
+
+The serving subsystem promises *bit-identical* recommendations whether a
+query is served alone or inside a vectorised micro-batch (the scalar
+reference oracle vs the multi-query kernels).  BLAS breaks that promise
+out of the box: optimised GEMM backends dispatch different kernels for
+degenerate shapes -- a 1-row batch takes the GEMV path and a 1-column
+output (the ranking net's final ``128-1`` layer) takes a dot-product
+path -- and those kernels reduce in a different order than the blocked
+GEMM used for general shapes, so the same row of inputs can produce
+results differing in the last ulp depending on the batch it rides in.
+
+:func:`stable_matmul` removes the degenerate shapes instead of fighting
+the backend: the batch is padded to at least two rows (duplicating a
+row) and the weight matrix to at least eight columns (appending zero
+columns), so every call lands on the same row-stable blocked-GEMM
+kernel; the padding is sliced away from the result.  Empirically (and
+pinned by the scalar-vs-vectorised equivalence suite) each output row
+then depends only on its own input row -- batch-of-1 and batch-of-100k
+agree bitwise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["stable_matmul"]
+
+#: Narrowest output width that keeps the BLAS backend on its blocked
+#: (row-stable) GEMM kernel; narrower outputs fall into dot/GEMV paths
+#: whose reduction order varies with the batch size.
+_MIN_STABLE_COLS = 8
+
+
+def stable_matmul(inputs: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    """``inputs @ weights`` with rows bitwise-independent of batch size.
+
+    Parameters
+    ----------
+    inputs:
+        ``(batch, in_features)`` float64 matrix.
+    weights:
+        ``(in_features, out_features)`` float64 matrix.
+    """
+    rows, cols = inputs.shape[0], weights.shape[1]
+    padded_inputs = inputs
+    if rows == 1:
+        padded_inputs = np.concatenate([inputs, inputs], axis=0)
+    padded_weights = weights
+    if cols < _MIN_STABLE_COLS:
+        padded_weights = np.concatenate(
+            [weights, np.zeros((weights.shape[0], _MIN_STABLE_COLS - cols))],
+            axis=1,
+        )
+    product = padded_inputs @ padded_weights
+    if padded_inputs is inputs and padded_weights is weights:
+        return product
+    return np.ascontiguousarray(product[:rows, :cols])

@@ -9,11 +9,17 @@ product.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
-__all__ = ["cosine_similarities", "cosine_topk", "inner_product_topk", "topk_indices"]
+__all__ = [
+    "cosine_similarities",
+    "cosine_topk",
+    "inner_product_topk",
+    "topk_indices",
+    "topk_indices_batch",
+]
 
 
 def topk_indices(scores: np.ndarray, k: int) -> np.ndarray:
@@ -28,6 +34,59 @@ def topk_indices(scores: np.ndarray, k: int) -> np.ndarray:
     k = min(k, flat.shape[0])
     partitioned = np.argpartition(-flat, k - 1)[:k]
     return partitioned[np.argsort(-flat[partitioned], kind="stable")]
+
+
+def topk_indices_batch(
+    scores: np.ndarray,
+    k: int,
+    valid_counts: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Multi-query top-k: one argpartition over a (Q, N) score matrix.
+
+    Returns a (Q, min(k, N)) index matrix whose row ``q`` equals
+    ``np.argsort(-scores[q], kind="stable")[:k]`` -- descending score,
+    ties broken by ascending index -- which is the deterministic order
+    every serving engine's final top-k uses.  The O(N) argpartition does
+    the selection; only rows with a tie *straddling* the k-th place fall
+    back to a full sort, so the common case never sorts the corpus.
+
+    ``valid_counts`` marks ragged rows: entries at column >= count are
+    padding and never selected (rows with fewer than ``k`` valid entries
+    return their valid indices first; callers slice by count).
+    """
+    matrix = np.asarray(scores, dtype=np.float64)
+    if matrix.ndim != 2:
+        raise ValueError(f"scores must be (Q, N), got {matrix.shape}")
+    num_queries, width = matrix.shape
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if valid_counts is not None:
+        counts = np.asarray(valid_counts, dtype=np.int64)
+        if counts.shape != (num_queries,):
+            raise ValueError("valid_counts must have one entry per row")
+        # Padding sinks below every finite score and keeps row order.
+        matrix = np.where(np.arange(width) < counts[:, None], matrix, -np.inf)
+    k = min(k, width)
+    if num_queries == 0:
+        return np.empty((0, k), dtype=np.int64)
+    if k == width:
+        chosen = np.broadcast_to(np.arange(width), (num_queries, width)).copy()
+    else:
+        chosen = np.argpartition(-matrix, k - 1, axis=1)[:, :k]
+        chosen_scores = np.take_along_axis(matrix, chosen, axis=1)
+        # A tie straddles the boundary when the k-th value occurs more
+        # often in the row than in the selected set; those rows need the
+        # full (-score, index) order to pick the lowest-index ties.
+        kth = chosen_scores.min(axis=1, keepdims=True)
+        total_at_kth = (matrix == kth).sum(axis=1)
+        chosen_at_kth = (chosen_scores == kth).sum(axis=1)
+        for row in np.flatnonzero(total_at_kth > chosen_at_kth):
+            chosen[row] = np.argsort(-matrix[row], kind="stable")[:k]
+    row_scores = np.take_along_axis(matrix, chosen, axis=1)
+    # lexsort keys are least-significant first: order by descending score,
+    # then ascending index -- exactly the stable-argsort tie rule.
+    order = np.lexsort((chosen, -row_scores), axis=1)
+    return np.take_along_axis(chosen, order, axis=1)
 
 
 def cosine_similarities(query: np.ndarray, items: np.ndarray) -> np.ndarray:

@@ -11,11 +11,16 @@ candidate sets for the ranking stage.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["calibrate_population_radius", "fixed_radius_candidates", "cap_candidates"]
+__all__ = [
+    "calibrate_population_radius",
+    "fixed_radius_candidates",
+    "fixed_radius_candidates_batch",
+    "cap_candidates",
+]
 
 
 def calibrate_population_radius(
@@ -41,15 +46,19 @@ def calibrate_population_radius(
     rows = [np.asarray(row, dtype=np.int64) for row in distance_rows]
     if not rows:
         raise ValueError("need at least one calibration query")
-    best_radius, best_gap = 0, float("inf")
-    for radius in range(max_radius + 1):
-        mean_count = float(np.mean([(row <= radius).sum() for row in rows]))
-        gap = abs(mean_count - target_mean_candidates)
-        if gap < best_gap:
-            best_radius, best_gap = radius, gap
-        if mean_count >= target_mean_candidates and gap > best_gap:
-            break  # counts grow monotonically; past the target the gap only grows
-    return best_radius
+    # One histogram over the stacked distances replaces the per-radius
+    # per-row scan: mean_count(r) is a cumulative count of distances <= r.
+    # Counts grow monotonically in r, so the first global argmin of the
+    # gap is exactly what the scan-with-early-break used to return.
+    stacked = np.concatenate(rows)
+    if stacked.size and stacked.min() < 0:
+        raise ValueError("distances must be non-negative")
+    histogram = np.bincount(
+        np.minimum(stacked, max_radius + 1), minlength=max_radius + 2
+    )
+    mean_counts = np.cumsum(histogram[: max_radius + 1]) / len(rows)
+    gaps = np.abs(mean_counts - target_mean_candidates)
+    return int(np.argmin(gaps))
 
 
 def fixed_radius_candidates(distances: np.ndarray, radius: int) -> np.ndarray:
@@ -57,6 +66,46 @@ def fixed_radius_candidates(distances: np.ndarray, radius: int) -> np.ndarray:
     if radius < 0:
         raise ValueError(f"radius must be non-negative, got {radius}")
     return np.flatnonzero(np.asarray(distances, dtype=np.int64) <= radius)
+
+
+def fixed_radius_candidates_batch(
+    distances: np.ndarray, radius: int, cap: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Batched threshold match + nearest-fallback + cap over (Q, N) rows.
+
+    One stable argsort per batch replaces the per-query
+    ``fixed_radius_candidates`` / ``argmin`` fallback / ``cap_candidates``
+    chain, reproducing its semantics exactly for every row:
+
+    * rows with ``count`` in-radius entries keep all of them when
+      ``count <= cap``, else the ``cap`` closest (stable ties by index);
+    * empty rows fall back to the single nearest signature (the
+      threshold raised one step);
+    * each row's survivors come back in ascending index order.
+
+    Returns ``(padded, counts)``: ``padded`` is (Q, max(counts)) int64
+    with each row's ``counts[q]`` candidate indices ascending, padded
+    with ``N`` (one past the last valid index); ``counts`` is (Q,).
+    """
+    if radius < 0:
+        raise ValueError(f"radius must be non-negative, got {radius}")
+    if cap < 1:
+        raise ValueError(f"cap must be >= 1, got {cap}")
+    matrix = np.asarray(distances, dtype=np.int64)
+    if matrix.ndim != 2:
+        raise ValueError(f"distances must be (Q, N), got {matrix.shape}")
+    num_queries, num_items = matrix.shape
+    counts = np.clip((matrix <= radius).sum(axis=1), 1, cap)
+    width = int(counts.max()) if num_queries else 1
+    # Stable sort by (distance, index): the first ``count`` positions are
+    # precisely the in-radius set (or the argmin fallback for count=1
+    # rows), with capping preferring smaller distances then lower index --
+    # the cap_candidates rule.
+    order = np.argsort(matrix, axis=1, kind="stable")[:, :width]
+    padded = np.where(np.arange(width) < counts[:, None], order, num_items)
+    # Ascending-index (priority-encoder) order within each row; the
+    # ``num_items`` sentinels sort past every real index.
+    return np.sort(padded, axis=1), counts
 
 
 def cap_candidates(candidates: np.ndarray, distances: np.ndarray, cap: int) -> np.ndarray:

@@ -15,7 +15,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.lsh.hyperplane import RandomHyperplaneLSH
-from repro.lsh.hamming import pairwise_hamming
+from repro.lsh.hamming import hamming_matrix_packed, pack_bits_u64
 from repro.nns.exact import topk_indices
 
 __all__ = ["LSHHammingIndex"]
@@ -40,6 +40,9 @@ class LSHHammingIndex:
             raise ValueError("hasher input dimension does not match item embeddings")
         self.signature_bits = self.hasher.signature_bits
         self._item_signatures = self.hasher.signatures(items)
+        # uint64 bitplanes of the same signatures: what the multi-query
+        # XOR+popcount kernel scans (exact integer distances either way).
+        self._item_words = pack_bits_u64(self._item_signatures)
 
     @property
     def item_signatures(self) -> np.ndarray:
@@ -52,8 +55,21 @@ class LSHHammingIndex:
 
     def distances(self, query_embedding: np.ndarray) -> np.ndarray:
         """Hamming distances from the hashed query to every stored item."""
-        signature = self.query_signature(query_embedding)
-        return pairwise_hamming(signature, self._item_signatures)
+        return self.distances_batch(
+            np.asarray(query_embedding).reshape(1, -1)
+        )[0]
+
+    def distances_batch(self, query_embeddings: np.ndarray) -> np.ndarray:
+        """(Q, n) Hamming distances for a whole query batch at once.
+
+        Queries are hashed in one projection and scanned against the
+        packed item bitplanes in one XOR+popcount kernel -- the TCAM-like
+        multi-query scan the serving hot path runs.  Row ``q`` equals
+        ``distances(query_embeddings[q])`` exactly (integer counts).
+        """
+        matrix = np.atleast_2d(np.asarray(query_embeddings, dtype=np.float64))
+        signatures = self.hasher.signatures(matrix)
+        return hamming_matrix_packed(pack_bits_u64(signatures), self._item_words)
 
     def search_topk(self, query_embedding: np.ndarray, k: int) -> Tuple[np.ndarray, np.ndarray]:
         """k items with the smallest Hamming distance: (indices, distances)."""
@@ -85,3 +101,18 @@ class LSHHammingIndex:
         distances = np.sort(self.distances(query_embedding))
         cutoff = min(target_count, distances.shape[0]) - 1
         return int(distances[cutoff])
+
+    def calibrate_radius_batch(
+        self, query_embeddings: np.ndarray, target_count: int
+    ) -> np.ndarray:
+        """Per-probe :meth:`calibrate_radius` for a whole probe batch.
+
+        One hashed projection, one packed scan and one row-sorted cutoff
+        replace the per-probe loop; entry ``q`` equals
+        ``calibrate_radius(query_embeddings[q], target_count)`` exactly.
+        """
+        if target_count < 1:
+            raise ValueError("target count must be >= 1")
+        distances = np.sort(self.distances_batch(query_embeddings), axis=1)
+        cutoff = min(target_count, distances.shape[1]) - 1
+        return distances[:, cutoff].astype(np.int64)

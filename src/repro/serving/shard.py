@@ -319,6 +319,11 @@ class ShardedEngine:
             raise ValueError("top-k must be >= 1")
         self.shards = list(shards)
         self.top_k = top_k
+        # The platform merge model is a pure function of the gathered
+        # entry count, so each distinct count is priced once per router
+        # and replayed for every query (identical Cost values, identical
+        # fold order -- bitwise the same totals as pricing per query).
+        self._merge_cost_cache: Dict[int, Cost] = {}
 
     @property
     def num_shards(self) -> int:
@@ -341,29 +346,53 @@ class ShardedEngine:
         """Batch-of-one convenience mirroring the engine interface."""
         return self.serve_batch([query]).results[0]
 
+    def _merge_cost_for(self, num_entries: int) -> Cost:
+        """Batch-cached :func:`_member_merge_cost` (priced once per count)."""
+        cached = self._merge_cost_cache.get(num_entries)
+        if cached is None:
+            cached = _member_merge_cost(self.shards, num_entries)
+            self._merge_cost_cache[num_entries] = cached
+        return cached
+
     def serve_batch(self, queries: Sequence[ServeQuery]) -> BatchResult:
-        """Scatter the batch to every shard, gather and merge per query."""
+        """Scatter the batch to every shard, gather and merge at once.
+
+        The gather stacks every shard's ranked lists into one padded
+        (Q, shards * top_k) score matrix and runs a single stable argsort
+        over it: padding scores sit below every CTR (sigmoids are > 0) so
+        they sort last, and padding only inserts *gaps* into the
+        shard-major entry numbering, so the stable tie-break reproduces
+        the per-query ``(-score, entry index)`` merge order bit for bit.
+        """
         if not queries:
             return BatchResult(results=[], cost=Cost())
         shard_batches = [shard.serve_batch(queries) for shard in self.shards]
         # Shards are replicated fabrics running concurrently.
         scatter_cost = Cost.concurrent(batch.cost for batch in shard_batches)
 
+        num_queries = len(queries)
+        width = len(self.shards) * self.top_k
+        score_matrix = np.full((num_queries, width), -1.0)
+        item_matrix = np.zeros((num_queries, width), dtype=np.int64)
+        entry_counts = [0] * num_queries
+        for shard_index, batch in enumerate(shard_batches):
+            base = shard_index * self.top_k
+            for position, result in enumerate(batch.results):
+                length = len(result.scores)
+                score_matrix[position, base : base + length] = result.scores
+                item_matrix[position, base : base + length] = result.items
+                entry_counts[position] += length
+
+        order = np.argsort(-score_matrix, axis=1, kind="stable")[:, : self.top_k]
+        item_lists = np.take_along_axis(item_matrix, order, axis=1).tolist()
+        score_lists = np.take_along_axis(score_matrix, order, axis=1).tolist()
+
         merged: List[QueryResult] = []
         merge_total = Cost()
-        for position in range(len(queries)):
+        for position in range(num_queries):
             per_shard = [batch.results[position] for batch in shard_batches]
-            entries = [
-                (item, score)
-                for result in per_shard
-                for item, score in zip(result.items, result.scores)
-            ]
-            # Stable sort by descending score: ties resolve in shard order,
-            # matching a deterministic priority-encoder gather.
-            order = sorted(
-                range(len(entries)), key=lambda index: (-entries[index][1], index)
-            )[: self.top_k]
-            merge_cost = _member_merge_cost(self.shards, len(entries))
+            num_entries = entry_counts[position]
+            merge_cost = self._merge_cost_for(num_entries)
             merge_total = merge_total.then(merge_cost)
 
             ledger = Ledger(name="sharded-query")
@@ -373,15 +402,16 @@ class ShardedEngine:
             per_query_cost = Cost.concurrent(
                 result.cost for result in per_shard
             ).then(merge_cost)
+            take = min(self.top_k, num_entries)
             merged.append(
                 QueryResult(
-                    items=[entries[index][0] for index in order],
+                    items=item_lists[position][:take],
                     candidate_count=sum(
                         result.candidate_count for result in per_shard
                     ),
                     cost=per_query_cost,
                     ledger=ledger,
-                    scores=[entries[index][1] for index in order],
+                    scores=score_lists[position][:take],
                 )
             )
         return BatchResult(results=merged, cost=scatter_cost.then(merge_total))

@@ -1,0 +1,198 @@
+"""Batched serving kernels pinned against their scalar references.
+
+Every multi-query kernel the vectorised serve path runs -- packed-word
+Hamming scans, batched fixed-radius selection, multi-query top-k and the
+histogram radius calibration -- must return exactly what the per-query
+reference code returns, element for element.  These tests pin that
+contract over exhaustive small cases and randomised fuzzing.
+"""
+
+import numpy as np
+import pytest
+
+from repro.lsh.hamming import (
+    hamming_matrix,
+    hamming_matrix_packed,
+    pack_bits_u64,
+    pairwise_hamming,
+    unpack_bits,
+)
+from repro.nns.exact import topk_indices_batch
+from repro.nns.fixed_radius import (
+    calibrate_population_radius,
+    cap_candidates,
+    fixed_radius_candidates,
+    fixed_radius_candidates_batch,
+)
+
+
+class TestPackedHamming:
+    @pytest.mark.parametrize("num_bits", [1, 7, 63, 64, 65, 127, 256])
+    def test_matches_unpacked_matrix(self, num_bits):
+        rng = np.random.default_rng(num_bits)
+        queries = rng.integers(0, 2, size=(5, num_bits), dtype=np.uint8)
+        items = rng.integers(0, 2, size=(11, num_bits), dtype=np.uint8)
+        packed = hamming_matrix_packed(
+            pack_bits_u64(queries), pack_bits_u64(items)
+        )
+        np.testing.assert_array_equal(packed, hamming_matrix(queries, items))
+
+    def test_matches_pairwise(self):
+        rng = np.random.default_rng(1)
+        queries = rng.integers(0, 2, size=(4, 256), dtype=np.uint8)
+        items = rng.integers(0, 2, size=(9, 256), dtype=np.uint8)
+        packed = hamming_matrix_packed(
+            pack_bits_u64(queries), pack_bits_u64(items)
+        )
+        for row, query in enumerate(queries):
+            np.testing.assert_array_equal(
+                packed[row], pairwise_hamming(query, items)
+            )
+
+    def test_pad_bits_do_not_count(self):
+        # Widths that are not multiples of 64 pad with zero bits; the
+        # distance between identical rows must stay zero.
+        bits = np.ones((2, 65), dtype=np.uint8)
+        packed = pack_bits_u64(bits)
+        assert packed.shape[1] == 2
+        np.testing.assert_array_equal(
+            hamming_matrix_packed(packed, packed), np.zeros((2, 2))
+        )
+
+    def test_word_count_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            hamming_matrix_packed(
+                np.zeros((1, 2), dtype=np.uint64),
+                np.zeros((1, 3), dtype=np.uint64),
+            )
+
+    def test_pack_roundtrip_through_bytes(self):
+        rng = np.random.default_rng(2)
+        bits = rng.integers(0, 2, size=(3, 100), dtype=np.uint8)
+        words = pack_bits_u64(bits)
+        recovered = unpack_bits(words.view(np.uint8), 100)
+        np.testing.assert_array_equal(recovered, bits)
+
+
+class TestTopkIndicesBatch:
+    @staticmethod
+    def reference(matrix, k, counts=None):
+        rows = []
+        for index, row in enumerate(matrix):
+            masked = np.asarray(row, dtype=np.float64).copy()
+            if counts is not None:
+                masked[int(counts[index]) :] = -np.inf
+            rows.append(np.argsort(-masked, kind="stable")[:k])
+        return np.asarray(rows)
+
+    def test_matches_stable_argsort(self):
+        rng = np.random.default_rng(0)
+        for trial in range(50):
+            num_queries = int(rng.integers(1, 8))
+            width = int(rng.integers(1, 30))
+            k = int(rng.integers(1, width + 4))
+            # Heavy ties: scores drawn from a handful of values.
+            matrix = rng.choice([0.1, 0.5, 0.5, 0.9], size=(num_queries, width))
+            got = topk_indices_batch(matrix, k)
+            np.testing.assert_array_equal(
+                got, self.reference(matrix, min(k, width))
+            )
+
+    def test_valid_counts_mask_padding(self):
+        rng = np.random.default_rng(1)
+        for trial in range(50):
+            num_queries = int(rng.integers(1, 8))
+            width = int(rng.integers(2, 20))
+            k = int(rng.integers(1, width + 2))
+            counts = rng.integers(1, width + 1, size=num_queries)
+            matrix = rng.choice([0.2, 0.7, 0.7], size=(num_queries, width))
+            got = topk_indices_batch(matrix, k, valid_counts=counts)
+            np.testing.assert_array_equal(
+                got, self.reference(matrix, min(k, width), counts)
+            )
+
+    def test_empty_batch(self):
+        assert topk_indices_batch(np.empty((0, 5)), 3).shape == (0, 3)
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(ValueError):
+            topk_indices_batch(np.zeros((1, 3)), 0)
+
+
+class TestFixedRadiusBatch:
+    @staticmethod
+    def reference_row(distances, radius, cap):
+        candidates = fixed_radius_candidates(distances, radius)
+        if candidates.shape[0] == 0:
+            candidates = np.array([int(np.argmin(distances))])
+        return cap_candidates(candidates, distances, cap)
+
+    def test_matches_scalar_chain(self):
+        rng = np.random.default_rng(0)
+        for trial in range(100):
+            num_queries = int(rng.integers(1, 10))
+            num_items = int(rng.integers(1, 40))
+            radius = int(rng.integers(0, 12))
+            cap = int(rng.integers(1, 15))
+            distances = rng.integers(0, 16, size=(num_queries, num_items))
+            padded, counts = fixed_radius_candidates_batch(
+                distances, radius, cap
+            )
+            for row in range(num_queries):
+                expected = self.reference_row(distances[row], radius, cap)
+                assert counts[row] == expected.shape[0]
+                np.testing.assert_array_equal(
+                    padded[row, : counts[row]], expected
+                )
+                # Padding is the one-past-the-end sentinel only.
+                assert (padded[row, counts[row] :] == num_items).all()
+
+    def test_invalid_args_rejected(self):
+        with pytest.raises(ValueError):
+            fixed_radius_candidates_batch(np.zeros((1, 2)), -1, 3)
+        with pytest.raises(ValueError):
+            fixed_radius_candidates_batch(np.zeros((1, 2)), 1, 0)
+        with pytest.raises(ValueError):
+            fixed_radius_candidates_batch(np.zeros(3), 1, 1)
+
+
+class TestCalibratePopulationRadiusPin:
+    @staticmethod
+    def reference(distance_rows, target, max_radius):
+        # The pre-vectorisation implementation: scan radii, per-radius
+        # per-row counting, stop once the gap stops shrinking.
+        rows = [np.asarray(row, dtype=np.int64) for row in distance_rows]
+        best_radius, best_gap = 0, float("inf")
+        for radius in range(max_radius + 1):
+            mean_count = float(
+                np.mean([(row <= radius).sum() for row in rows])
+            )
+            gap = abs(mean_count - target)
+            if gap < best_gap:
+                best_radius, best_gap = radius, gap
+        return best_radius
+
+    def test_identical_radius_selection(self):
+        rng = np.random.default_rng(0)
+        for trial in range(60):
+            num_rows = int(rng.integers(1, 8))
+            num_items = int(rng.integers(1, 50))
+            max_radius = int(rng.integers(0, 40))
+            target = float(rng.uniform(0.5, 30.0))
+            rows = [
+                rng.integers(0, max(1, max_radius + 10), size=num_items)
+                for _ in range(num_rows)
+            ]
+            assert calibrate_population_radius(
+                rows, target, max_radius
+            ) == self.reference(rows, target, max_radius)
+
+    def test_ragged_rows(self):
+        rows = [np.array([0, 1, 5]), np.array([2])]
+        assert calibrate_population_radius(rows, 2.0, 8) == self.reference(
+            rows, 2.0, 8
+        )
+
+    def test_negative_distances_rejected(self):
+        with pytest.raises(ValueError):
+            calibrate_population_radius([np.array([-1, 2])], 1.0, 4)
