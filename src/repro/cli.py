@@ -6,6 +6,9 @@ Usage::
     python -m repro.cli run E5               # regenerate Table III
     python -m repro.cli run all              # every experiment
     python -m repro.cli run E7 --save out/   # also write the report to disk
+
+    # serving experiments can export telemetry (Chrome trace + Prometheus):
+    python -m repro.cli run E-hetero --trace-out trace.json --metrics-out metrics.prom
 """
 
 from __future__ import annotations
@@ -73,11 +76,25 @@ EXPERIMENTS: Dict[str, tuple] = {
     ),
 }
 
+#: Experiments that drive the serving stack and accept telemetry exports.
+SERVING_EXPERIMENTS = frozenset({"E-SERVE", "E-AUTOSCALE", "E-HETERO"})
 
-def _run_one(experiment_id: str, save_dir: pathlib.Path = None) -> ExperimentReport:
+
+def _run_one(
+    experiment_id: str,
+    save_dir: pathlib.Path = None,
+    trace_out: str = None,
+    metrics_out: str = None,
+) -> ExperimentReport:
     description, runner = EXPERIMENTS[experiment_id]
     print(f"== {experiment_id}: {description}")
-    report = runner()
+    if trace_out or metrics_out:
+        report = runner(trace_out=trace_out, metrics_out=metrics_out)
+        for path in (trace_out, metrics_out):
+            if path:
+                print(f"   telemetry -> {path}")
+    else:
+        report = runner()
     print(report.format())
     print()
     if save_dir is not None:
@@ -107,6 +124,20 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="directory to write the report text into",
     )
+    run_parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="write a Chrome trace-event JSON (or JSONL for a .jsonl path) "
+        "of the serving timeline; serving experiments only",
+    )
+    run_parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="write a Prometheus text-exposition metrics file; "
+        "serving experiments only",
+    )
     return parser
 
 
@@ -118,7 +149,16 @@ def main(argv=None) -> int:
         return 0
 
     save_dir = pathlib.Path(args.save) if args.save else None
+    trace_out = getattr(args, "trace_out", None)
+    metrics_out = getattr(args, "metrics_out", None)
     target = args.experiment.upper()
+    if (trace_out or metrics_out) and target not in SERVING_EXPERIMENTS:
+        print(
+            "--trace-out/--metrics-out require a serving experiment "
+            f"({', '.join(sorted(SERVING_EXPERIMENTS))}), got {args.experiment!r}",
+            file=sys.stderr,
+        )
+        return 2
     if target == "ALL":
         for experiment_id in EXPERIMENTS:
             _run_one(experiment_id, save_dir)
@@ -130,7 +170,7 @@ def main(argv=None) -> int:
             file=sys.stderr,
         )
         return 2
-    _run_one(target, save_dir)
+    _run_one(target, save_dir, trace_out=trace_out, metrics_out=metrics_out)
     return 0
 
 

@@ -159,6 +159,13 @@ class BatchResult:
 class _EngineBase:
     """Shared model plumbing for both engines."""
 
+    #: Telemetry bundle planted by :func:`repro.obs.attach_telemetry`
+    #: (None when the engine runs uninstrumented).  A class attribute so
+    #: attachment is optional and costs nothing when absent; engines
+    #: never import the obs package -- they only call methods on what
+    #: was attached.
+    _obs = None
+
     def __init__(
         self,
         filtering_model: YouTubeDNNFiltering,
@@ -260,6 +267,26 @@ class _EngineBase:
         else:
             self._ewma_query_energy_pj += 0.3 * (
                 observed_energy - self._ewma_query_energy_pj
+            )
+        obs = self._obs
+        if obs is not None and obs.tracer.active:
+            # Trace-only: the span is derived from the already-computed
+            # cost, so recommendations and ledgers are untouched.
+            start_s = obs.tracer.cursor_s
+            obs.tracer.add(
+                "kernel",
+                start_s,
+                start_s + cost.latency_s,
+                category="kernel",
+                engine=type(self).__name__,
+                kernel=(
+                    "vector"
+                    if getattr(self, "use_vector_kernels", False)
+                    else "scalar"
+                ),
+                queries=len(results),
+                candidates=sum(result.candidate_count for result in results),
+                energy_pj=cost.energy_pj,
             )
         return BatchResult(results=results, cost=cost)
 

@@ -27,12 +27,13 @@ admission cache warmed with the trace's most popular users.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.mapping import WorkloadMapping
 from repro.core.pipeline import ServeQuery
 from repro.data.movielens import MovieLensDataset, movielens_table_specs
 from repro.experiments.common import ExperimentReport
+from repro.obs import Telemetry
 from repro.models.youtube_dnn import (
     YouTubeDNNConfig,
     YouTubeDNNFiltering,
@@ -103,10 +104,23 @@ def _popular_users(requests: Sequence[Request], count: int) -> List[int]:
     return [user for user, _ in frequency.most_common(count)]
 
 
-def run_autoscale_study(seed: int = 0, **overrides) -> ExperimentReport:
-    """Run the closed-loop autoscaler across traffic patterns."""
+def run_autoscale_study(
+    seed: int = 0,
+    trace_out: Optional[str] = None,
+    metrics_out: Optional[str] = None,
+    **overrides,
+) -> ExperimentReport:
+    """Run the closed-loop autoscaler across traffic patterns.
+
+    ``trace_out`` / ``metrics_out`` enable the telemetry plane and write
+    the combined trace (Chrome trace-event JSON, or JSONL for a
+    ``.jsonl`` path) and Prometheus textfile covering every evaluated
+    deployment.  Tracing is observation-only: the converged deployments
+    are bit-identical with it on or off.
+    """
     params = dict(AUTOSCALE_STUDY_DEFAULTS)
     params.update(overrides)
+    telemetry = Telemetry() if (trace_out or metrics_out) else None
     report = ExperimentReport(
         "E-AUTOSCALE", "Closed-loop autoscaler: shards x replicas vs p95 SLO"
     )
@@ -239,6 +253,7 @@ def run_autoscale_study(seed: int = 0, **overrides) -> ExperimentReport:
                 scheduler=scheduler,
                 cache=cache,
                 label=f"autoscale {name} s={shards} r={replicas}",
+                telemetry=telemetry,
             )
             session.warm(warm_users)
             return session.run(requests)
@@ -310,4 +325,6 @@ def run_autoscale_study(seed: int = 0, **overrides) -> ExperimentReport:
     }
     report.extras["rate_qps"] = rate_qps
     report.extras["slo_ms"] = slo_ms
+    if telemetry is not None:
+        telemetry.export(trace_out, metrics_out)
     return report

@@ -45,12 +45,13 @@ guarded by the benchmark regression test.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.core.mapping import WorkloadMapping
 from repro.core.pipeline import ServeQuery
 from repro.data.movielens import MovieLensDataset, movielens_table_specs
 from repro.experiments.common import ExperimentReport
+from repro.obs import Telemetry
 from repro.models.youtube_dnn import (
     YouTubeDNNConfig,
     YouTubeDNNFiltering,
@@ -131,10 +132,23 @@ def _records_identical(left: ServingResult, right: ServingResult) -> bool:
     )
 
 
-def run_hetero_study(seed: int = 0, **overrides) -> ExperimentReport:
-    """Run the heterogeneous-fleet study and fold it into a report."""
+def run_hetero_study(
+    seed: int = 0,
+    trace_out: Optional[str] = None,
+    metrics_out: Optional[str] = None,
+    **overrides,
+) -> ExperimentReport:
+    """Run the heterogeneous-fleet study and fold it into a report.
+
+    ``trace_out`` / ``metrics_out`` enable the telemetry plane and write
+    the combined trace (Chrome trace-event JSON, or JSONL for a
+    ``.jsonl`` path) and Prometheus textfile covering every session in
+    the study.  Tracing is observation-only: the reported frontier,
+    scale events and shed counts are bit-identical with it on or off.
+    """
     params = dict(HETERO_STUDY_DEFAULTS)
     params.update(overrides)
+    telemetry = Telemetry() if (trace_out or metrics_out) else None
     report = ExperimentReport(
         "E-HETERO",
         "Heterogeneous fleet: IMC+GPU spillover, live scaling, admission",
@@ -212,6 +226,7 @@ def run_hetero_study(seed: int = 0, **overrides) -> ExperimentReport:
                 admission=TinyLFUAdmission(seed=seed),
             ),
             label=f"hetero {name}",
+            telemetry=telemetry,
         )
         return session.run(requests)
 
@@ -298,6 +313,7 @@ def run_hetero_study(seed: int = 0, **overrides) -> ExperimentReport:
             engine_factory=engine_factory,
             deployment=(1, 1),
             scaler=scaler,
+            telemetry=telemetry,
         )
         return session.run(burst_requests)
 
@@ -386,6 +402,7 @@ def run_hetero_study(seed: int = 0, **overrides) -> ExperimentReport:
             cache=None,
             label=label,
             admission=admission,
+            telemetry=telemetry,
         )
         return session.run(mix_requests)
 
@@ -449,4 +466,6 @@ def run_hetero_study(seed: int = 0, **overrides) -> ExperimentReport:
     report.extras["unguarded_report"] = unguarded.report
     report.extras["rate_qps"] = rate_qps
     report.extras["slo_ms"] = slo_ms
+    if telemetry is not None:
+        telemetry.export(trace_out, metrics_out)
     return report

@@ -23,12 +23,13 @@ and traffic, not on recommendation accuracy.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.mapping import WorkloadMapping
 from repro.core.pipeline import ServeQuery
 from repro.data.movielens import MovieLensDataset, movielens_table_specs
 from repro.experiments.common import ExperimentReport
+from repro.obs import Telemetry
 from repro.models.youtube_dnn import (
     YouTubeDNNConfig,
     YouTubeDNNFiltering,
@@ -133,10 +134,23 @@ def _records_hit_identity(result: ServingResult) -> bool:
     return True
 
 
-def run_serving_study(seed: int = 0, **overrides) -> ExperimentReport:
-    """Run the full serving grid and fold it into an experiment report."""
+def run_serving_study(
+    seed: int = 0,
+    trace_out: Optional[str] = None,
+    metrics_out: Optional[str] = None,
+    **overrides,
+) -> ExperimentReport:
+    """Run the full serving grid and fold it into an experiment report.
+
+    ``trace_out`` / ``metrics_out`` enable the telemetry plane and write
+    the combined trace (Chrome trace-event JSON, or JSONL for a
+    ``.jsonl`` path) and Prometheus textfile covering every session in
+    the grid.  Tracing is observation-only: reported latencies, energy
+    and recommendations are bit-identical with it on or off.
+    """
     params = dict(SERVING_STUDY_DEFAULTS)
     params.update(overrides)
+    telemetry = Telemetry() if (trace_out or metrics_out) else None
     report = ExperimentReport(
         "E-SERVE", "Online serving: tail latency, sharding, caching"
     )
@@ -183,6 +197,7 @@ def run_serving_study(seed: int = 0, **overrides) -> ExperimentReport:
                     capacity=cache_capacity, rows_per_entry=params["top_k"]
                 ),
                 label=label,
+                telemetry=telemetry,
             )
             result = session.run(requests)
             identity_ok = identity_ok and _records_hit_identity(result)
@@ -243,6 +258,7 @@ def run_serving_study(seed: int = 0, **overrides) -> ExperimentReport:
         scheduler=MicroBatchScheduler(scheduler_config),
         cache=ServingCache(capacity=cache_capacity, rows_per_entry=params["top_k"]),
         label="imars cache-on",
+        telemetry=telemetry,
     ).run(ablation_requests)
     without_cache = ServingSession(
         imars_engine,
@@ -250,6 +266,7 @@ def run_serving_study(seed: int = 0, **overrides) -> ExperimentReport:
         scheduler=MicroBatchScheduler(scheduler_config),
         cache=None,
         label="imars cache-off",
+        telemetry=telemetry,
     ).run(ablation_requests)
     report.add(
         "result cache lowers energy/request",
@@ -275,4 +292,6 @@ def run_serving_study(seed: int = 0, **overrides) -> ExperimentReport:
         "without": without_cache.report,
     }
     report.extras["rate_qps"] = rate_qps
+    if telemetry is not None:
+        telemetry.export(trace_out, metrics_out)
     return report

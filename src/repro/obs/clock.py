@@ -1,0 +1,73 @@
+"""Deterministic simulation clock shared by the serving stack.
+
+Every timeline in the simulator -- traffic arrival processes, the
+scheduler's engine-free clock, the session's stage boundaries -- is plain
+float seconds advanced by non-negative deltas.  Before this module each
+site kept its own ad-hoc ``now += gap`` arithmetic; :class:`SimClock`
+centralises it with the two invariants the replay tests depend on:
+
+* **monotone**: the clock never moves backwards (``advance`` rejects
+  negative deltas, ``advance_to`` ignores times already in the past);
+* **bit-deterministic**: ``advance`` performs exactly one float addition
+  per call, in call order, so a refactored site produces bitwise the
+  same timestamps as the ``now += gap`` loop it replaced.
+
+The clock is simulation time, not wall-clock time: nothing here reads
+``time.time()``.  The telemetry plane (:mod:`repro.obs.tracer`) stamps
+every span from these values, which is why traces are reproducible
+artefacts rather than profiles of the host machine.
+"""
+
+from __future__ import annotations
+
+__all__ = ["SimClock"]
+
+
+class SimClock:
+    """A monotone float-seconds clock for discrete-event simulation."""
+
+    __slots__ = ("_now_s",)
+
+    def __init__(self, start_s: float = 0.0):
+        if start_s < 0.0:
+            raise ValueError(f"clock cannot start before zero, got {start_s}")
+        self._now_s = float(start_s)
+
+    @property
+    def now_s(self) -> float:
+        """The current simulation time in seconds."""
+        return self._now_s
+
+    def advance(self, delta_s: float) -> float:
+        """Move forward by ``delta_s`` seconds; returns the new time.
+
+        Exactly one float addition (``now + delta``), so replacing a
+        hand-rolled ``now += gap`` accumulation with a clock keeps every
+        produced timestamp bitwise identical.
+        """
+        if delta_s < 0.0:
+            raise ValueError(f"clock can only move forward, got delta {delta_s}")
+        self._now_s += delta_s
+        return self._now_s
+
+    def advance_to(self, time_s: float) -> float:
+        """Jump forward to ``time_s`` (no-op if already past); returns now."""
+        if time_s > self._now_s:
+            self._now_s = time_s
+        return self._now_s
+
+    def latest(self, time_s: float) -> float:
+        """``max(time_s, now)`` without mutating the clock.
+
+        The scheduler's admission window opens at the later of "first
+        request arrived" and "engine went free" -- this is that
+        comparison, expressed against the clock.
+        """
+        return time_s if time_s > self._now_s else self._now_s
+
+    def elapsed_since(self, earlier_s: float) -> float:
+        """Seconds between ``earlier_s`` and now (negative if in the future)."""
+        return self._now_s - earlier_s
+
+    def __repr__(self) -> str:
+        return f"SimClock(now_s={self._now_s!r})"

@@ -28,11 +28,13 @@ bounded hold time) survive adaptation.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.obs.clock import SimClock
 from repro.serving.traffic import Request
 
 __all__ = [
@@ -115,6 +117,9 @@ class Batch:
     requests: List[Request]
     open_s: float  # when the admission window opened
     dispatch_s: float  # when the batch entered the engine
+    #: Requests already arrived but not yet served at dispatch (batch
+    #: members included) -- the backlog the telemetry plane reports.
+    queue_depth: int = 0
 
     def __len__(self) -> int:
         return len(self.requests)
@@ -132,6 +137,9 @@ class MicroBatchScheduler:
         # A fresh default per instance: sharing one config object across
         # schedulers couples them the moment any policy retunes its knobs.
         self.config = config if config is not None else MicroBatchConfig()
+        #: Optional :class:`repro.obs.Telemetry` the owning session plants
+        #: so adaptive policies can annotate their retune decisions.
+        self.telemetry = None
 
     def _admission_limits(self) -> Tuple[int, float]:
         """(batch cap, wait window) in effect for the next batch."""
@@ -153,12 +161,17 @@ class MicroBatchScheduler:
         amount.  Returns every dispatched batch in dispatch order.
         """
         ordered = sorted(requests, key=lambda request: request.arrival_s)
+        arrivals = [request.arrival_s for request in ordered]
         batches: List[Batch] = []
-        free_s = 0.0
+        # The engine-free clock: SimClock.advance is one float addition,
+        # so the timeline is bitwise the one the former bare-float
+        # arithmetic produced.
+        clock = SimClock()
         index = 0
         while index < len(ordered):
             batch_cap, wait_s = self._admission_limits()
-            open_s = max(ordered[index].arrival_s, free_s)
+            batch_start = index
+            open_s = clock.latest(ordered[index].arrival_s)
             deadline = open_s + wait_s
             members = [ordered[index]]
             index += 1
@@ -176,11 +189,20 @@ class MicroBatchScheduler:
             else:
                 # Partial batch: the timer runs out the full window.
                 dispatch_s = deadline
-            batch = Batch(requests=members, open_s=open_s, dispatch_s=dispatch_s)
+            # Backlog at dispatch: everything arrived by then and not yet
+            # served, including this batch's own members.
+            queue_depth = bisect_right(arrivals, dispatch_s) - batch_start
+            batch = Batch(
+                requests=members,
+                open_s=open_s,
+                dispatch_s=dispatch_s,
+                queue_depth=queue_depth,
+            )
             service_s = service(batch)
             if service_s < 0.0:
                 raise ValueError(f"service time must be non-negative, got {service_s}")
-            free_s = dispatch_s + service_s
+            clock.advance_to(dispatch_s)
+            clock.advance(service_s)
             batches.append(batch)
             self._observe(batch, service_s)
         return batches
@@ -223,9 +245,9 @@ class AdaptiveMicroBatchScheduler(MicroBatchScheduler):
         )
         self._batches_seen += 1
         if self._batches_seen % self.adaptive.window == 0:
-            self._adapt()
+            self._adapt(now_s=completion_s)
 
-    def _adapt(self) -> None:
+    def _adapt(self, now_s: float = 0.0) -> None:
         config = self.adaptive
         p95_s = float(np.percentile(self._window_latencies, 95))
         self._window_latencies.clear()
@@ -248,3 +270,13 @@ class AdaptiveMicroBatchScheduler(MicroBatchScheduler):
                 "max_batch_size": float(self._batch_cap),
             }
         )
+        telemetry = self.telemetry
+        if telemetry is not None and telemetry.enabled:
+            telemetry.tracer.instant(
+                "batch-retune",
+                now_s,
+                p95_s=p95_s,
+                target_p95_s=config.target_p95_s,
+                max_wait_s=self._wait_s,
+                max_batch_size=self._batch_cap,
+            )

@@ -43,6 +43,8 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.pipeline import ServeQuery
 from repro.energy.accounting import Cost, Ledger
+from repro.obs.metrics import BATCH_SIZE_BUCKETS, LATENCY_BUCKETS_S
+from repro.obs.telemetry import Telemetry, attach_telemetry
 from repro.serving.admission import ACCEPT, DEGRADE, SHED, AdmissionController
 from repro.serving.cache import ServingCache
 from repro.serving.scheduler import Batch, MicroBatchConfig, MicroBatchScheduler
@@ -136,6 +138,7 @@ class ServingSession:
         engine_factory: Optional[Callable[[int, int], object]] = None,
         deployment: Tuple[int, int] = (1, 1),
         scaler=None,
+        telemetry: Optional[Telemetry] = None,
     ):
         """``engine`` is anything with ``serve_batch`` (a pipeline engine
         or a :class:`~repro.serving.shard.ShardedEngine`); ``workload[u]``
@@ -147,6 +150,13 @@ class ServingSession:
         initial engine was built with.  ``scaler`` is consulted after
         every batch with the observed records and may return a new
         deployment (see :mod:`repro.serving.autoscaler`).
+
+        ``telemetry`` (a :class:`repro.obs.Telemetry`) turns on the
+        observability plane: per-request span traces, stage metrics and
+        control-plane annotations, attached through the engine tree and
+        the scheduler.  Tracing is observation only -- it charges no
+        ledger and draws no randomness, so results are bit-identical
+        with or without it.
         """
         if not workload:
             raise ValueError("workload must contain at least one query")
@@ -163,6 +173,10 @@ class ServingSession:
         self.engine_factory = engine_factory
         self.deployment = tuple(deployment)
         self.scaler = scaler
+        self.telemetry = telemetry
+        if telemetry is not None:
+            attach_telemetry(self.engine, telemetry)
+            self.scheduler.telemetry = telemetry
         self.scale_events: List[ScaleEvent] = []
         self._warm_cost = Cost()
         self._pending_migration = Cost()
@@ -241,6 +255,10 @@ class ServingSession:
             cost = cost.then(scan_cost)
         self._retire_engine_stats()
         self.engine = self.engine_factory(shards, replicas)
+        if self.telemetry is not None:
+            # The factory built a fresh engine tree; without re-attachment
+            # the swap would silently drop instrumentation mid-run.
+            attach_telemetry(self.engine, self.telemetry)
         event = ScaleEvent(
             time_s=now_s,
             old_deployment=self.deployment,
@@ -252,6 +270,19 @@ class ServingSession:
         self.deployment = new
         self.scale_events.append(event)
         self._pending_migration = self._pending_migration.then(cost)
+        if self.telemetry is not None and self.telemetry.enabled:
+            self.telemetry.tracer.instant(
+                "scale-event",
+                now_s,
+                old_deployment=list(event.old_deployment),
+                new_deployment=list(event.new_deployment),
+                moved_rows=event.moved_rows,
+                invalidated_entries=event.invalidated_entries,
+                migration_energy_pj=event.cost.energy_pj,
+            )
+            self.telemetry.metrics.counter(
+                "repro_scale_events_total", "Online deployment changes."
+            ).inc(process=self.label)
         return event
 
     def _retire_engine_stats(self) -> None:
@@ -286,10 +317,114 @@ class ServingSession:
         # run's ledger, so this run also reports its event.
         run_events_start = self._reported_events
 
+        telemetry = self.telemetry
+        observing = telemetry is not None and telemetry.enabled
+        tracer = telemetry.tracer if telemetry is not None else None
+        if observing:
+            tracer.set_process(self.label)
+            metrics = telemetry.metrics
+            m_batches = metrics.counter(
+                "repro_batches_total", "Dispatched micro-batches."
+            )
+            m_requests = metrics.counter(
+                "repro_requests_total", "Requests ruled on, by outcome."
+            )
+            m_cache = metrics.counter(
+                "repro_cache_lookups_total", "Result-cache lookups, by result."
+            )
+            m_batch_size = metrics.histogram(
+                "repro_batch_size",
+                "Requests per dispatched micro-batch.",
+                BATCH_SIZE_BUCKETS,
+            )
+            m_queue_depth = metrics.histogram(
+                "repro_queue_depth",
+                "Backlog (arrived, unserved requests) at batch dispatch.",
+                BATCH_SIZE_BUCKETS,
+            )
+            m_stage_latency = metrics.histogram(
+                "repro_stage_latency_seconds",
+                "Serve-path latency by stage.",
+                LATENCY_BUCKETS_S,
+            )
+            m_stage_energy = metrics.counter(
+                "repro_stage_energy_pj", "Serve-path energy by stage."
+            )
+            m_request_latency = metrics.histogram(
+                "repro_request_latency_seconds",
+                "End-to-end request latency, by outcome.",
+                LATENCY_BUCKETS_S,
+            )
+            # Bind the hot-loop series once: the label set of every
+            # per-batch observation is known here, and label-key hashing
+            # per call is most of what tracing would otherwise cost.
+            b_batches = m_batches.bind(process=self.label)
+            b_cache_hit = m_cache.bind(process=self.label, result="hit")
+            b_cache_miss = m_cache.bind(process=self.label, result="miss")
+            b_batch_size = m_batch_size.bind(process=self.label)
+            b_queue_depth = m_queue_depth.bind(process=self.label)
+            _stages = ("queue", "cache_lookup", "engine", "cache_fill", "migration")
+            b_stage_latency = {
+                stage: m_stage_latency.bind(process=self.label, stage=stage)
+                for stage in _stages
+            }
+            b_stage_energy = {
+                stage: m_stage_energy.bind(process=self.label, stage=stage)
+                for stage in _stages
+            }
+            b_requests = {
+                outcome: m_requests.bind(process=self.label, outcome=outcome)
+                for outcome in ("served", "degraded", "shed")
+            }
+            b_request_latency = {
+                outcome: m_request_latency.bind(process=self.label, outcome=outcome)
+                for outcome in ("served", "degraded")
+            }
+        batch_counter = 0
+
         def service(batch: Batch) -> float:
+            nonlocal batch_counter
+            batch_index = batch_counter
+            batch_counter += 1
+            traced = tracer.start_batch(batch_index) if tracer is not None else False
+            if traced:
+                # Root span: first member's arrival (members are taken in
+                # arrival order) through end of engine occupancy.
+                tracer.open(
+                    "batch",
+                    batch.requests[0].arrival_s,
+                    category="serve",
+                    track="main",
+                    batch_index=batch_index,
+                    size=len(batch.requests),
+                    queue_depth=batch.queue_depth,
+                )
+                tracer.add(
+                    "queue",
+                    batch.open_s,
+                    batch.dispatch_s,
+                    category="queue",
+                    waiting=len(batch.requests),
+                    queue_depth=batch.queue_depth,
+                )
+            if observing:
+                b_batches.inc()
+                b_batch_size.observe(len(batch.requests))
+                b_queue_depth.observe(batch.queue_depth)
+                b_stage_latency["queue"].observe(batch.dispatch_s - batch.open_s)
             batch_records: List[RequestRecord] = []
             queries = [self._query_for(request) for request in batch.requests]
             outcomes = self._admission_outcomes(batch)
+            if traced:
+                tracer.add(
+                    "admission",
+                    batch.dispatch_s,
+                    batch.dispatch_s,
+                    category="admission",
+                    accepted=outcomes.count(ACCEPT),
+                    degraded=outcomes.count(DEGRADE),
+                    shed=outcomes.count(SHED),
+                )
             degraded_k = (
                 self.admission.config.degraded_top_k
                 if self.admission is not None
@@ -309,6 +444,21 @@ class ServingSession:
                     lookup_cost = lookup_cost.then(cost)
                     if value is not None:
                         hit_values[position] = value
+                if traced:
+                    tracer.add(
+                        "cache-lookup",
+                        batch.dispatch_s,
+                        batch.dispatch_s + lookup_cost.latency_s,
+                        category="cache",
+                        lookups=len(active),
+                        hits=len(hit_values),
+                        energy_pj=lookup_cost.energy_pj,
+                    )
+                if observing:
+                    b_cache_hit.inc(len(hit_values))
+                    b_cache_miss.inc(len(active) - len(hit_values))
+                    b_stage_latency["cache_lookup"].observe(lookup_cost.latency_s)
+                    b_stage_energy["cache_lookup"].inc(lookup_cost.energy_pj)
 
             miss_positions = [
                 position for position in active if position not in hit_values
@@ -322,8 +472,28 @@ class ServingSession:
                 distinct: Dict[ServeQuery, List[int]] = {}
                 for position in miss_positions:
                     distinct.setdefault(queries[position], []).append(position)
+                engine_start_s = batch.dispatch_s + lookup_cost.latency_s
+                if traced:
+                    # Open before serve_batch so routers/engines record
+                    # their shard, replica, kernel and merge children
+                    # inside this span.
+                    tracer.open(
+                        "engine",
+                        engine_start_s,
+                        category="serve",
+                        queries=len(distinct),
+                        deduplicated=len(miss_positions) - len(distinct),
+                    )
                 batch_result = self.engine.serve_batch(list(distinct))
                 serve_cost = batch_result.cost
+                if traced:
+                    tracer.close(
+                        engine_start_s + serve_cost.latency_s,
+                        energy_pj=serve_cost.energy_pj,
+                    )
+                if observing:
+                    b_stage_latency["engine"].observe(serve_cost.latency_s)
+                    b_stage_energy["engine"].inc(serve_cost.energy_pj)
                 ledger.charge("Serve", serve_cost)
                 fill_cost = Cost()
                 for query, result in zip(distinct, batch_result.results):
@@ -337,6 +507,19 @@ class ServingSession:
                         )
                 if self.cache is not None and fill_cost.latency_ns > 0.0:
                     ledger.charge("Cache", fill_cost)
+                    fill_start_s = engine_start_s + serve_cost.latency_s
+                    if traced:
+                        tracer.add(
+                            "cache-fill",
+                            fill_start_s,
+                            fill_start_s + fill_cost.latency_s,
+                            category="cache",
+                            fills=len(distinct),
+                            energy_pj=fill_cost.energy_pj,
+                        )
+                    if observing:
+                        b_stage_latency["cache_fill"].observe(fill_cost.latency_s)
+                        b_stage_energy["cache_fill"].inc(fill_cost.energy_pj)
                 serve_cost = serve_cost.then(fill_cost)
 
             occupancy = lookup_cost.then(serve_cost)
@@ -380,10 +563,56 @@ class ServingSession:
                         )
                     )
             records.extend(batch_records)
+            if traced or observing:
+                trace_request = tracer.add if traced else None
+                for record in batch_records:
+                    outcome = (
+                        "shed"
+                        if record.shed
+                        else "degraded"
+                        if record.degraded
+                        else "served"
+                    )
+                    if trace_request is not None:
+                        request = record.request
+                        trace_request(
+                            "request",
+                            request.arrival_s,
+                            record.completion_s,
+                            category="serve",
+                            track="requests",
+                            request_id=request.request_id,
+                            user=request.user,
+                            tenant=request.tenant,
+                            outcome=outcome,
+                            cache_hit=record.cache_hit,
+                        )
+                    if observing:
+                        b_requests[outcome].inc()
+                        if not record.shed:
+                            b_request_latency[outcome].observe(record.latency_s)
+
+            def drain(current: Cost) -> Cost:
+                pending = self._pending_migration
+                drained = self._drain_migration(ledger, current)
+                if drained is not current:
+                    start_s = batch.dispatch_s + current.latency_s
+                    if traced:
+                        tracer.add(
+                            "migration",
+                            start_s,
+                            start_s + pending.latency_s,
+                            category="control",
+                            energy_pj=pending.energy_pj,
+                        )
+                    if observing:
+                        b_stage_latency["migration"].observe(pending.latency_s)
+                        b_stage_energy["migration"].inc(pending.energy_pj)
+                return drained
 
             # Pay any migration queued by a pre-run scale_to, then let the
             # online scaler react to what this batch measured.
-            occupancy = self._drain_migration(ledger, occupancy)
+            occupancy = drain(occupancy)
             if self.scaler is not None:
                 end_s = batch.dispatch_s + occupancy.latency_s
                 decision = self.scaler.observe(
@@ -391,12 +620,38 @@ class ServingSession:
                 )
                 if decision is not None and tuple(decision) != self.deployment:
                     self.scale_to(*decision, now_s=end_s)
-                    occupancy = self._drain_migration(ledger, occupancy)
+                    occupancy = drain(occupancy)
+            if traced:
+                tracer.close(batch.dispatch_s + occupancy.latency_s)
+            if tracer is not None:
+                tracer.end_batch()
             return occupancy.latency_s
 
         batches = self.scheduler.run(requests, service)
         records.sort(key=lambda record: record.request.request_id)
         self._reported_events = len(self.scale_events)
+        if observing:
+            # Join the aggregate plane against the run's actual ledger and
+            # cache/spill counters so the exported textfile can never
+            # disagree with the console report.
+            telemetry.metrics.record_ledger(ledger, process=self.label)
+            if self.cache is not None:
+                cache_gauge = telemetry.metrics.gauge(
+                    "repro_cache_state", "Result-cache counters at end of run."
+                )
+                for key, value in self.cache.stats().items():
+                    cache_gauge.set(
+                        float(value), process=self.label, counter=key
+                    )
+            spill_stats = self._spill_stats()
+            if spill_stats is not None:
+                spill_gauge = telemetry.metrics.gauge(
+                    "repro_spillover_state", "Spillover routing at end of run."
+                )
+                for key in ("assigned", "spilled", "spill_rate"):
+                    spill_gauge.set(
+                        float(spill_stats[key]), process=self.label, counter=key
+                    )
         return ServingResult(
             label=self.label,
             records=records,

@@ -126,6 +126,10 @@ class ReplicaGroup:
     the sum, and recommendations never depend on the routing.
     """
 
+    #: Telemetry planted by :func:`repro.obs.attach_telemetry`; see
+    #: :class:`repro.core.pipeline._EngineBase`.
+    _obs = None
+
     def __init__(
         self,
         replicas: Sequence[object],
@@ -277,14 +281,44 @@ class ReplicaGroup:
         if not queries:
             return BatchResult(results=[], cost=Cost())
         assignment = self.assign(len(queries))
+        obs = self._obs
+        tracer = obs.tracer if obs is not None else None
+        traced = tracer is not None and tracer.active
+        spillover = self.p95_target_s is not None
+        primary = self._energy_order()[0] if (traced and spillover) else 0
         placed: Dict[int, QueryResult] = {}
         sub_costs: List[Cost] = []
         for index, positions in enumerate(assignment):
             if not positions:
                 continue
+            if traced:
+                # Replica sub-batches run concurrently: each replica span
+                # starts when the enclosing (shard) stage started.
+                start_s = tracer.cursor_s
+                probe = (
+                    getattr(
+                        self.replicas[index], "expected_query_latency_s", None
+                    )
+                    is None
+                )
+                tracer.open(
+                    f"replica{index}",
+                    start_s,
+                    category="serve",
+                    replica=index,
+                    engine=type(self.replicas[index]).__name__,
+                    queries=len(positions),
+                    spill=spillover and index != primary,
+                )
+                if spillover and probe:
+                    tracer.instant(
+                        "spillover-probe", start_s, replica=index
+                    )
             sub_batch = self.replicas[index].serve_batch(
                 [queries[position] for position in positions]
             )
+            if traced:
+                tracer.close(start_s + sub_batch.cost.latency_s)
             self.busy_s[index] += sub_batch.cost.latency_s
             self.assigned[index] += len(positions)
             sub_costs.append(sub_batch.cost)
@@ -311,6 +345,10 @@ class ReplicaGroup:
 
 class ShardedEngine:
     """Scatter-gather serving over N corpus-partitioned engines."""
+
+    #: Telemetry planted by :func:`repro.obs.attach_telemetry`; see
+    #: :class:`repro.core.pipeline._EngineBase`.
+    _obs = None
 
     def __init__(self, shards: Sequence[object], top_k: int):
         if not shards:
@@ -366,7 +404,27 @@ class ShardedEngine:
         """
         if not queries:
             return BatchResult(results=[], cost=Cost())
-        shard_batches = [shard.serve_batch(queries) for shard in self.shards]
+        obs = self._obs
+        tracer = obs.tracer if obs is not None else None
+        traced = tracer is not None and tracer.active
+        base_s = tracer.cursor_s if traced else 0.0
+        shard_batches = []
+        for shard_index, shard in enumerate(self.shards):
+            if traced:
+                # All shards scatter together at the stage start; each
+                # shard's lane shows its own occupancy.
+                tracer.open(
+                    f"shard{shard_index}",
+                    base_s,
+                    category="serve",
+                    track=f"shard{shard_index}",
+                    shard=shard_index,
+                    queries=len(queries),
+                )
+            shard_batch = shard.serve_batch(queries)
+            if traced:
+                tracer.close(base_s + shard_batch.cost.latency_s)
+            shard_batches.append(shard_batch)
         # Shards are replicated fabrics running concurrently.
         scatter_cost = Cost.concurrent(batch.cost for batch in shard_batches)
 
@@ -413,6 +471,17 @@ class ShardedEngine:
                     ledger=ledger,
                     scores=score_lists[position][:take],
                 )
+            )
+        if traced:
+            merge_start_s = base_s + scatter_cost.latency_s
+            tracer.add(
+                "merge",
+                merge_start_s,
+                merge_start_s + merge_total.latency_s,
+                category="merge",
+                shards=len(self.shards),
+                entries=sum(entry_counts),
+                queries=num_queries,
             )
         return BatchResult(results=merged, cost=scatter_cost.then(merge_total))
 

@@ -112,7 +112,10 @@ class SLOReport:
             f"batch={self.mean_batch_size:4.1f}"
         )
         if self.shed_count or self.degraded_count:
-            row += f" shed={self.shed_count} deg={self.degraded_count}"
+            row += (
+                f" shed={self.shed_count}({self.shed_rate * 100.0:.1f}%)"
+                f" deg={self.degraded_count}({self.degraded_rate * 100.0:.1f}%)"
+            )
         return row
 
 

@@ -32,6 +32,8 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.obs.clock import SimClock
+
 __all__ = [
     "Request",
     "PoissonTraffic",
@@ -186,21 +188,20 @@ class BurstyTraffic(_TrafficBase):
             raise ValueError("need at least one request")
         rng = self._rng()
         arrivals: List[float] = []
-        now = 0.0
+        clock = SimClock()
         bursting = False
-        state_end = now + rng.exponential(self.mean_calm_s)
+        state_end = clock.now_s + rng.exponential(self.mean_calm_s)
         while len(arrivals) < num_requests:
             rate = self.burst_qps if bursting else self.calm_qps
             gap = rng.exponential(1.0 / rate)
-            if now + gap <= state_end:
-                now += gap
-                arrivals.append(now)
+            if clock.now_s + gap <= state_end:
+                arrivals.append(clock.advance(gap))
             else:
                 # The memoryless arrival clock restarts at the state switch.
-                now = state_end
+                clock.advance_to(state_end)
                 bursting = not bursting
                 mean = self.mean_burst_s if bursting else self.mean_calm_s
-                state_end = now + rng.exponential(mean)
+                state_end = clock.now_s + rng.exponential(mean)
         return self._package(arrivals, self._users(rng, num_requests))
 
 
@@ -245,9 +246,9 @@ class DiurnalTraffic(_TrafficBase):
         rng = self._rng()
         peak = self.base_qps * (1.0 + self.amplitude)
         arrivals: List[float] = []
-        now = 0.0
+        clock = SimClock()
         while len(arrivals) < num_requests:
-            now += rng.exponential(1.0 / peak)
+            now = clock.advance(rng.exponential(1.0 / peak))
             if rng.random() * peak <= self.rate_at(now):
                 arrivals.append(now)
         return self._package(arrivals, self._users(rng, num_requests))

@@ -1,0 +1,68 @@
+"""SimClock: monotonicity and bit-exact equivalence with bare floats."""
+
+import pytest
+
+from repro.obs.clock import SimClock
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now_s == 0.0
+
+    def test_custom_start(self):
+        assert SimClock(start_s=1.5).now_s == 1.5
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError, match="before zero"):
+            SimClock(start_s=-0.1)
+
+    def test_advance_returns_new_time(self):
+        clock = SimClock()
+        assert clock.advance(0.25) == 0.25
+        assert clock.advance(0.25) == 0.5
+        assert clock.now_s == 0.5
+
+    def test_advance_rejects_negative_delta(self):
+        clock = SimClock(start_s=1.0)
+        with pytest.raises(ValueError, match="only move forward"):
+            clock.advance(-1e-9)
+        assert clock.now_s == 1.0
+
+    def test_advance_zero_is_allowed(self):
+        clock = SimClock(start_s=2.0)
+        assert clock.advance(0.0) == 2.0
+
+    def test_bitwise_identical_to_bare_float_accumulation(self):
+        """The contract the serving refactors rely on: one addition per
+        advance, in call order, so replacing ``now += gap`` loops with a
+        clock reproduces every timestamp bit-for-bit."""
+        gaps = [0.1, 1e-7, 0.3333333333333333, 2.5e-4, 7.1, 1e-12]
+        clock = SimClock()
+        now = 0.0
+        for gap in gaps:
+            now += gap
+            assert clock.advance(gap) == now  # exact, not approx
+
+    def test_advance_to_jumps_forward(self):
+        clock = SimClock()
+        assert clock.advance_to(3.0) == 3.0
+        assert clock.now_s == 3.0
+
+    def test_advance_to_ignores_the_past(self):
+        clock = SimClock(start_s=5.0)
+        assert clock.advance_to(2.0) == 5.0
+        assert clock.now_s == 5.0
+
+    def test_latest_does_not_mutate(self):
+        clock = SimClock(start_s=4.0)
+        assert clock.latest(9.0) == 9.0
+        assert clock.latest(1.0) == 4.0
+        assert clock.now_s == 4.0
+
+    def test_elapsed_since(self):
+        clock = SimClock(start_s=10.0)
+        assert clock.elapsed_since(4.0) == 6.0
+        assert clock.elapsed_since(12.0) == -2.0
+
+    def test_repr_mentions_now(self):
+        assert "3.5" in repr(SimClock(start_s=3.5))

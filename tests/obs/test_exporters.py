@@ -1,0 +1,140 @@
+"""Exporters: JSONL schema, Chrome trace-event schema, Prometheus files."""
+
+import json
+
+from repro.obs.exporters import (
+    chrome_trace_events,
+    write_chrome_trace,
+    write_prometheus,
+    write_trace,
+    write_trace_jsonl,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer
+
+
+def _two_process_tracer() -> Tracer:
+    tracer = Tracer()
+    tracer.set_process("fleet-a")
+    tracer.start_batch(0)
+    tracer.open("batch", 0.0, track="main", size=2)
+    tracer.add("queue", 0.0, 0.1, category="queue")
+    tracer.add("shard0", 0.1, 0.2, track="shard0", shard=0)
+    tracer.close(0.3)
+    tracer.end_batch()
+    tracer.instant("scale-event", 0.25, old=1, new=2)
+    tracer.set_process("fleet-b")
+    tracer.start_batch(0)
+    tracer.add("batch", 0.5, 0.9, track="main")
+    tracer.end_batch()
+    return tracer
+
+
+class TestJsonl:
+    def test_one_valid_object_per_line_spans_then_instants(self, tmp_path):
+        tracer = _two_process_tracer()
+        path = tmp_path / "trace.jsonl"
+        write_trace_jsonl(path, tracer)
+        lines = path.read_text().splitlines()
+        objects = [json.loads(line) for line in lines]
+        assert len(objects) == len(tracer.spans) + len(tracer.instants)
+        kinds = [obj["type"] for obj in objects]
+        assert kinds == ["span"] * len(tracer.spans) + ["instant"] * len(
+            tracer.instants
+        )
+        for obj in objects:
+            assert {"name", "category", "process", "track", "attrs"} <= set(obj)
+        spans = [obj for obj in objects if obj["type"] == "span"]
+        assert all(
+            obj["duration_s"] == obj["end_s"] - obj["start_s"] for obj in spans
+        )
+
+    def test_deterministic_bytes(self, tmp_path):
+        first, second = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        write_trace_jsonl(first, _two_process_tracer())
+        write_trace_jsonl(second, _two_process_tracer())
+        assert first.read_bytes() == second.read_bytes()
+
+
+class TestChrome:
+    def test_event_schema(self):
+        tracer = _two_process_tracer()
+        events = chrome_trace_events(tracer)
+        complete = [e for e in events if e["ph"] == "X"]
+        instants = [e for e in events if e["ph"] == "i"]
+        metadata = [e for e in events if e["ph"] == "M"]
+        assert len(complete) == len(tracer.spans)
+        assert len(instants) == len(tracer.instants)
+        # timestamps are microseconds
+        queue = next(e for e in complete if e["name"] == "queue")
+        assert queue["ts"] == 0.0
+        assert abs(queue["dur"] - 0.1e6) < 1e-6
+        assert all(e["s"] == "p" for e in instants)
+        # one process_name per process, one thread_name per (process, track)
+        process_names = [
+            e["args"]["name"] for e in metadata if e["name"] == "process_name"
+        ]
+        assert process_names == ["fleet-a", "fleet-b"]
+        thread_names = [
+            (e["pid"], e["args"]["name"])
+            for e in metadata
+            if e["name"] == "thread_name"
+        ]
+        assert (1, "main") in thread_names
+        assert (1, "shard0") in thread_names
+        assert (1, "control") in thread_names
+
+    def test_pids_and_tids_are_consistent(self):
+        events = chrome_trace_events(_two_process_tracer())
+        pid_by_name = {
+            e["args"]["name"]: e["pid"]
+            for e in events
+            if e.get("name") == "process_name"
+        }
+        assert len(set(pid_by_name.values())) == len(pid_by_name)
+        spans = [e for e in events if e["ph"] == "X"]
+        fleet_b = [e for e in spans if e["pid"] == pid_by_name["fleet-b"]]
+        assert len(fleet_b) == 1 and fleet_b[0]["name"] == "batch"
+
+    def test_document_wrapper(self, tmp_path):
+        path = tmp_path / "trace.json"
+        tracer = _two_process_tracer()
+        write_chrome_trace(path, tracer, metadata={"experiment": "unit"})
+        document = json.loads(path.read_text())
+        assert isinstance(document["traceEvents"], list)
+        assert document["displayTimeUnit"] == "ms"
+        other = document["otherData"]
+        assert other["clock"] == "simulation"
+        assert other["spans"] == len(tracer.spans)
+        assert other["instants"] == len(tracer.instants)
+        assert other["experiment"] == "unit"
+
+    def test_deterministic_bytes(self, tmp_path):
+        first, second = tmp_path / "a.json", tmp_path / "b.json"
+        write_chrome_trace(first, _two_process_tracer())
+        write_chrome_trace(second, _two_process_tracer())
+        assert first.read_bytes() == second.read_bytes()
+
+
+class TestDispatch:
+    def test_write_trace_picks_format_by_extension(self, tmp_path):
+        tracer = _two_process_tracer()
+        jsonl = tmp_path / "t.jsonl"
+        chrome = tmp_path / "t.json"
+        write_trace(jsonl, tracer)
+        write_trace(chrome, tracer)
+        # JSONL: every line parses on its own; Chrome: one document
+        assert all(json.loads(line) for line in jsonl.read_text().splitlines())
+        assert "traceEvents" in json.loads(chrome.read_text())
+
+
+class TestPrometheusFile:
+    def test_write_prometheus(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("repro_batches_total", "Batches.").inc(3, process="p")
+        path = tmp_path / "metrics.prom"
+        write_prometheus(path, registry)
+        text = path.read_text()
+        assert "# TYPE repro_batches_total counter" in text
+        assert 'repro_batches_total{process="p"} 3' in text
+        assert text.endswith("\n")
