@@ -1,0 +1,25 @@
+"""Bench E-CHAOS -- fault injection vs the self-healing serving fleet."""
+
+from repro.experiments import run_chaos_study
+
+
+def test_chaos_study(benchmark, save_report):
+    report = benchmark.pedantic(run_chaos_study, rounds=1, iterations=1)
+    save_report("chaos_study", report.format())
+    # Every chaos invariant (empty-plan bit-identity, pinned-scenario
+    # availability and tail bounds, resilience-off really dropping
+    # requests, on >= off availability on every rung, partial answers
+    # with accounted recall loss) must hold exactly.
+    assert report.all_within(0.0), report.format()
+
+    scenarios = report.extras["scenario_reports"]
+    assert list(scenarios) == ["light", "moderate", "severe"]
+    pinned = scenarios["moderate"]
+    assert pinned["on"].availability >= 0.99
+    assert pinned["off"].availability < pinned["on"].availability
+    assert pinned["on"].p95_ms <= 2.0 * report.extras["healthy_report"].p95_ms
+
+    # Recovery is real work: the shielded arm's ledger bills it.
+    counters = report.extras["fault_stats"]["moderate"]["on"]["counters"]
+    assert counters["retries"] > 0 or counters["hedges"] > 0
+    assert counters["failed_queries"] == 0

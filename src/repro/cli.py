@@ -21,6 +21,7 @@ from typing import Dict
 from repro.experiments import (
     run_accuracy_study,
     run_autoscale_study,
+    run_chaos_study,
     run_hetero_study,
     run_design_space,
     run_end_to_end,
@@ -74,10 +75,15 @@ EXPERIMENTS: Dict[str, tuple] = {
         "admission control)",
         run_hetero_study,
     ),
+    "E-CHAOS": (
+        "Extension - fault injection (crashes, outages, stragglers) vs "
+        "the self-healing fleet",
+        run_chaos_study,
+    ),
 }
 
 #: Experiments that drive the serving stack and accept telemetry exports.
-SERVING_EXPERIMENTS = frozenset({"E-SERVE", "E-AUTOSCALE", "E-HETERO"})
+SERVING_EXPERIMENTS = frozenset({"E-SERVE", "E-AUTOSCALE", "E-HETERO", "E-CHAOS"})
 
 
 def _run_one(
@@ -116,7 +122,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "experiment",
         help="experiment id (E1..E8, A1..A9, E-serve, E-autoscale, "
-        "E-hetero) or 'all'",
+        "E-hetero, E-chaos) or 'all'",
     )
     run_parser.add_argument(
         "--save",

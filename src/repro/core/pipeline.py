@@ -123,13 +123,22 @@ class ServeQuery:
 
 @dataclass
 class QueryResult:
-    """Outcome of one end-to-end query."""
+    """Outcome of one end-to-end query.
+
+    ``failed`` marks a query the fleet could not answer (all serving
+    attempts exhausted under fault injection -- ``items`` is empty);
+    ``partial`` marks a degraded answer merged from a subset of shards
+    (some corpus slices were dark past their deadline, so recall is
+    reduced).  Both default to the healthy fast path.
+    """
 
     items: List[int]
     candidate_count: int
     cost: Cost
     ledger: Ledger = field(default_factory=Ledger)
     scores: List[float] = field(default_factory=list)
+    failed: bool = False
+    partial: bool = False
 
     @property
     def qps(self) -> float:
@@ -165,6 +174,17 @@ class _EngineBase:
     #: never import the obs package -- they only call methods on what
     #: was attached.
     _obs = None
+
+    #: Failure hook planted by :func:`repro.serving.resilience.attach_faults`
+    #: (None when no fault plane is attached).  Called with the computed
+    #: batch cost and query count *after* costing but *before* the EWMA
+    #: updates: it may raise :class:`repro.serving.faults.FaultError`
+    #: (crash / outage / transient error windows) or return a
+    #: latency-inflated cost (straggler windows).  With no active fault
+    #: it returns the very same cost object, so the healthy path is
+    #: bit-identical.  Same contract as ``_obs``: a class attribute, the
+    #: engine never imports the serving package.
+    _fault_hook = None
 
     def __init__(
         self,
@@ -254,6 +274,13 @@ class _EngineBase:
             return BatchResult(results=[], cost=Cost())
         results = self._serve_results(queries)
         cost = self._batch_cost(results)
+        fault_hook = self._fault_hook
+        if fault_hook is not None:
+            # May raise FaultError (the attempt never completes: no EWMA
+            # update, no kernel span) or inflate latency (straggler); the
+            # EWMAs below then see the inflated occupancy, which is what
+            # lets routers and hedging detect a slow replica.
+            cost = fault_hook(cost, len(results))
         observed = cost.latency_s / len(results)
         if self._ewma_query_latency_s is None:
             self._ewma_query_latency_s = observed

@@ -39,7 +39,18 @@ Pipeline of one simulation (:class:`~repro.serving.session.ServingSession`):
 5. :mod:`~repro.serving.slo` folds the per-request records into
    p50/p95/p99 latency, sustained QPS, energy-per-request and
    shed/degrade counts, globally and per tenant;
-6. the :mod:`~repro.serving.autoscaler` closes the loop two ways: the
+6. under fault injection (:mod:`~repro.serving.faults`: a seeded
+   :class:`~repro.serving.faults.FaultPlan` of replica crashes, shard
+   outages, stragglers, transient errors and cache flushes) the
+   :mod:`~repro.serving.resilience` layer keeps the fleet answering:
+   per-replica timeouts with retry/backoff budgets re-billed to the
+   ledger under "Retry", tail hedging under "Hedge", closed/open/
+   half-open circuit breakers with failover routing around open ones,
+   and partial scatter-gather -- a shard dark past its deadline costs
+   recall, not availability.  With an empty plan the wrapped fleet is
+   bit-identical to an unwrapped one (recommendations, ledgers,
+   telemetry);
+7. the :mod:`~repro.serving.autoscaler` closes the loop two ways: the
    replaying :class:`~repro.serving.autoscaler.Autoscaler` searches
    (shards, replicas) against recorded traffic for capacity planning,
    while the live :class:`~repro.serving.autoscaler.OnlineScaler` (or a
@@ -79,6 +90,20 @@ from repro.serving.autoscaler import (
     ScheduledScalePlan,
 )
 from repro.serving.cache import CountMinSketch, ServingCache, TinyLFUAdmission
+from repro.serving.faults import (
+    FaultError,
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    chaos_scenario,
+    escalating_scenarios,
+)
+from repro.serving.resilience import (
+    CircuitBreaker,
+    FaultContext,
+    ResilienceConfig,
+    attach_faults,
+)
 from repro.serving.scheduler import (
     AdaptiveBatchConfig,
     AdaptiveMicroBatchScheduler,
@@ -121,8 +146,14 @@ __all__ = [
     "AutoscalerConfig",
     "Batch",
     "BurstyTraffic",
+    "CircuitBreaker",
     "CountMinSketch",
     "DiurnalTraffic",
+    "FaultContext",
+    "FaultError",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
     "MicroBatchConfig",
     "MicroBatchScheduler",
     "MultiTenantTraffic",
@@ -132,6 +163,7 @@ __all__ = [
     "ReplicaGroup",
     "Request",
     "RequestRecord",
+    "ResilienceConfig",
     "SLOReport",
     "ScaleEvent",
     "ScaleStep",
@@ -143,6 +175,9 @@ __all__ = [
     "TenantSpec",
     "TinyLFUAdmission",
     "TraceReplayTraffic",
+    "attach_faults",
+    "chaos_scenario",
+    "escalating_scenarios",
     "make_sharded_engine",
     "migration_cost",
     "migration_plan",

@@ -236,6 +236,19 @@ class ServingCache:
         self.invalidations += len(victims)
         return len(victims), scan
 
+    def flush(self) -> int:
+        """Drop every resident entry (a fault-injected cache wipe).
+
+        Models a cache-node restart: the store empties instantly (no
+        charged cost -- the node lost power, nobody paid to erase it)
+        and the session takes the resulting cold-start misses.  Counted
+        under ``invalidations``; returns the number of entries dropped.
+        """
+        dropped = len(self._store)
+        self._store.clear()
+        self.invalidations += dropped
+        return dropped
+
     def warm(self, entries) -> Cost:
         """Pre-populate from ``(key, value)`` pairs (most popular first).
 

@@ -140,6 +140,10 @@ class MicroBatchScheduler:
         #: Optional :class:`repro.obs.Telemetry` the owning session plants
         #: so adaptive policies can annotate their retune decisions.
         self.telemetry = None
+        #: Optional :class:`repro.serving.resilience.FaultContext` the
+        #: owning session plants so the fault plane can emit its
+        #: window-begin/end telemetry as the free-time clock advances.
+        self.faults = None
 
     def _admission_limits(self) -> Tuple[int, float]:
         """(batch cap, wait window) in effect for the next batch."""
@@ -204,6 +208,8 @@ class MicroBatchScheduler:
             clock.advance_to(dispatch_s)
             clock.advance(service_s)
             batches.append(batch)
+            if self.faults is not None:
+                self.faults.observe_progress(clock.now_s)
             self._observe(batch, service_s)
         return batches
 

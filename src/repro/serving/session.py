@@ -41,12 +41,19 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.core.pipeline import ServeQuery
+from repro.core.pipeline import BatchResult, ServeQuery
 from repro.energy.accounting import Cost, Ledger
 from repro.obs.metrics import BATCH_SIZE_BUCKETS, LATENCY_BUCKETS_S
 from repro.obs.telemetry import Telemetry, attach_telemetry
 from repro.serving.admission import ACCEPT, DEGRADE, SHED, AdmissionController
 from repro.serving.cache import ServingCache
+from repro.serving.faults import ERROR, FaultError, FaultPlan
+from repro.serving.resilience import (
+    FaultContext,
+    ResilienceConfig,
+    attach_faults,
+    failed_query_result,
+)
 from repro.serving.scheduler import Batch, MicroBatchConfig, MicroBatchScheduler
 from repro.serving.shard import migration_cost, plan_scale_migration
 from repro.serving.slo import (
@@ -83,13 +90,23 @@ class ServingResult:
     cache_stats: Optional[Dict[str, float]] = None
     admission_stats: Optional[Dict[str, object]] = None
     spill_stats: Optional[Dict[str, object]] = None
+    #: Fault/recovery accounting (:meth:`FaultContext.stats`) when the
+    #: session ran under an attached fault plane; None otherwise.
+    fault_stats: Optional[Dict[str, object]] = None
     scale_events: List[ScaleEvent] = field(default_factory=list)
     _report: Optional[SLOReport] = field(default=None, repr=False)
 
     @property
     def report(self) -> SLOReport:
         if self._report is None:
-            self._report = summarize(self.records, self.ledger, label=self.label)
+            mttr_s = (
+                self.fault_stats.get("mttr_s")
+                if self.fault_stats is not None
+                else None
+            )
+            self._report = summarize(
+                self.records, self.ledger, label=self.label, mttr_s=mttr_s
+            )
         return self._report
 
     @property
@@ -139,6 +156,8 @@ class ServingSession:
         deployment: Tuple[int, int] = (1, 1),
         scaler=None,
         telemetry: Optional[Telemetry] = None,
+        faults=None,
+        resilience: Optional[ResilienceConfig] = None,
     ):
         """``engine`` is anything with ``serve_batch`` (a pipeline engine
         or a :class:`~repro.serving.shard.ShardedEngine`); ``workload[u]``
@@ -157,6 +176,17 @@ class ServingSession:
         the scheduler.  Tracing is observation only -- it charges no
         ledger and draws no randomness, so results are bit-identical
         with or without it.
+
+        ``faults`` (a :class:`~repro.serving.faults.FaultPlan` or
+        :class:`~repro.serving.faults.FaultInjector`) attaches the chaos
+        plane: scheduled crashes, shard outages, stragglers, transient
+        errors and cache flushes fire against the serve path.
+        ``resilience`` (a :class:`~repro.serving.resilience.ResilienceConfig`)
+        turns on the self-healing layer -- timeouts+retries, hedging,
+        circuit breakers, partial scatter-gather; without it the fleet
+        takes the faults on the chin and drops the affected requests.
+        Passing ``resilience`` alone wraps the fleet over an empty plan
+        (the bit-identity configuration the property tests pin).
         """
         if not workload:
             raise ValueError("workload must contain at least one query")
@@ -177,6 +207,18 @@ class ServingSession:
         if telemetry is not None:
             attach_telemetry(self.engine, telemetry)
             self.scheduler.telemetry = telemetry
+        if faults is not None or resilience is not None:
+            plan = faults if faults is not None else FaultPlan(())
+            self.faults: Optional[FaultContext] = FaultContext(
+                plan,
+                resilience=resilience,
+                telemetry=telemetry,
+                process=label,
+            )
+            attach_faults(self.engine, self.faults)
+            self.scheduler.faults = self.faults
+        else:
+            self.faults = None
         self.scale_events: List[ScaleEvent] = []
         self._warm_cost = Cost()
         self._pending_migration = Cost()
@@ -259,6 +301,10 @@ class ServingSession:
             # The factory built a fresh engine tree; without re-attachment
             # the swap would silently drop instrumentation mid-run.
             attach_telemetry(self.engine, self.telemetry)
+        if self.faults is not None:
+            # Same for the fault plane: new replicas must inherit the
+            # failure hooks (and the breakers keyed by site survive).
+            attach_faults(self.engine, self.faults)
         event = ScaleEvent(
             time_s=now_s,
             old_deployment=self.deployment,
@@ -363,7 +409,18 @@ class ServingSession:
             b_cache_miss = m_cache.bind(process=self.label, result="miss")
             b_batch_size = m_batch_size.bind(process=self.label)
             b_queue_depth = m_queue_depth.bind(process=self.label)
-            _stages = ("queue", "cache_lookup", "engine", "cache_fill", "migration")
+            # "retry"/"hedge" bindings are lazy (no series until the
+            # first observation), so a zero-fault run's export stays
+            # byte-identical to a run without a fault plane.
+            _stages = (
+                "queue",
+                "cache_lookup",
+                "engine",
+                "cache_fill",
+                "migration",
+                "retry",
+                "hedge",
+            )
             b_stage_latency = {
                 stage: m_stage_latency.bind(process=self.label, stage=stage)
                 for stage in _stages
@@ -374,11 +431,11 @@ class ServingSession:
             }
             b_requests = {
                 outcome: m_requests.bind(process=self.label, outcome=outcome)
-                for outcome in ("served", "degraded", "shed")
+                for outcome in ("served", "degraded", "shed", "failed")
             }
             b_request_latency = {
                 outcome: m_request_latency.bind(process=self.label, outcome=outcome)
-                for outcome in ("served", "degraded")
+                for outcome in ("served", "degraded", "failed")
             }
         batch_counter = 0
 
@@ -435,6 +492,19 @@ class ServingSession:
                 for position, outcome in enumerate(outcomes)
                 if outcome != SHED
             ]
+            fault_ctx = self.faults
+            if fault_ctx is not None:
+                # Cache-flush events scheduled before this dispatch fire
+                # now: the store empties and the batch takes the misses.
+                for flush_event in fault_ctx.injector.take_flushes(
+                    batch.dispatch_s
+                ):
+                    dropped = self.cache.flush() if self.cache is not None else 0
+                    fault_ctx.counters["cache_flushes"] += 1
+                    fault_ctx.counters["flushed_entries"] += dropped
+                    fault_ctx.record_event(
+                        "cache-flush", flush_event.start_s, dropped=dropped
+                    )
             hit_values: Dict[int, Tuple[Tuple[int, ...], Tuple[float, ...]]] = {}
             lookup_cost = Cost()
             if self.cache is not None:
@@ -484,7 +554,51 @@ class ServingSession:
                         queries=len(distinct),
                         deduplicated=len(miss_positions) - len(distinct),
                     )
-                batch_result = self.engine.serve_batch(list(distinct))
+                if fault_ctx is not None:
+                    # Anchor the fault clock: engines and routers place
+                    # every serve attempt of this round at this instant.
+                    fault_ctx.begin_round(engine_start_s)
+                    try:
+                        batch_result = self.engine.serve_batch(list(distinct))
+                    except FaultError as fault:
+                        # A bare (router-less) engine has no peer to fail
+                        # over to: the whole miss batch fails after its
+                        # detection latency and the wasted energy is
+                        # re-billed below.
+                        if fault.kind == ERROR:
+                            detect_s = fault.cost.latency_s
+                            fault_ctx.counters["error_hits"] += 1
+                        else:
+                            estimate = getattr(
+                                self.engine, "expected_query_latency_s", None
+                            )
+                            detect_s = (
+                                fault_ctx.resilience.attempt_timeout_s(
+                                    estimate, len(distinct)
+                                )
+                                if fault_ctx.resilience is not None
+                                else 0.0
+                            )
+                            fault_ctx.counters["crash_hits"] += 1
+                        fault_ctx.record_event(
+                            "attempt-failed",
+                            engine_start_s + detect_s,
+                            kind=fault.kind,
+                            shard=0,
+                            replica=0,
+                        )
+                        fault_ctx.add_retry_cost(
+                            Cost(
+                                energy_pj=fault.cost.energy_pj,
+                                latency_ns=detect_s * 1e9,
+                            )
+                        )
+                        batch_result = BatchResult(
+                            results=[failed_query_result() for _ in distinct],
+                            cost=Cost(latency_ns=detect_s * 1e9),
+                        )
+                else:
+                    batch_result = self.engine.serve_batch(list(distinct))
                 serve_cost = batch_result.cost
                 if traced:
                     tracer.close(
@@ -495,11 +609,34 @@ class ServingSession:
                     b_stage_latency["engine"].observe(serve_cost.latency_s)
                     b_stage_energy["engine"].inc(serve_cost.energy_pj)
                 ledger.charge("Serve", serve_cost)
+                if fault_ctx is not None:
+                    # Re-bill recovery work accumulated during the serve:
+                    # failed-attempt + retry energy under "Retry", hedge
+                    # duplicates under "Hedge".  Both are zero (and charge
+                    # nothing -- the ledger stays byte-identical) when no
+                    # fault fired.
+                    recovery = fault_ctx.take_retry_cost()
+                    if recovery.energy_pj or recovery.latency_ns:
+                        ledger.charge("Retry", recovery)
+                        if observing:
+                            b_stage_latency["retry"].observe(recovery.latency_s)
+                            b_stage_energy["retry"].inc(recovery.energy_pj)
+                    hedge = fault_ctx.take_hedge_cost()
+                    if hedge.energy_pj or hedge.latency_ns:
+                        ledger.charge("Hedge", hedge)
+                        if observing:
+                            b_stage_latency["hedge"].observe(hedge.latency_s)
+                            b_stage_energy["hedge"].inc(hedge.energy_pj)
                 fill_cost = Cost()
                 for query, result in zip(distinct, batch_result.results):
                     for position in distinct[query]:
                         miss_results[position] = result
-                    if self.cache is not None:
+                    if self.cache is not None and not (
+                        result.failed or result.partial
+                    ):
+                        # Never cache a dropped or partial answer: a
+                        # recovered fleet must not keep serving the
+                        # degraded result from cache.
                         fill_cost = fill_cost.then(
                             self.cache.insert(
                                 query, (tuple(result.items), tuple(result.scores))
@@ -551,7 +688,21 @@ class ServingSession:
                     )
                 else:
                     completion = batch.dispatch_s + occupancy.latency_s
-                    items = tuple(miss_results[position].items)
+                    result = miss_results[position]
+                    if result.failed:
+                        fault_ctx.counters["failed_queries"] += 1
+                        batch_records.append(
+                            RequestRecord(
+                                request=request,
+                                completion_s=completion,
+                                batch_size=len(batch.requests),
+                                cache_hit=False,
+                                items=(),
+                                failed=True,
+                            )
+                        )
+                        continue
+                    items = tuple(result.items)
                     batch_records.append(
                         RequestRecord(
                             request=request,
@@ -559,7 +710,9 @@ class ServingSession:
                             batch_size=len(batch.requests),
                             cache_hit=False,
                             items=items[:degraded_k] if degraded else items,
-                            degraded=degraded,
+                            # A partial scatter-gather is served degraded:
+                            # the client got an answer with reduced recall.
+                            degraded=degraded or result.partial,
                         )
                     )
             records.extend(batch_records)
@@ -569,6 +722,8 @@ class ServingSession:
                     outcome = (
                         "shed"
                         if record.shed
+                        else "failed"
+                        if record.failed
                         else "degraded"
                         if record.degraded
                         else "served"
@@ -652,6 +807,28 @@ class ServingSession:
                     spill_gauge.set(
                         float(spill_stats[key]), process=self.label, counter=key
                     )
+            if self.faults is not None and (
+                any(self.faults.counters.values()) or self.faults.retries_used
+            ):
+                # Created only when a fault actually fired, so a run over
+                # an empty plan exports byte-identical telemetry.
+                fault_gauge = telemetry.metrics.gauge(
+                    "repro_fault_state", "Fault-plane counters at end of run."
+                )
+                for key, value in self.faults.counters.items():
+                    fault_gauge.set(
+                        float(value), process=self.label, counter=key
+                    )
+                fault_gauge.set(
+                    float(self.faults.retries_used),
+                    process=self.label,
+                    counter="retries_used",
+                )
+                fault_gauge.set(
+                    self.faults.recall_loss,
+                    process=self.label,
+                    counter="recall_loss",
+                )
         return ServingResult(
             label=self.label,
             records=records,
@@ -662,6 +839,7 @@ class ServingSession:
                 self.admission.stats() if self.admission is not None else None
             ),
             spill_stats=self._spill_stats(),
+            fault_stats=self.faults.stats() if self.faults is not None else None,
             scale_events=list(self.scale_events[run_events_start:]),
         )
 

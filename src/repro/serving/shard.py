@@ -57,6 +57,8 @@ from repro.core.pipeline import (
 )
 from repro.energy.accounting import Cost, Ledger
 from repro.gpu.device import GPUDeviceModel, GTX1080
+from repro.serving.faults import ERROR, FaultError
+from repro.serving.resilience import failed_query_result
 
 __all__ = [
     "partition_corpus",
@@ -130,6 +132,12 @@ class ReplicaGroup:
     #: :class:`repro.core.pipeline._EngineBase`.
     _obs = None
 
+    #: Fault plane planted by :func:`repro.serving.resilience.attach_faults`
+    #: (None = no chaos: serve_batch takes the untouched fast path).
+    _faults = None
+    #: This group's shard index inside the enclosing ShardedEngine.
+    _fault_site = 0
+
     def __init__(
         self,
         replicas: Sequence[object],
@@ -202,19 +210,28 @@ class ReplicaGroup:
             return list(range(len(self.replicas)))
         return sorted(range(len(self.replicas)), key=lambda i: (energies[i], i))
 
-    def assign(self, num_queries: int) -> List[List[int]]:
+    def assign(
+        self, num_queries: int, allowed: Optional[Sequence[int]] = None
+    ) -> List[List[int]]:
         """Plan one dispatch round: query position -> replica.
 
         Deterministic (ties go to the lowest replica index), so replays
-        reproduce the same routing.
+        reproduce the same routing.  ``allowed`` restricts the round to a
+        subset of replica indices -- the failover hook the fault plane
+        uses to route around open circuit breakers; ``None`` (the
+        default, and the behaviour when every breaker is closed) admits
+        every replica and routes exactly as before.
         """
         estimates = self._work_estimates()
         assignment: List[List[int]] = [[] for _ in self.replicas]
+        candidates_pool = (
+            range(len(self.replicas)) if allowed is None else list(allowed)
+        )
         if self.p95_target_s is None:
             projected = list(self.busy_s)
             for position in range(num_queries):
                 target = min(
-                    range(len(self.replicas)),
+                    candidates_pool,
                     key=lambda index: (projected[index], index),
                 )
                 assignment[target].append(position)
@@ -225,6 +242,9 @@ class ReplicaGroup:
         # scheduler serialises batches), so the latency threat is the
         # work queued on a replica *within this round*.
         order = self._energy_order()
+        if allowed is not None:
+            permitted = set(allowed)
+            order = [index for index in order if index in permitted]
         primary = order[0]
         if getattr(self.replicas[primary], "expected_query_latency_s", None) is None:
             # Cold start: no latency evidence yet, so no threat to react
@@ -256,7 +276,7 @@ class ReplicaGroup:
                 # use cumulative busy time as the long-run tiebreak.
                 candidates = [
                     index
-                    for index in range(len(self.replicas))
+                    for index in candidates_pool
                     if len(assignment[index]) < quota[index]
                 ] or [primary]
                 target = min(
@@ -280,6 +300,8 @@ class ReplicaGroup:
     def serve_batch(self, queries: Sequence[ServeQuery]) -> BatchResult:
         if not queries:
             return BatchResult(results=[], cost=Cost())
+        if self._faults is not None:
+            return self._serve_batch_chaos(queries, self._faults)
         assignment = self.assign(len(queries))
         obs = self._obs
         tracer = obs.tracer if obs is not None else None
@@ -329,6 +351,275 @@ class ReplicaGroup:
             cost=Cost.concurrent(sub_costs),
         )
 
+    def _serve_batch_chaos(self, queries: Sequence[ServeQuery], ctx) -> BatchResult:
+        """serve_batch under an attached fault plane.
+
+        Mirrors the plain path exactly when nothing fires (same routing,
+        same spans, same costs -- the empty-plan bit-identity invariant),
+        and layers the resilience behaviours on top when it does:
+        breaker-aware failover routing, per-lane timeouts + retries with
+        backoff, and tail hedging.  Busy/assigned accounting stays keyed
+        by the *planned* replica index so routing replays exactly even
+        when a retry lands elsewhere.
+        """
+        resilience = ctx.resilience
+        base_s = ctx.attempt_time_s
+        shard = self._fault_site
+        obs = self._obs
+        tracer = obs.tracer if obs is not None else None
+        traced = tracer is not None and tracer.active
+        spillover = self.p95_target_s is not None
+        if resilience is not None:
+            allowed = [
+                index
+                for index in range(len(self.replicas))
+                if ctx.breaker(shard, index).allow(base_s)
+            ]
+            if not allowed:
+                # Every breaker open: fail fast without touching an
+                # engine -- the cheap steady state once a whole shard is
+                # known-dark (keeps the tail flat during an outage).
+                return BatchResult(
+                    results=[failed_query_result() for _ in queries],
+                    cost=Cost(),
+                )
+            if len(allowed) == len(self.replicas):
+                allowed = None  # the healthy fast path routes as before
+        else:
+            allowed = None
+        assignment = self.assign(len(queries), allowed=allowed)
+        primary = self._energy_order()[0] if (traced and spillover) else 0
+        placed: Dict[int, QueryResult] = {}
+        sub_costs: List[Cost] = []
+        for index, positions in enumerate(assignment):
+            if not positions:
+                continue
+            sub_queries = [queries[position] for position in positions]
+            lane_results, lane_cost = self._serve_lane_chaos(
+                index, sub_queries, ctx, base_s, tracer if traced else None,
+                spillover, primary,
+            )
+            self.busy_s[index] += lane_cost.latency_s
+            self.assigned[index] += len(positions)
+            sub_costs.append(lane_cost)
+            for position, result in zip(positions, lane_results):
+                placed[position] = result
+        ctx.begin_round(base_s)  # restore for the caller's next lane/shard
+        return BatchResult(
+            results=[placed[position] for position in range(len(queries))],
+            cost=Cost.concurrent(sub_costs),
+        )
+
+    def _serve_lane_chaos(
+        self,
+        index: int,
+        sub: Sequence[ServeQuery],
+        ctx,
+        base_s: float,
+        tracer,
+        spillover: bool,
+        primary: int,
+    ) -> Tuple[List[QueryResult], Cost]:
+        """One replica lane of a chaos dispatch round.
+
+        Returns the lane's per-query results plus its occupancy cost.
+        The first attempt goes to the planned replica; each failure pays
+        a detection latency (the fault's own latency for transient
+        errors, the configured timeout for crashes/outages), then the
+        retry fails over to the least-loaded breaker-allowed peer or, if
+        none exists, backs off exponentially on the same replica.  A
+        successful-but-straggling attempt fires one hedge on a peer and
+        the earlier finisher sets the lane latency.  All failed-attempt
+        and hedge energy is accumulated on the context for the session
+        to re-bill under "Retry"/"Hedge".
+        """
+        resilience = ctx.resilience
+        shard = self._fault_site
+        n = len(sub)
+        if tracer is not None:
+            start_s = tracer.cursor_s
+            probe = (
+                getattr(self.replicas[index], "expected_query_latency_s", None)
+                is None
+            )
+            tracer.open(
+                f"replica{index}",
+                start_s,
+                category="serve",
+                replica=index,
+                engine=type(self.replicas[index]).__name__,
+                queries=n,
+                spill=spillover and index != primary,
+            )
+            if spillover and probe:
+                tracer.instant("spillover-probe", start_s, replica=index)
+        current = index
+        lane_offset_s = 0.0  # wall-clock burnt on failed attempts so far
+        wasted = Cost()  # physical cost of those failed attempts
+        retries = 0
+        batch = None
+        while True:
+            pre_estimate = getattr(
+                self.replicas[current], "expected_query_latency_s", None
+            )
+            if resilience is not None:
+                ctx.breaker(shard, current).take_probe()
+            ctx.begin_round(base_s + lane_offset_s)
+            try:
+                batch = self.replicas[current].serve_batch(sub)
+                break
+            except FaultError as fault:
+                if fault.kind == ERROR:
+                    # The replica did the work and returned garbage: the
+                    # caller pays the full serve latency to find out.
+                    detect_s = fault.cost.latency_s
+                    ctx.counters["error_hits"] += 1
+                else:
+                    # Crash/outage: silence, detected by timeout.
+                    detect_s = (
+                        resilience.attempt_timeout_s(pre_estimate, n)
+                        if resilience is not None
+                        else 0.0
+                    )
+                    ctx.counters["crash_hits"] += 1
+                lane_offset_s += detect_s
+                wasted = wasted.then(
+                    Cost(
+                        energy_pj=fault.cost.energy_pj,
+                        latency_ns=detect_s * 1e9,
+                    )
+                )
+                failed_at_s = base_s + lane_offset_s
+                if resilience is not None:
+                    ctx.breaker(shard, current).record_failure(failed_at_s)
+                ctx.record_event(
+                    "attempt-failed",
+                    failed_at_s,
+                    kind=fault.kind,
+                    shard=shard,
+                    replica=current,
+                )
+                if (
+                    resilience is None
+                    or retries >= resilience.max_retries
+                    or not ctx.retry_budget_left()
+                ):
+                    break
+                retries += 1
+                ctx.retries_used += 1
+                ctx.counters["retries"] += 1
+                peers = [
+                    peer
+                    for peer in range(len(self.replicas))
+                    if peer != current
+                    and ctx.breaker(shard, peer).allow(failed_at_s)
+                ]
+                if peers:
+                    target = min(
+                        peers, key=lambda peer: (self.busy_s[peer], peer)
+                    )
+                    ctx.counters["failovers"] += 1
+                    ctx.record_event(
+                        "failover",
+                        failed_at_s,
+                        shard=shard,
+                        origin=current,
+                        target=target,
+                    )
+                    current = target
+                else:
+                    backoff_s = resilience.backoff_base_s * (
+                        resilience.backoff_multiplier ** (retries - 1)
+                    )
+                    lane_offset_s += backoff_s
+                    ctx.record_event(
+                        "retry-backoff",
+                        base_s + lane_offset_s,
+                        shard=shard,
+                        replica=current,
+                        backoff_s=backoff_s,
+                    )
+        if batch is None:
+            # Attempts exhausted: the lane's queries are dropped.  The
+            # wasted energy is re-billed via the context; the lane's
+            # occupancy is the time burnt detecting the failures.
+            ctx.add_retry_cost(wasted)
+            lane_cost = Cost(energy_pj=0.0, latency_ns=lane_offset_s * 1e9)
+            if tracer is not None:
+                tracer.close(start_s + lane_cost.latency_s)
+            return [failed_query_result() for _ in sub], lane_cost
+
+        done_s = base_s + lane_offset_s + batch.cost.latency_s
+        if resilience is not None:
+            ctx.breaker(shard, current).record_success(done_s)
+        lane_latency_s = lane_offset_s + batch.cost.latency_s
+        if (
+            resilience is not None
+            and pre_estimate is not None
+            and batch.cost.latency_s
+            > resilience.hedge_factor * pre_estimate * n
+        ):
+            # Straggler: the attempt succeeded but blew its expectation.
+            # Model the hedge a real client would have fired after
+            # hedge_delay: serve the same sub-batch on the best peer
+            # (bit-identical results by construction), let the earlier
+            # finisher set the lane latency, bill both energies.
+            ctx.counters["straggled_batches"] += 1
+            hedge_delay_s = resilience.hedge_delay_factor * pre_estimate * n
+            peers = [
+                peer
+                for peer in range(len(self.replicas))
+                if peer != current
+                and ctx.breaker(shard, peer).allow(
+                    base_s + lane_offset_s + hedge_delay_s
+                )
+            ]
+            if peers and ctx.retry_budget_left():
+                target = min(peers, key=lambda peer: (self.busy_s[peer], peer))
+                ctx.retries_used += 1
+                ctx.counters["hedges"] += 1
+                ctx.record_event(
+                    "hedge",
+                    base_s + lane_offset_s + hedge_delay_s,
+                    shard=shard,
+                    origin=current,
+                    replica=target,
+                )
+                ctx.breaker(shard, target).take_probe()
+                ctx.begin_round(base_s + lane_offset_s + hedge_delay_s)
+                try:
+                    hedge_batch = self.replicas[target].serve_batch(sub)
+                    hedge_latency_s = hedge_delay_s + hedge_batch.cost.latency_s
+                    ctx.breaker(shard, target).record_success(
+                        base_s + lane_offset_s + hedge_latency_s
+                    )
+                    ctx.add_hedge_cost(
+                        Cost(energy_pj=hedge_batch.cost.energy_pj)
+                    )
+                    if hedge_latency_s < batch.cost.latency_s:
+                        lane_latency_s = lane_offset_s + hedge_latency_s
+                except FaultError as fault:
+                    # Lost hedge: its (possibly partial) energy still
+                    # burnt; the original result stands.
+                    ctx.breaker(shard, target).record_failure(
+                        base_s + lane_offset_s + hedge_delay_s
+                    )
+                    ctx.add_hedge_cost(Cost(energy_pj=fault.cost.energy_pj))
+        if wasted.energy_pj or wasted.latency_ns:
+            ctx.add_retry_cost(wasted)
+        if lane_offset_s == 0.0 and lane_latency_s == batch.cost.latency_s:
+            # Clean lane: reuse the engine's cost object untouched so the
+            # empty-plan path stays bit-identical (no s<->ns round trip).
+            lane_cost = batch.cost
+        else:
+            lane_cost = Cost(
+                energy_pj=batch.cost.energy_pj,
+                latency_ns=lane_latency_s * 1e9,
+            )
+        if tracer is not None:
+            tracer.close(start_s + lane_cost.latency_s)
+        return list(batch.results), lane_cost
+
     def stats(self) -> Dict[str, object]:
         """Routing counters (per-replica load and spill volume)."""
         return {
@@ -349,6 +640,10 @@ class ShardedEngine:
     #: Telemetry planted by :func:`repro.obs.attach_telemetry`; see
     #: :class:`repro.core.pipeline._EngineBase`.
     _obs = None
+
+    #: Fault plane planted by :func:`repro.serving.resilience.attach_faults`
+    #: (None = no chaos: serve_batch takes the untouched fast path).
+    _faults = None
 
     def __init__(self, shards: Sequence[object], top_k: int):
         if not shards:
@@ -404,6 +699,8 @@ class ShardedEngine:
         """
         if not queries:
             return BatchResult(results=[], cost=Cost())
+        if self._faults is not None:
+            return self._serve_batch_chaos(queries, self._faults)
         obs = self._obs
         tracer = obs.tracer if obs is not None else None
         traced = tracer is not None and tracer.active
@@ -488,6 +785,192 @@ class ShardedEngine:
     def merge_cost(self, num_entries: int) -> Cost:
         """Expose the underlying platform's merge model (router nesting)."""
         return _member_merge_cost(self.shards, num_entries)
+
+    def _serve_bare_shard_chaos(
+        self,
+        shard,
+        shard_index: int,
+        queries: Sequence[ServeQuery],
+        ctx,
+        round_s: float,
+    ) -> BatchResult:
+        """One unreplicated shard's scatter under the fault plane.
+
+        A bare shard has no peer to fail over to, so a faulted attempt
+        makes the whole shard dark for this batch: the caller waits the
+        shard deadline (or the error's own latency), bills the wasted
+        energy for re-billing, and the gather goes partial.  An open
+        breaker skips the attempt entirely -- the steady state while a
+        known-dead shard recovers.
+        """
+        resilience = ctx.resilience
+        if resilience is not None and not ctx.breaker(shard_index, 0).allow(
+            round_s
+        ):
+            return BatchResult(
+                results=[failed_query_result() for _ in queries], cost=Cost()
+            )
+        if resilience is not None:
+            ctx.breaker(shard_index, 0).take_probe()
+        estimate = getattr(shard, "expected_query_latency_s", None)
+        try:
+            batch = shard.serve_batch(queries)
+        except FaultError as fault:
+            if fault.kind == ERROR:
+                detect_s = fault.cost.latency_s
+                ctx.counters["error_hits"] += 1
+            else:
+                detect_s = (
+                    resilience.shard_deadline_s(estimate, len(queries))
+                    if resilience is not None
+                    else 0.0
+                )
+                ctx.counters["crash_hits"] += 1
+            failed_at_s = round_s + detect_s
+            if resilience is not None:
+                ctx.breaker(shard_index, 0).record_failure(failed_at_s)
+            ctx.record_event(
+                "shard-dark", failed_at_s, kind=fault.kind, shard=shard_index
+            )
+            ctx.add_retry_cost(
+                Cost(energy_pj=fault.cost.energy_pj, latency_ns=detect_s * 1e9)
+            )
+            return BatchResult(
+                results=[failed_query_result() for _ in queries],
+                cost=Cost(latency_ns=detect_s * 1e9),
+            )
+        if resilience is not None:
+            ctx.breaker(shard_index, 0).record_success(
+                round_s + batch.cost.latency_s
+            )
+        return batch
+
+    def _serve_batch_chaos(
+        self, queries: Sequence[ServeQuery], ctx
+    ) -> BatchResult:
+        """serve_batch under an attached fault plane.
+
+        The scatter and the padded single-argsort gather are arithmetic-
+        identical to the plain path (the empty-plan bit-identity
+        invariant: a failed shard contributes zero entries exactly like
+        an empty ranked list would).  On top of that: replica-group
+        shards recover internally (retries/failover/hedges), bare shards
+        go dark past their deadline, and the per-query construction
+        downgrades -- resilience ON merges the survivors into a partial
+        (degraded) answer and records the recall loss, resilience OFF
+        rejects any response missing a corpus slice.
+        """
+        resilience = ctx.resilience
+        round_s = ctx.attempt_time_s
+        obs = self._obs
+        tracer = obs.tracer if obs is not None else None
+        traced = tracer is not None and tracer.active
+        base_s = tracer.cursor_s if traced else 0.0
+        shard_batches = []
+        for shard_index, shard in enumerate(self.shards):
+            if traced:
+                tracer.open(
+                    f"shard{shard_index}",
+                    base_s,
+                    category="serve",
+                    track=f"shard{shard_index}",
+                    shard=shard_index,
+                    queries=len(queries),
+                )
+            # Shards scatter concurrently: every shard's first attempt
+            # starts at the same round anchor (lanes advance it locally
+            # for their own retries/hedges).
+            ctx.begin_round(round_s)
+            if getattr(shard, "replicas", None) is not None:
+                shard_batch = shard.serve_batch(queries)
+            else:
+                shard_batch = self._serve_bare_shard_chaos(
+                    shard, shard_index, queries, ctx, round_s
+                )
+            if traced:
+                tracer.close(base_s + shard_batch.cost.latency_s)
+            shard_batches.append(shard_batch)
+        ctx.begin_round(round_s)
+        scatter_cost = Cost.concurrent(batch.cost for batch in shard_batches)
+
+        num_queries = len(queries)
+        width = len(self.shards) * self.top_k
+        score_matrix = np.full((num_queries, width), -1.0)
+        item_matrix = np.zeros((num_queries, width), dtype=np.int64)
+        entry_counts = [0] * num_queries
+        for shard_index, batch in enumerate(shard_batches):
+            base = shard_index * self.top_k
+            for position, result in enumerate(batch.results):
+                length = len(result.scores)
+                score_matrix[position, base : base + length] = result.scores
+                item_matrix[position, base : base + length] = result.items
+                entry_counts[position] += length
+
+        order = np.argsort(-score_matrix, axis=1, kind="stable")[:, : self.top_k]
+        item_lists = np.take_along_axis(item_matrix, order, axis=1).tolist()
+        score_lists = np.take_along_axis(score_matrix, order, axis=1).tolist()
+
+        merged: List[QueryResult] = []
+        merge_total = Cost()
+        partial_queries = 0
+        for position in range(num_queries):
+            per_shard = [batch.results[position] for batch in shard_batches]
+            dark = sum(1 for result in per_shard if result.failed)
+            if dark == len(per_shard) or (dark and resilience is None):
+                # Every slice dark -- or a strict resilience-off client
+                # that rejects responses missing part of the corpus.
+                merged.append(failed_query_result())
+                continue
+            num_entries = entry_counts[position]
+            merge_cost = self._merge_cost_for(num_entries)
+            merge_total = merge_total.then(merge_cost)
+
+            ledger = Ledger(name="sharded-query")
+            for result in per_shard:
+                # A dark shard's ledger is empty: extending is a no-op,
+                # so healthy queries fold bit-identically to the plain
+                # path.
+                ledger.extend(result.ledger)
+            ledger.charge("Merge", merge_cost)
+            per_query_cost = Cost.concurrent(
+                result.cost for result in per_shard
+            ).then(merge_cost)
+            take = min(self.top_k, num_entries)
+            merged_result = QueryResult(
+                items=item_lists[position][:take],
+                candidate_count=sum(
+                    result.candidate_count for result in per_shard
+                ),
+                cost=per_query_cost,
+                ledger=ledger,
+                scores=score_lists[position][:take],
+            )
+            if dark:
+                merged_result.partial = True
+                partial_queries += 1
+                ctx.counters["partial_queries"] += 1
+                ctx.counters["lost_entries"] += dark
+                ctx.recall_loss += dark / len(per_shard)
+            merged.append(merged_result)
+        if partial_queries:
+            ctx.record_event(
+                "partial-merge",
+                round_s + scatter_cost.latency_s,
+                queries=partial_queries,
+                shards=len(self.shards),
+            )
+        if traced:
+            merge_start_s = base_s + scatter_cost.latency_s
+            tracer.add(
+                "merge",
+                merge_start_s,
+                merge_start_s + merge_total.latency_s,
+                category="merge",
+                shards=len(self.shards),
+                entries=sum(entry_counts),
+                queries=num_queries,
+            )
+        return BatchResult(results=merged, cost=scatter_cost.then(merge_total))
 
 
 def make_sharded_engine(

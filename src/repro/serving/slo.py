@@ -10,7 +10,7 @@ per request -- including the cache and merge traffic.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -27,7 +27,11 @@ class RequestRecord:
     ``shed`` marks a request the admission controller rejected at the
     front door (``completion_s`` is the rejection time; no items were
     served); ``degraded`` marks one served with a reduced top-k to
-    protect the SLO.
+    protect the SLO (or, under fault injection, a partial scatter-gather
+    merged from the surviving shards); ``failed`` marks one the fleet
+    accepted but could not answer -- every serving attempt exhausted
+    under fault injection (``completion_s`` is when the failure was
+    final).
     """
 
     request: Request
@@ -37,6 +41,7 @@ class RequestRecord:
     items: Tuple[int, ...]
     shed: bool = False
     degraded: bool = False
+    failed: bool = False
 
     def __post_init__(self) -> None:
         if self.completion_s < self.request.arrival_s:
@@ -45,6 +50,11 @@ class RequestRecord:
             raise ValueError("batch size must be >= 1")
         if self.shed and self.items:
             raise ValueError("a shed request cannot carry served items")
+        if self.failed and self.items:
+            raise ValueError("a failed request cannot carry served items")
+        if self.failed and self.shed:
+            raise ValueError("a request is either shed (front door) or "
+                             "failed (serve path), not both")
 
     @property
     def latency_s(self) -> float:
@@ -70,11 +80,21 @@ class SLOReport:
     mean_batch_size: float
     shed_count: int = 0
     degraded_count: int = 0
+    #: Requests the fleet accepted but could not answer (fault injection).
+    failed_count: int = 0
+    #: Mean time to recover of the run's fault plan (None = no downtime
+    #: was scheduled -- the healthy-fleet dash in reports).
+    mttr_s: Optional[float] = None
 
     @property
     def served_count(self) -> int:
-        """Requests that actually received recommendations."""
+        """Requests that entered the serve path (not shed at the door)."""
         return self.num_requests - self.shed_count
+
+    @property
+    def answered_count(self) -> int:
+        """Requests that actually received recommendations."""
+        return self.served_count - self.failed_count
 
     @property
     def shed_rate(self) -> float:
@@ -85,6 +105,25 @@ class SLOReport:
     def degraded_rate(self) -> float:
         """Fraction of *served* requests answered with a reduced top-k."""
         return self.degraded_count / self.served_count if self.served_count else 0.0
+
+    @property
+    def availability(self) -> float:
+        """Fraction of accepted requests that received an answer.
+
+        Shed requests are an explicit admission policy, not a failure,
+        so they count against neither numerator nor denominator; a
+        zero-fault run reports 1.0.
+        """
+        if not self.served_count:
+            return 1.0
+        return 1.0 - self.failed_count / self.served_count
+
+    @property
+    def error_rate(self) -> float:
+        """Fraction of accepted requests the fleet failed to answer."""
+        if not self.served_count:
+            return 0.0
+        return self.failed_count / self.served_count
 
     def as_dict(self) -> Dict[str, float]:
         return {
@@ -101,15 +140,23 @@ class SLOReport:
             "mean_batch_size": self.mean_batch_size,
             "shed_count": self.shed_count,
             "degraded_count": self.degraded_count,
+            "failed_count": self.failed_count,
+            "availability": self.availability,
+            "error_rate": self.error_rate,
+            "mttr_s": self.mttr_s,
         }
 
     def format_row(self) -> str:
+        mttr = f"{self.mttr_s * 1e3:.1f}ms" if self.mttr_s is not None else "-"
         row = (
             f"  {self.label:<28s} p50={self.p50_ms:8.3f}ms p95={self.p95_ms:8.3f}ms "
             f"p99={self.p99_ms:8.3f}ms qps={self.sustained_qps:9.1f} "
             f"E/req={self.energy_per_request_uj:10.4f}uJ "
             f"hit={self.cache_hit_rate * 100.0:5.1f}% "
-            f"batch={self.mean_batch_size:4.1f}"
+            f"batch={self.mean_batch_size:4.1f} "
+            f"avail={self.availability * 100.0:6.2f}% "
+            f"err={self.error_rate * 100.0:5.2f}% "
+            f"mttr={mttr}"
         )
         if self.shed_count or self.degraded_count:
             row += (
@@ -123,23 +170,29 @@ def summarize(
     records: Sequence[RequestRecord],
     ledger: Ledger,
     label: str = "session",
+    mttr_s: Optional[float] = None,
 ) -> SLOReport:
     """Fold per-request records + the session ledger into an SLO report.
 
     Latency percentiles, cache hit rate, batch sizes and the energy
-    denominator cover *served* requests only: a shed request received no
-    recommendations, and letting its (tiny) time-to-rejection into the
-    tail would reward shedding with better percentiles.  Shed volume is
-    reported separately (``shed_count`` / ``shed_rate``); sustained QPS
-    is goodput (served requests over the makespan).  A session where
-    everything was shed degenerates to zero latencies.
+    denominator cover *answered* requests only: a shed request received
+    no recommendations, and letting its (tiny) time-to-rejection into
+    the tail would reward shedding with better percentiles; a failed
+    request likewise received nothing, so its (timeout-bound) latency
+    belongs in the availability column, not the tail.  Shed and failed
+    volumes are reported separately (``shed_count`` / ``failed_count`` /
+    ``availability``); sustained QPS is goodput (answered requests over
+    the makespan).  ``mttr_s`` is the run's fault-plan mean time to
+    recover (None for a healthy fleet).  A session where everything was
+    shed degenerates to zero latencies.
     """
     if not records:
         raise ValueError("cannot summarise an empty session")
     served = [record for record in records if not record.shed]
+    answered = [record for record in served if not record.failed]
     latencies_ms = (
-        np.array([record.latency_s * 1e3 for record in served])
-        if served
+        np.array([record.latency_s * 1e3 for record in answered])
+        if answered
         else np.zeros(1)
     )
     arrivals = np.array([record.request.arrival_s for record in records])
@@ -147,7 +200,7 @@ def summarize(
     span_s = float(arrivals.max() - arrivals.min())
     makespan_s = float(completions.max() - arrivals.min())
     total_energy_uj = ledger.total().energy_uj
-    hits = sum(1 for record in served if record.cache_hit)
+    hits = sum(1 for record in answered if record.cache_hit)
     return SLOReport(
         label=label,
         num_requests=len(records),
@@ -158,17 +211,19 @@ def summarize(
         max_ms=float(latencies_ms.max()),
         offered_qps=(len(records) - 1) / span_s if span_s > 0.0 else float("inf"),
         sustained_qps=(
-            len(served) / makespan_s if makespan_s > 0.0 else float("inf")
+            len(answered) / makespan_s if makespan_s > 0.0 else float("inf")
         ),
-        energy_per_request_uj=total_energy_uj / max(1, len(served)),
-        cache_hit_rate=hits / max(1, len(served)),
+        energy_per_request_uj=total_energy_uj / max(1, len(answered)),
+        cache_hit_rate=hits / max(1, len(answered)),
         mean_batch_size=(
-            float(np.mean([record.batch_size for record in served]))
-            if served
+            float(np.mean([record.batch_size for record in answered]))
+            if answered
             else 0.0
         ),
         shed_count=len(records) - len(served),
         degraded_count=sum(1 for record in served if record.degraded),
+        failed_count=len(served) - len(answered),
+        mttr_s=mttr_s,
     )
 
 
