@@ -1,0 +1,26 @@
+"""Bench E-COST -- eager/lazy/hybrid dollar frontier + workload analyzer."""
+
+from repro.experiments import run_cost_study
+
+
+def test_cost_study(benchmark, save_report):
+    report = benchmark.pedantic(run_cost_study, rounds=1, iterations=1)
+    save_report("cost_study", report.format())
+    # Every cost invariant (hybrid <= max(eager, lazy) on both traces,
+    # bit-stable dollar totals, report column == ledger total, off-peak
+    # Warm-up billing, repetition-aware bypass) must hold exactly.
+    assert report.all_within(0.0), report.format()
+
+    # The analyzer reads the traces correctly: the smooth diurnal trace
+    # can be precomputed around, the MMPP spikes cannot.
+    assert report.extras["recommendations"] == {
+        "diurnal": "eager",
+        "bursty": "hybrid",
+    }
+
+    # The picked models actually pay for their strategies: eager bills
+    # discounted Warm-up rows, hybrid's cache refuses one-off fills.
+    outcomes = report.extras["outcomes"]
+    eager_bill = outcomes["diurnal"]["eager"].result.price_ledger.by_category()
+    assert eager_bill.get("Warm-up", 0.0) > 0.0
+    assert outcomes["bursty"]["hybrid"].result.cache_stats["bypassed"] > 0

@@ -22,6 +22,7 @@ from repro.experiments import (
     run_accuracy_study,
     run_autoscale_study,
     run_chaos_study,
+    run_cost_study,
     run_hetero_study,
     run_design_space,
     run_end_to_end,
@@ -80,10 +81,17 @@ EXPERIMENTS: Dict[str, tuple] = {
         "the self-healing fleet",
         run_chaos_study,
     ),
+    "E-COST": (
+        "Extension - dollar-cost execution models (eager/lazy/hybrid) + "
+        "workload analyzer",
+        run_cost_study,
+    ),
 }
 
 #: Experiments that drive the serving stack and accept telemetry exports.
-SERVING_EXPERIMENTS = frozenset({"E-SERVE", "E-AUTOSCALE", "E-HETERO", "E-CHAOS"})
+SERVING_EXPERIMENTS = frozenset(
+    {"E-SERVE", "E-AUTOSCALE", "E-HETERO", "E-CHAOS", "E-COST"}
+)
 
 
 def _run_one(
@@ -122,7 +130,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "experiment",
         help="experiment id (E1..E8, A1..A9, E-serve, E-autoscale, "
-        "E-hetero, E-chaos) or 'all'",
+        "E-hetero, E-chaos, E-cost) or 'all'",
     )
     run_parser.add_argument(
         "--save",

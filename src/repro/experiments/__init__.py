@@ -25,6 +25,8 @@ E-AUTOSCALE   Closed-loop autoscaler (shards x replicas vs p95 SLO)
 E-HETERO      Heterogeneous fleet (IMC+GPU spillover, live scaling,
               admission control)
 E-CHAOS       Fault injection: self-healing fleet vs resilience-off
+E-COST        Dollar-cost execution models (eager/lazy/hybrid) +
+              workload analyzer
 ============  =======================================================
 """
 
@@ -61,10 +63,12 @@ from repro.experiments.serving_study import run_serving_study
 from repro.experiments.autoscale_study import run_autoscale_study
 from repro.experiments.hetero_study import run_hetero_study
 from repro.experiments.chaos_study import run_chaos_study
+from repro.experiments.cost_study import run_cost_study
 
 __all__ = [
     "run_autoscale_study",
     "run_chaos_study",
+    "run_cost_study",
     "run_hetero_study",
     "run_serving_study",
     "run_scaling_study",

@@ -380,6 +380,33 @@ class MetricsRegistry:
             per_category.inc(totals[category], process=process, category=category)
             total.inc(totals[category], process=process)
 
+    def record_price_ledger(
+        self, price_ledger, *, process: str, prefix: str = "repro_dollars"
+    ) -> None:
+        """Fold a session :class:`~repro.serving.pricing.PriceLedger` in.
+
+        The dollar twin of :meth:`record_ledger`: emits
+        ``{prefix}_category{process=...,category=...}`` and a
+        ``{prefix}_total`` counter from the same rows the session's
+        price ledger reports, so the exported dollars can never
+        disagree with the console numbers.
+        """
+        if not self.enabled:
+            return
+        per_category = self.counter(
+            f"{prefix}_category",
+            "Dollars charged per price-ledger category, USD.",
+        )
+        total = self.counter(
+            f"{prefix}_total", "Total dollars charged to the price ledger, USD."
+        )
+        totals: Dict[str, float] = {}
+        for category, dollars in price_ledger:
+            totals[category] = totals.get(category, 0.0) + dollars
+        for category in sorted(totals):
+            per_category.inc(totals[category], process=process, category=category)
+            total.inc(totals[category], process=process)
+
     def render_prometheus(self) -> str:
         """The full registry as Prometheus text exposition format."""
         lines: List[str] = []

@@ -89,7 +89,20 @@ from repro.serving.autoscaler import (
     ScaleStep,
     ScheduledScalePlan,
 )
-from repro.serving.cache import CountMinSketch, ServingCache, TinyLFUAdmission
+from repro.serving.cache import (
+    CountMinSketch,
+    RepetitionAwareCache,
+    ServingCache,
+    TinyLFUAdmission,
+)
+from repro.serving.execution import (
+    EXECUTION_MODELS,
+    EagerExecutionModel,
+    ExecutionOutcome,
+    HybridExecutionModel,
+    LazyExecutionModel,
+    run_execution_model,
+)
 from repro.serving.faults import (
     FaultError,
     FaultEvent,
@@ -97,6 +110,12 @@ from repro.serving.faults import (
     FaultPlan,
     chaos_scenario,
     escalating_scenarios,
+)
+from repro.serving.pricing import (
+    DEFAULT_PRICE_BOOK,
+    PriceBook,
+    PriceLedger,
+    price_serving_run,
 )
 from repro.serving.resilience import (
     CircuitBreaker,
@@ -132,10 +151,19 @@ from repro.serving.traffic import (
     TraceReplayTraffic,
     zipf_user_weights,
 )
+from repro.serving.workload_analyzer import (
+    WorkloadFeatures,
+    analyze_trace,
+    hot_users,
+    recommend_execution_model,
+    user_request_counts,
+)
 
 __all__ = [
     "ACCEPT",
+    "DEFAULT_PRICE_BOOK",
     "DEGRADE",
+    "EXECUTION_MODELS",
     "SHED",
     "AdaptiveBatchConfig",
     "AdaptiveMicroBatchScheduler",
@@ -149,17 +177,24 @@ __all__ = [
     "CircuitBreaker",
     "CountMinSketch",
     "DiurnalTraffic",
+    "EagerExecutionModel",
+    "ExecutionOutcome",
     "FaultContext",
     "FaultError",
     "FaultEvent",
     "FaultInjector",
     "FaultPlan",
+    "HybridExecutionModel",
+    "LazyExecutionModel",
     "MicroBatchConfig",
     "MicroBatchScheduler",
     "MultiTenantTraffic",
     "OnlineScaler",
     "OnlineScalerConfig",
     "PoissonTraffic",
+    "PriceBook",
+    "PriceLedger",
+    "RepetitionAwareCache",
     "ReplicaGroup",
     "Request",
     "RequestRecord",
@@ -175,15 +210,22 @@ __all__ = [
     "TenantSpec",
     "TinyLFUAdmission",
     "TraceReplayTraffic",
+    "WorkloadFeatures",
+    "analyze_trace",
     "attach_faults",
     "chaos_scenario",
     "escalating_scenarios",
+    "hot_users",
     "make_sharded_engine",
     "migration_cost",
     "migration_plan",
     "partition_corpus",
     "plan_scale_migration",
+    "price_serving_run",
+    "recommend_execution_model",
+    "run_execution_model",
     "summarize",
     "summarize_tenants",
+    "user_request_counts",
     "zipf_user_weights",
 ]

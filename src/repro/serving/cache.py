@@ -41,7 +41,12 @@ import numpy as np
 from repro.circuits.foms import ArrayFoMs, TABLE_II
 from repro.energy.accounting import Cost
 
-__all__ = ["CountMinSketch", "TinyLFUAdmission", "ServingCache"]
+__all__ = [
+    "CountMinSketch",
+    "TinyLFUAdmission",
+    "ServingCache",
+    "RepetitionAwareCache",
+]
 
 #: Large Mersenne prime for the sketch's universal hash family.
 _PRIME = (1 << 61) - 1
@@ -86,6 +91,10 @@ class CountMinSketch:
     def halve(self) -> None:
         """Age every counter (the TinyLFU reset operation)."""
         self._counters >>= 1
+
+    def clear(self) -> None:
+        """Zero every counter (forget all history)."""
+        self._counters.fill(0)
 
 
 class TinyLFUAdmission:
@@ -133,6 +142,31 @@ class TinyLFUAdmission:
         """Should ``candidate`` displace ``victim``?  Ties favour the
         newcomer (recency breaks frequency ties, as in W-TinyLFU)."""
         return self.estimate(candidate) >= self.estimate(victim)
+
+    def reset(self) -> None:
+        """Forget all popularity history (sketch and doorkeeper).
+
+        Called when the cached world is wiped (a flush): letting the
+        pre-wipe head keep its counts would let stale keys displace the
+        new working set for a whole sample window.
+        """
+        self.sketch.clear()
+        self._doorkeeper.clear()
+        self._recorded = 0
+        self.resets += 1
+
+    def age(self) -> None:
+        """One aging step (halve counts, clear the doorkeeper).
+
+        A partial invalidation is softer than a flush: surviving keys'
+        popularity is still meaningful, so the estimate decays instead
+        of vanishing -- the same operation the periodic window reset
+        performs, just triggered by the cache event.
+        """
+        self.sketch.halve()
+        self._doorkeeper.clear()
+        self._recorded = 0
+        self.resets += 1
 
 
 class ServingCache:
@@ -234,6 +268,12 @@ class ServingCache:
         for key in victims:
             del self._store[key]
         self.invalidations += len(victims)
+        if victims and self.admission is not None:
+            # Dropped keys keep their sketch counts; left alone they would
+            # out-vote the (genuinely resident) working set at the next
+            # full-cache admission ruling.  Age rather than reset: the
+            # surviving entries' popularity is still real.
+            self.admission.age()
         return len(victims), scan
 
     def flush(self) -> int:
@@ -247,6 +287,11 @@ class ServingCache:
         dropped = len(self._store)
         self._store.clear()
         self.invalidations += dropped
+        if self.admission is not None:
+            # The store is gone; the popularity history must go with it.
+            # A stale sketch would let the pre-flush head block admission
+            # of whatever working set arrives after the restart.
+            self.admission.reset()
         return dropped
 
     def warm(self, entries) -> Cost:
@@ -283,3 +328,108 @@ class ServingCache:
             "rejections": self.rejections,
             "invalidations": self.invalidations,
         }
+
+
+class RepetitionAwareCache(ServingCache):
+    """A cache that only stores results predicted to recur.
+
+    A dollar-billed cache charges for every put (and every provisioned
+    row), so writing a one-off query's result is pure waste: the entry
+    costs CMA fill rows *and* a put fee, then dies unread.  This layer
+    keeps an online per-key recurrence profile (counts over a sliding
+    window, aged by halving, like the TinyLFU sketch but exact -- the
+    key population of a serving cache is small enough for a dict) and
+    bypasses inserts of keys seen fewer than ``min_repeats`` times in
+    the current window: the result is still served, it just is not
+    cached.  Bypassed inserts charge nothing and are counted in
+    ``bypassed``.
+
+    ``recurrence_score`` exposes the profile to the hybrid execution
+    model: the empirical repeat probability of a key, ``(n-1)/n`` for a
+    key seen ``n`` times -- the maximum-likelihood estimate that the
+    next occurrence is a repeat.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        rows_per_entry: int = 10,
+        foms: ArrayFoMs = TABLE_II,
+        admission: Optional[TinyLFUAdmission] = None,
+        min_repeats: int = 2,
+        window: int = 4096,
+    ):
+        super().__init__(capacity, rows_per_entry, foms, admission)
+        if min_repeats < 1:
+            raise ValueError(f"min repeats must be >= 1, got {min_repeats}")
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self.min_repeats = min_repeats
+        self.window = window
+        self.bypassed = 0
+        self._seen: Dict[Hashable, int] = {}
+        self._window_accesses = 0
+
+    def seen(self, key: Hashable) -> int:
+        """Windowed access count of ``key``."""
+        return self._seen.get(key, 0)
+
+    def recurrence_score(self, key: Hashable) -> float:
+        """Empirical repeat probability of ``key`` ((n-1)/n; 0 unseen)."""
+        count = self.seen(key)
+        return (count - 1) / count if count > 1 else 0.0
+
+    def _track(self, key: Hashable) -> None:
+        self._seen[key] = self._seen.get(key, 0) + 1
+        self._window_accesses += 1
+        if self._window_accesses >= self.window:
+            # Age the profile: halve every count, drop the zeroes --
+            # the estimate follows the recent window, not all history.
+            self._seen = {
+                key: count // 2
+                for key, count in self._seen.items()
+                if count // 2 > 0
+            }
+            self._window_accesses = 0
+
+    def lookup(self, key: Hashable) -> Tuple[Optional[object], Cost]:
+        self._track(key)
+        return super().lookup(key)
+
+    def insert(self, key: Hashable, value: object) -> Cost:
+        """Store ``key`` only if its window count clears ``min_repeats``.
+
+        Refreshes of already-resident keys always land (the rows exist;
+        rewriting them is cheaper than invalidating).
+        """
+        if key not in self._store and self.seen(key) < self.min_repeats:
+            self.bypassed += 1
+            return Cost()
+        return super().insert(key, value)
+
+    def warm(self, entries) -> Cost:
+        """Warm-up bypasses the recurrence filter: the eager planner
+        already predicted these keys hot (that is why it precomputed
+        them), so the profile is seeded instead of consulted."""
+        total = Cost()
+        for key, value in entries:
+            if len(self._store) >= self.capacity:
+                break
+            if key in self._store:
+                continue
+            self._seen[key] = max(self.seen(key), self.min_repeats)
+            total = total.then(super().insert(key, value))
+        return total
+
+    def flush(self) -> int:
+        """A wipe loses the store *and* the recurrence history: the
+        post-restart working set must earn its way back in."""
+        self._seen.clear()
+        self._window_accesses = 0
+        return super().flush()
+
+    def stats(self) -> Dict[str, float]:
+        stats = super().stats()
+        stats["bypassed"] = self.bypassed
+        stats["tracked_keys"] = len(self._seen)
+        return stats

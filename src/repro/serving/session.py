@@ -48,6 +48,7 @@ from repro.obs.telemetry import Telemetry, attach_telemetry
 from repro.serving.admission import ACCEPT, DEGRADE, SHED, AdmissionController
 from repro.serving.cache import ServingCache
 from repro.serving.faults import ERROR, FaultError, FaultPlan
+from repro.serving.pricing import PriceBook, PriceLedger, price_serving_run
 from repro.serving.resilience import (
     FaultContext,
     ResilienceConfig,
@@ -93,6 +94,9 @@ class ServingResult:
     #: Fault/recovery accounting (:meth:`FaultContext.stats`) when the
     #: session ran under an attached fault plane; None otherwise.
     fault_stats: Optional[Dict[str, object]] = None
+    #: Dollar bill of the run (:func:`~repro.serving.pricing.price_serving_run`)
+    #: when the session carried a price book; None = energy-only run.
+    price_ledger: Optional[PriceLedger] = None
     scale_events: List[ScaleEvent] = field(default_factory=list)
     _report: Optional[SLOReport] = field(default=None, repr=False)
 
@@ -105,7 +109,11 @@ class ServingResult:
                 else None
             )
             self._report = summarize(
-                self.records, self.ledger, label=self.label, mttr_s=mttr_s
+                self.records,
+                self.ledger,
+                label=self.label,
+                mttr_s=mttr_s,
+                price_ledger=self.price_ledger,
             )
         return self._report
 
@@ -158,6 +166,8 @@ class ServingSession:
         telemetry: Optional[Telemetry] = None,
         faults=None,
         resilience: Optional[ResilienceConfig] = None,
+        price_book: Optional[PriceBook] = None,
+        engine_kind: str = "imc",
     ):
         """``engine`` is anything with ``serve_batch`` (a pipeline engine
         or a :class:`~repro.serving.shard.ShardedEngine`); ``workload[u]``
@@ -187,6 +197,18 @@ class ServingSession:
         takes the faults on the chin and drops the affected requests.
         Passing ``resilience`` alone wraps the fleet over an empty plan
         (the bit-identity configuration the property tests pin).
+
+        ``price_book`` (a :class:`~repro.serving.pricing.PriceBook`)
+        turns on dollar accounting: after each run the energy ledger is
+        priced row for row (engine time at ``engine_kind``'s $/hour,
+        Warm-up off-peak-discounted, Retry/Hedge/Migration through the
+        same rows PRs 5 and 8 bill in joules) plus the cache's
+        get/put/storage service fees, and the resulting
+        :class:`~repro.serving.pricing.PriceLedger` lands on
+        ``ServingResult.price_ledger`` and the report's dollar columns.
+        Pricing is pure post-processing of the ledger -- it perturbs no
+        serve-path decision, so priced and unpriced runs are
+        bit-identical in records and energy.
         """
         if not workload:
             raise ValueError("workload must contain at least one query")
@@ -219,6 +241,8 @@ class ServingSession:
             self.scheduler.faults = self.faults
         else:
             self.faults = None
+        self.price_book = price_book
+        self.engine_kind = engine_kind
         self.scale_events: List[ScaleEvent] = []
         self._warm_cost = Cost()
         self._pending_migration = Cost()
@@ -785,11 +809,35 @@ class ServingSession:
         batches = self.scheduler.run(requests, service)
         records.sort(key=lambda record: record.request.request_id)
         self._reported_events = len(self.scale_events)
+        price_ledger = None
+        if self.price_book is not None:
+            # Dollar accounting is post-processing: the run is already
+            # fully recorded, pricing only re-reads the rows.
+            makespan_s = (
+                max(record.completion_s for record in records)
+                - min(record.request.arrival_s for record in records)
+                if records
+                else 0.0
+            )
+            price_ledger = price_serving_run(
+                ledger,
+                self.price_book,
+                engine_kind=self.engine_kind,
+                cache_stats=(
+                    self.cache.stats() if self.cache is not None else None
+                ),
+                duration_s=makespan_s,
+                name=self.label,
+            )
         if observing:
             # Join the aggregate plane against the run's actual ledger and
             # cache/spill counters so the exported textfile can never
             # disagree with the console report.
             telemetry.metrics.record_ledger(ledger, process=self.label)
+            if price_ledger is not None:
+                telemetry.metrics.record_price_ledger(
+                    price_ledger, process=self.label
+                )
             if self.cache is not None:
                 cache_gauge = telemetry.metrics.gauge(
                     "repro_cache_state", "Result-cache counters at end of run."
@@ -840,6 +888,7 @@ class ServingSession:
             ),
             spill_stats=self._spill_stats(),
             fault_stats=self.faults.stats() if self.faults is not None else None,
+            price_ledger=price_ledger,
             scale_events=list(self.scale_events[run_events_start:]),
         )
 

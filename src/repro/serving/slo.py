@@ -64,7 +64,13 @@ class RequestRecord:
 
 @dataclass(frozen=True)
 class SLOReport:
-    """Aggregate serving metrics of one simulated session."""
+    """Aggregate serving metrics of one simulated session.
+
+    Latency percentiles and ``energy_per_request_uj`` are NaN when the
+    session answered nothing (all shed / all failed): there is no tail
+    to report, and 0.0 would read as a perfect one.  ``format_row``
+    renders those NaNs as ``-``.
+    """
 
     label: str
     num_requests: int
@@ -85,6 +91,9 @@ class SLOReport:
     #: Mean time to recover of the run's fault plan (None = no downtime
     #: was scheduled -- the healthy-fleet dash in reports).
     mttr_s: Optional[float] = None
+    #: Total dollars billed to the session's price ledger (None = the
+    #: session ran without a price book -- energy-only accounting).
+    dollars_total: Optional[float] = None
 
     @property
     def served_count(self) -> int:
@@ -125,6 +134,16 @@ class SLOReport:
             return 0.0
         return self.failed_count / self.served_count
 
+    @property
+    def dollars_per_1k_requests(self) -> Optional[float]:
+        """Dollar cost per thousand answered requests (None = unpriced,
+        NaN = priced but nothing was answered)."""
+        if self.dollars_total is None:
+            return None
+        if not self.answered_count:
+            return float("nan")
+        return 1e3 * self.dollars_total / self.answered_count
+
     def as_dict(self) -> Dict[str, float]:
         return {
             "num_requests": self.num_requests,
@@ -144,20 +163,31 @@ class SLOReport:
             "availability": self.availability,
             "error_rate": self.error_rate,
             "mttr_s": self.mttr_s,
+            "dollars_total": self.dollars_total,
         }
 
     def format_row(self) -> str:
         mttr = f"{self.mttr_s * 1e3:.1f}ms" if self.mttr_s is not None else "-"
+
+        def _fmt(value: float, spec: str) -> str:
+            # A NaN column (nothing answered) renders as a dash, not as
+            # a literal "nan" pretending to be a measurement.
+            width = spec.split(".")[0]
+            return f"{'-':>{width}s}" if np.isnan(value) else f"{value:{spec}}"
+
         row = (
-            f"  {self.label:<28s} p50={self.p50_ms:8.3f}ms p95={self.p95_ms:8.3f}ms "
-            f"p99={self.p99_ms:8.3f}ms qps={self.sustained_qps:9.1f} "
-            f"E/req={self.energy_per_request_uj:10.4f}uJ "
+            f"  {self.label:<28s} p50={_fmt(self.p50_ms, '8.3f')}ms "
+            f"p95={_fmt(self.p95_ms, '8.3f')}ms "
+            f"p99={_fmt(self.p99_ms, '8.3f')}ms qps={self.sustained_qps:9.1f} "
+            f"E/req={_fmt(self.energy_per_request_uj, '10.4f')}uJ "
             f"hit={self.cache_hit_rate * 100.0:5.1f}% "
             f"batch={self.mean_batch_size:4.1f} "
             f"avail={self.availability * 100.0:6.2f}% "
             f"err={self.error_rate * 100.0:5.2f}% "
             f"mttr={mttr}"
         )
+        if self.dollars_total is not None:
+            row += f" $={self.dollars_total:9.6f}"
         if self.shed_count or self.degraded_count:
             row += (
                 f" shed={self.shed_count}({self.shed_rate * 100.0:.1f}%)"
@@ -171,6 +201,7 @@ def summarize(
     ledger: Ledger,
     label: str = "session",
     mttr_s: Optional[float] = None,
+    price_ledger=None,
 ) -> SLOReport:
     """Fold per-request records + the session ledger into an SLO report.
 
@@ -183,8 +214,19 @@ def summarize(
     volumes are reported separately (``shed_count`` / ``failed_count`` /
     ``availability``); sustained QPS is goodput (answered requests over
     the makespan).  ``mttr_s`` is the run's fault-plan mean time to
-    recover (None for a healthy fleet).  A session where everything was
-    shed degenerates to zero latencies.
+    recover (None for a healthy fleet).
+
+    A session where everything was shed or failed has no latency tail
+    and no energy denominator: the percentile and energy-per-request
+    columns report NaN (rendered as ``-`` by
+    :meth:`SLOReport.format_row`), never a fabricated 0.0.  Degenerate
+    time bases are handled the same way: when every arrival shares one
+    timestamp (``span_s == 0``) the offered rate reports 0.0 rather
+    than infinity -- one instant of traffic does not define a rate.
+
+    ``price_ledger`` (a :class:`~repro.serving.pricing.PriceLedger`)
+    joins the dollar plane in: its total lands in ``dollars_total`` and
+    the per-1k-requests derivation, next to the energy columns.
     """
     if not records:
         raise ValueError("cannot summarise an empty session")
@@ -193,7 +235,7 @@ def summarize(
     latencies_ms = (
         np.array([record.latency_s * 1e3 for record in answered])
         if answered
-        else np.zeros(1)
+        else None
     )
     arrivals = np.array([record.request.arrival_s for record in records])
     completions = np.array([record.completion_s for record in records])
@@ -201,19 +243,22 @@ def summarize(
     makespan_s = float(completions.max() - arrivals.min())
     total_energy_uj = ledger.total().energy_uj
     hits = sum(1 for record in answered if record.cache_hit)
+    nan = float("nan")
     return SLOReport(
         label=label,
         num_requests=len(records),
-        p50_ms=float(np.percentile(latencies_ms, 50)),
-        p95_ms=float(np.percentile(latencies_ms, 95)),
-        p99_ms=float(np.percentile(latencies_ms, 99)),
-        mean_ms=float(latencies_ms.mean()),
-        max_ms=float(latencies_ms.max()),
-        offered_qps=(len(records) - 1) / span_s if span_s > 0.0 else float("inf"),
+        p50_ms=float(np.percentile(latencies_ms, 50)) if answered else nan,
+        p95_ms=float(np.percentile(latencies_ms, 95)) if answered else nan,
+        p99_ms=float(np.percentile(latencies_ms, 99)) if answered else nan,
+        mean_ms=float(latencies_ms.mean()) if answered else nan,
+        max_ms=float(latencies_ms.max()) if answered else nan,
+        offered_qps=(len(records) - 1) / span_s if span_s > 0.0 else 0.0,
         sustained_qps=(
-            len(answered) / makespan_s if makespan_s > 0.0 else float("inf")
+            len(answered) / makespan_s if makespan_s > 0.0 else 0.0
         ),
-        energy_per_request_uj=total_energy_uj / max(1, len(answered)),
+        energy_per_request_uj=(
+            total_energy_uj / len(answered) if answered else nan
+        ),
         cache_hit_rate=hits / max(1, len(answered)),
         mean_batch_size=(
             float(np.mean([record.batch_size for record in answered]))
@@ -224,6 +269,9 @@ def summarize(
         degraded_count=sum(1 for record in served if record.degraded),
         failed_count=len(served) - len(answered),
         mttr_s=mttr_s,
+        dollars_total=(
+            price_ledger.total() if price_ledger is not None else None
+        ),
     )
 
 

@@ -1,0 +1,213 @@
+"""Workload analyzer: traffic-trace features that pick an execution model.
+
+Whether precomputing recommendations pays off is a property of the
+*traffic*, not of the engine: a spiky trace with a deep off-peak valley
+and a heavily repeated user head is exactly where eager precomputation
+(serve the head once, off-peak, cache it) beats on-demand serving --
+while a flat, one-off-heavy trace makes precomputation pure waste.
+This module extracts those decision features from a timestamped request
+trace:
+
+* **spikiness** -- peak-to-mean ratio of the binned arrival rate, and
+  the coefficient of variation of the per-bin rates;
+* **burstiness** -- index of dispersion of per-bin counts
+  (variance/mean; 1.0 for Poisson, >1 for bursty/MMPP arrivals);
+* **repetition** -- how much of the traffic is repeated requesters:
+  ``1 - unique_users/num_requests``, plus the traffic share of the top
+  decile of users (the cacheable Zipf head);
+* **hourly elasticity** -- the relative depth of the rate valley,
+  ``(peak - trough) / peak``: how much cheap off-peak capacity a
+  diurnal curve leaves for precomputation.
+
+:func:`recommend_execution_model` turns the features into a choice
+among the three execution models of :mod:`repro.serving.execution`:
+``eager`` when the head repeats and the valley is deep, ``lazy`` when
+repetition cannot pay for precomputation, ``hybrid`` in between.
+
+Everything here is pure arithmetic over the trace -- deterministic,
+no RNG, no engine in the loop -- so the analysis of a seeded trace is
+bit-stable, as the E-cost pins require.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.serving.traffic import Request
+
+__all__ = [
+    "WorkloadFeatures",
+    "analyze_trace",
+    "recommend_execution_model",
+    "user_request_counts",
+    "hot_users",
+]
+
+
+@dataclass(frozen=True)
+class WorkloadFeatures:
+    """Decision features of one traffic trace."""
+
+    num_requests: int
+    duration_s: float
+    mean_qps: float
+    #: Peak binned rate over the mean rate (>= 1; 1 = perfectly flat).
+    peak_to_mean: float
+    #: Coefficient of variation of the per-bin rates.
+    rate_cv: float
+    #: Index of dispersion of per-bin counts (~1 Poisson, >1 bursty).
+    burstiness: float
+    #: Fraction of requests that came from an already-seen user.
+    repetition_ratio: float
+    #: Traffic share of the most active 10% of requesting users.
+    top_decile_share: float
+    #: Relative valley depth of the binned rate: (peak - trough) / peak.
+    hourly_elasticity: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "num_requests": self.num_requests,
+            "duration_s": self.duration_s,
+            "mean_qps": self.mean_qps,
+            "peak_to_mean": self.peak_to_mean,
+            "rate_cv": self.rate_cv,
+            "burstiness": self.burstiness,
+            "repetition_ratio": self.repetition_ratio,
+            "top_decile_share": self.top_decile_share,
+            "hourly_elasticity": self.hourly_elasticity,
+        }
+
+    def format_row(self) -> str:
+        return (
+            f"  {self.num_requests} req over {self.duration_s:.4f}s "
+            f"({self.mean_qps:,.0f} q/s): peak/mean={self.peak_to_mean:.2f} "
+            f"cv={self.rate_cv:.2f} burst={self.burstiness:.2f} "
+            f"rep={self.repetition_ratio:.2f} "
+            f"top10%={self.top_decile_share:.2f} "
+            f"elastic={self.hourly_elasticity:.2f}"
+        )
+
+
+def user_request_counts(requests: Sequence[Request]) -> Dict[int, int]:
+    """Requests per user, insertion-ordered by first appearance."""
+    counts: Dict[int, int] = {}
+    for request in requests:
+        counts[request.user] = counts.get(request.user, 0) + 1
+    return counts
+
+
+def hot_users(
+    requests: Sequence[Request], traffic_fraction: float = 0.5
+) -> List[int]:
+    """The smallest user set covering ``traffic_fraction`` of the trace.
+
+    Users sorted by descending request count (count ties broken by user
+    id for determinism); returns the prefix whose cumulative traffic
+    share first reaches the target -- the precompute candidate list of
+    the eager execution model.
+    """
+    if not 0.0 < traffic_fraction <= 1.0:
+        raise ValueError(
+            f"traffic fraction must be in (0, 1], got {traffic_fraction}"
+        )
+    counts = user_request_counts(requests)
+    ranked = sorted(counts.items(), key=lambda pair: (-pair[1], pair[0]))
+    target = traffic_fraction * len(requests)
+    chosen: List[int] = []
+    covered = 0
+    for user, count in ranked:
+        if covered >= target:
+            break
+        chosen.append(user)
+        covered += count
+    return chosen
+
+
+def _binned_counts(
+    requests: Sequence[Request], bins: int
+) -> Tuple[np.ndarray, float]:
+    """(per-bin request counts, bin width in seconds) over the trace span."""
+    arrivals = np.array([request.arrival_s for request in requests])
+    span = float(arrivals.max() - arrivals.min())
+    if span <= 0.0:
+        # One instant of traffic: a single bin holding everything.
+        return np.array([len(requests)], dtype=np.float64), 0.0
+    edges = np.linspace(arrivals.min(), arrivals.max(), bins + 1)
+    counts, _ = np.histogram(arrivals, bins=edges)
+    return counts.astype(np.float64), span / bins
+
+
+def analyze_trace(requests: Sequence[Request], bins: int = 24) -> WorkloadFeatures:
+    """Extract :class:`WorkloadFeatures` from a timestamped trace.
+
+    ``bins`` is the resolution of the rate profile (the "hours" of the
+    simulated day -- arbitrary wall-clock scale, since the simulator's
+    diurnal period is itself scaled down).
+    """
+    if not requests:
+        raise ValueError("cannot analyse an empty trace")
+    if bins < 1:
+        raise ValueError(f"need at least one bin, got {bins}")
+    counts, bin_s = _binned_counts(requests, bins)
+    arrivals = np.array([request.arrival_s for request in requests])
+    duration_s = float(arrivals.max() - arrivals.min())
+    mean_qps = (len(requests) - 1) / duration_s if duration_s > 0.0 else 0.0
+    mean_count = counts.mean()
+    peak = float(counts.max())
+    trough = float(counts.min())
+    peak_to_mean = peak / mean_count if mean_count > 0.0 else 1.0
+    rate_cv = float(counts.std() / mean_count) if mean_count > 0.0 else 0.0
+    burstiness = float(counts.var() / mean_count) if mean_count > 0.0 else 0.0
+    hourly_elasticity = (peak - trough) / peak if peak > 0.0 else 0.0
+
+    user_counts = user_request_counts(requests)
+    repetition_ratio = 1.0 - len(user_counts) / len(requests)
+    ranked = sorted(user_counts.values(), reverse=True)
+    decile = max(1, len(ranked) // 10)
+    top_decile_share = sum(ranked[:decile]) / len(requests)
+    return WorkloadFeatures(
+        num_requests=len(requests),
+        duration_s=duration_s,
+        mean_qps=mean_qps,
+        peak_to_mean=peak_to_mean,
+        rate_cv=rate_cv,
+        burstiness=burstiness,
+        repetition_ratio=repetition_ratio,
+        top_decile_share=top_decile_share,
+        hourly_elasticity=hourly_elasticity,
+    )
+
+
+def recommend_execution_model(
+    features: WorkloadFeatures,
+    *,
+    min_repetition: float = 0.2,
+    eager_repetition: float = 0.5,
+    eager_elasticity: float = 0.4,
+    max_burstiness: float = 4.0,
+) -> str:
+    """Pick ``eager`` / ``lazy`` / ``hybrid`` from the trace features.
+
+    * repetition below ``min_repetition``: precomputed results would
+      mostly never be requested again -- ``lazy``;
+    * repetition above ``eager_repetition``, a valley deeper than
+      ``eager_elasticity`` *and* dispersion at most ``max_burstiness``:
+      the head is cacheable, the rate curve is predictable, and there
+      is cheap off-peak capacity to precompute the whole head in --
+      ``eager``;
+    * anything between -- including a repetitive but MMPP-bursty trace,
+      whose spikes cannot be scheduled around -- precompute only the
+      users predicted to recur: ``hybrid``.
+    """
+    if features.repetition_ratio < min_repetition:
+        return "lazy"
+    if (
+        features.repetition_ratio >= eager_repetition
+        and features.hourly_elasticity >= eager_elasticity
+        and features.burstiness <= max_burstiness
+    ):
+        return "eager"
+    return "hybrid"

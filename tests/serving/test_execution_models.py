@@ -1,0 +1,187 @@
+"""Eager / lazy / hybrid execution models over the serving session.
+
+Each model is a strategy over a fresh session: lazy never warms, eager
+warms the traffic head (capped at cache capacity), hybrid warms only
+proven-recurring users.  All three serve identical recommendations --
+*when* results are computed changes the bill, never the answers.
+"""
+
+import pytest
+
+from repro.serving.cache import RepetitionAwareCache, ServingCache
+from repro.serving.execution import (
+    EXECUTION_MODELS,
+    EagerExecutionModel,
+    HybridExecutionModel,
+    LazyExecutionModel,
+    run_execution_model,
+)
+from repro.serving.pricing import PriceBook
+from repro.serving.scheduler import MicroBatchConfig, MicroBatchScheduler
+from repro.serving.session import ServingSession
+from repro.serving.shard import make_sharded_engine
+from repro.serving.traffic import PoissonTraffic
+from repro.serving.workload_analyzer import user_request_counts
+
+
+@pytest.fixture(scope="module")
+def execution_setup(serving_setup):
+    """(requests, session factory maker) over a seeded Poisson trace."""
+    dataset, filtering, ranking, mapping, workload = serving_setup
+    engine = make_sharded_engine(
+        "imars", filtering, ranking, 1, mapping=mapping,
+        num_candidates=24, top_k=5, seed=0,
+    )
+    rate_qps = 8.0 / engine.recommend_query(workload[0]).cost.latency_s
+    requests = PoissonTraffic(
+        rate_qps, num_users=dataset.num_users, seed=0, stream=11
+    ).generate(80)
+
+    def factory(cache_capacity=24, repetition_aware=False, price_book=None):
+        def build():
+            cache_cls = (
+                RepetitionAwareCache if repetition_aware else ServingCache
+            )
+            return ServingSession(
+                make_sharded_engine(
+                    "imars", filtering, ranking, 1, mapping=mapping,
+                    num_candidates=24, top_k=5, seed=0,
+                ),
+                workload,
+                scheduler=MicroBatchScheduler(
+                    MicroBatchConfig(max_batch_size=8)
+                ),
+                cache=cache_cls(capacity=cache_capacity, rows_per_entry=5),
+                label="execution",
+                price_book=price_book,
+            )
+
+        return build
+
+    return requests, factory
+
+
+class TestLazy:
+    def test_precomputes_nothing(self, execution_setup):
+        requests, factory = execution_setup
+        outcome = LazyExecutionModel().execute(factory(), requests)
+        assert outcome.model == "lazy"
+        assert outcome.precomputed_users == ()
+        assert "Warm-up" not in outcome.result.ledger.by_category()
+
+    def test_unpriced_dollars_are_none(self, execution_setup):
+        requests, factory = execution_setup
+        outcome = LazyExecutionModel().execute(factory(), requests)
+        assert outcome.dollars is None
+        assert "$-" in outcome.format_row()
+
+
+class TestEager:
+    def test_warms_the_traffic_head(self, execution_setup):
+        requests, factory = execution_setup
+        outcome = EagerExecutionModel(traffic_fraction=0.75).execute(
+            factory(), requests
+        )
+        assert outcome.precomputed_users
+        assert "Warm-up" in outcome.result.ledger.by_category()
+        # The head is the plan: heaviest users first.
+        counts = user_request_counts(requests)
+        planned = list(outcome.precomputed_users)
+        assert counts[planned[0]] == max(
+            counts[user] for user in planned
+        )
+
+    def test_precompute_capped_at_cache_capacity(self, execution_setup):
+        requests, factory = execution_setup
+        outcome = EagerExecutionModel(traffic_fraction=1.0).execute(
+            factory(cache_capacity=4), requests
+        )
+        assert len(outcome.precomputed_users) <= 4
+
+    def test_beats_lazy_on_hit_rate(self, execution_setup):
+        requests, factory = execution_setup
+        lazy = LazyExecutionModel().execute(factory(), requests)
+        eager = EagerExecutionModel().execute(factory(), requests)
+        assert eager.report.cache_hit_rate >= lazy.report.cache_hit_rate
+
+    def test_same_recommendations_as_lazy(self, execution_setup):
+        # WHEN a result is computed must never change WHAT is served.
+        requests, factory = execution_setup
+        lazy = LazyExecutionModel().execute(factory(), requests)
+        eager = EagerExecutionModel().execute(factory(), requests)
+        assert [record.items for record in lazy.result.records] == [
+            record.items for record in eager.result.records
+        ]
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="traffic fraction"):
+            EagerExecutionModel(traffic_fraction=0.0)
+        with pytest.raises(ValueError, match="traffic fraction"):
+            EagerExecutionModel(traffic_fraction=1.1)
+
+
+class TestHybrid:
+    def test_plans_only_recurring_users(self, execution_setup):
+        requests, factory = execution_setup
+        model = HybridExecutionModel(recurrence_threshold=0.5)
+        planned = model.plan(requests)
+        counts = user_request_counts(requests)
+        assert planned
+        assert all(counts[user] >= 2 for user in planned)
+        one_offs = {user for user, count in counts.items() if count == 1}
+        assert one_offs.isdisjoint(planned)
+
+    def test_warms_a_subset_of_eagers_head(self, execution_setup):
+        requests, factory = execution_setup
+        eager_plan = set(EagerExecutionModel(traffic_fraction=1.0).plan(requests))
+        hybrid_plan = set(HybridExecutionModel().plan(requests))
+        assert hybrid_plan <= eager_plan
+
+    def test_execute_with_repetition_aware_cache(self, execution_setup):
+        requests, factory = execution_setup
+        outcome = HybridExecutionModel().execute(
+            factory(repetition_aware=True, price_book=PriceBook()), requests
+        )
+        stats = outcome.result.cache_stats
+        assert stats["bypassed"] > 0
+        assert outcome.dollars is not None
+        assert outcome.dollars == outcome.result.price_ledger.total()
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError, match="recurrence threshold"):
+            HybridExecutionModel(recurrence_threshold=1.0)
+        with pytest.raises(ValueError, match="recurrence threshold"):
+            HybridExecutionModel(recurrence_threshold=-0.1)
+
+
+class TestDispatch:
+    def test_registry_covers_all_models(self):
+        assert set(EXECUTION_MODELS) == {"lazy", "eager", "hybrid"}
+
+    def test_run_execution_model_by_name(self, execution_setup):
+        requests, factory = execution_setup
+        outcome = run_execution_model(
+            "eager", factory(), requests, traffic_fraction=0.5
+        )
+        assert outcome.model == "eager"
+        assert outcome.precomputed_users
+
+    def test_unknown_model_raises(self, execution_setup):
+        requests, factory = execution_setup
+        with pytest.raises(ValueError, match="unknown execution model"):
+            run_execution_model("psychic", factory(), requests)
+
+    def test_history_overrides_the_planning_trace(self, execution_setup):
+        requests, factory = execution_setup
+        # Planning from a history where only user 0 recurs.
+        history = [requests[0]] * 3
+        history = [
+            type(requests[0])(
+                request_id=index, arrival_s=float(index), user=requests[0].user
+            )
+            for index in range(3)
+        ]
+        outcome = run_execution_model(
+            "hybrid", factory(), requests, history=history
+        )
+        assert outcome.precomputed_users == (requests[0].user,)

@@ -118,11 +118,15 @@ class TestSLOReportAccounting:
         assert report.degraded_rate == pytest.approx(0.5)
 
     def test_all_shed_degenerates_gracefully(self):
+        import math
+
         records = [self._record(i, 0.0, shed=True) for i in range(3)]
         report = summarize(records, Ledger())
-        assert report.p95_ms == 0.0
+        # No request was answered: there is no latency tail to report.
+        assert math.isnan(report.p95_ms)
         assert report.served_count == 0
         assert report.shed_rate == 1.0
+        assert "nan" not in report.format_row()
 
     def test_tenant_energy_attributed_by_served_share(self):
         """Regression: a heavily-shed tenant is not billed for volume

@@ -4,7 +4,12 @@ import pytest
 
 from repro.circuits.foms import TABLE_II
 from repro.energy.accounting import Cost
-from repro.serving.cache import CountMinSketch, ServingCache, TinyLFUAdmission
+from repro.serving.cache import (
+    CountMinSketch,
+    RepetitionAwareCache,
+    ServingCache,
+    TinyLFUAdmission,
+)
 
 
 def test_miss_then_hit():
@@ -183,3 +188,154 @@ class TestWarmup:
         value, _ = cache.lookup("a")
         assert value == 1
         assert cache.hits == 1 and cache.misses == 0
+
+
+class TestAdmissionStateLifecycle:
+    """Regression: flush/invalidate used to leave the TinyLFU sketch and
+    doorkeeper untouched, so pre-wipe popularity kept ruling on a store
+    that no longer existed."""
+
+    def test_flush_resets_popularity_history(self):
+        cache = ServingCache(
+            capacity=1, rows_per_entry=2, admission=TinyLFUAdmission(seed=0)
+        )
+        for _ in range(5):
+            cache.lookup("stale")
+        cache.insert("stale", "S")
+        resets_before = cache.admission.resets
+        cache.flush()
+        assert cache.admission.resets == resets_before + 1
+        assert cache.admission.estimate("stale") == 0
+
+    def test_stale_head_cannot_displace_the_post_flush_working_set(self):
+        # Pre-fix failure mode: "stale" kept its pre-flush counts, so a
+        # single post-flush sighting out-voted the genuinely-recurring
+        # new resident and evicted it.
+        cache = ServingCache(
+            capacity=1, rows_per_entry=2, admission=TinyLFUAdmission(seed=0)
+        )
+        for _ in range(5):
+            cache.lookup("stale")
+        cache.insert("stale", "S")
+        cache.flush()
+        cache.lookup("fresh")
+        cache.lookup("fresh")
+        cache.insert("fresh", "F")
+        cache.lookup("stale")  # one sighting since the restart
+        cache.insert("stale", "S")
+        assert "fresh" in cache
+        assert "stale" not in cache
+
+    def test_invalidate_ages_popularity_history(self):
+        cache = ServingCache(
+            capacity=4, rows_per_entry=2, admission=TinyLFUAdmission(seed=0)
+        )
+        for _ in range(8):
+            cache.lookup("doomed")
+        cache.insert("doomed", ((1,), (0.5,)))
+        estimate_before = cache.admission.estimate("doomed")
+        resets_before = cache.admission.resets
+        dropped, _ = cache.invalidate([1])
+        assert dropped == 1
+        assert cache.admission.resets == resets_before + 1
+        # Aged, not erased: a partial invalidation halves the counts.
+        assert 0 < cache.admission.estimate("doomed") < estimate_before
+
+    def test_invalidate_without_victims_leaves_history_alone(self):
+        cache = ServingCache(
+            capacity=4, rows_per_entry=2, admission=TinyLFUAdmission(seed=0)
+        )
+        cache.lookup("kept")
+        cache.insert("kept", ((1,), (0.5,)))
+        resets_before = cache.admission.resets
+        dropped, _ = cache.invalidate([99])
+        assert dropped == 0
+        assert cache.admission.resets == resets_before
+
+    def test_flush_without_admission_is_safe(self):
+        cache = ServingCache(capacity=2, rows_per_entry=1)
+        cache.insert("a", 1)
+        assert cache.flush() == 1
+        assert len(cache) == 0
+
+
+class TestRepetitionAwareCache:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="min repeats"):
+            RepetitionAwareCache(capacity=2, min_repeats=0)
+        with pytest.raises(ValueError, match="window"):
+            RepetitionAwareCache(capacity=2, window=0)
+
+    def test_first_time_key_is_bypassed_for_free(self):
+        cache = RepetitionAwareCache(capacity=4, rows_per_entry=2)
+        cache.lookup("once")
+        cost = cache.insert("once", 1)
+        assert cost == Cost()
+        assert "once" not in cache
+        assert cache.bypassed == 1
+        assert cache.stats()["bypassed"] == 1
+
+    def test_recurring_key_is_admitted(self):
+        cache = RepetitionAwareCache(
+            capacity=4, rows_per_entry=2, min_repeats=2
+        )
+        cache.lookup("again")
+        cache.lookup("again")
+        cost = cache.insert("again", 1)
+        assert cost.energy_pj > 0.0
+        assert "again" in cache
+        assert cache.bypassed == 0
+
+    def test_resident_refresh_lands_even_below_threshold(self):
+        # window=3: the third access ages "a" down to count 1, under
+        # min_repeats -- but "a" is resident, so its refresh still lands.
+        cache = RepetitionAwareCache(
+            capacity=4, rows_per_entry=2, min_repeats=2, window=3
+        )
+        cache.lookup("a")
+        cache.lookup("a")
+        cache.insert("a", 1)
+        cache.lookup("b")  # triggers aging
+        assert cache.seen("a") < cache.min_repeats
+        cost = cache.insert("a", 2)
+        assert cost.energy_pj > 0.0
+        assert cache.lookup("a")[0] == 2
+        assert cache.bypassed == 0
+
+    def test_warm_bypasses_the_filter_and_seeds_the_profile(self):
+        cache = RepetitionAwareCache(
+            capacity=2, rows_per_entry=2, min_repeats=3
+        )
+        cost = cache.warm([("w", 1), ("x", 2), ("y", 3)])
+        assert cost.energy_pj > 0.0
+        assert len(cache) == 2  # capacity-capped, never evicts
+        assert "w" in cache and "x" in cache and "y" not in cache
+        assert cache.seen("w") == 3
+        assert cache.bypassed == 0
+
+    def test_recurrence_score_is_the_repeat_mle(self):
+        cache = RepetitionAwareCache(capacity=4)
+        assert cache.recurrence_score("ghost") == 0.0
+        for _ in range(4):
+            cache.lookup("k")
+        assert cache.recurrence_score("k") == pytest.approx(3 / 4)
+
+    def test_flush_clears_the_recurrence_profile(self):
+        cache = RepetitionAwareCache(
+            capacity=4, rows_per_entry=2, min_repeats=2
+        )
+        cache.lookup("a")
+        cache.lookup("a")
+        cache.insert("a", 1)
+        cache.flush()
+        assert cache.seen("a") == 0
+        assert cache.stats()["tracked_keys"] == 0
+        # Post-restart, "a" must earn its way back in.
+        assert cache.insert("a", 1) == Cost()
+        assert cache.bypassed == 1
+
+    def test_window_aging_drops_one_off_keys(self):
+        cache = RepetitionAwareCache(capacity=4, window=4)
+        for key in ("a", "b", "c", "d"):
+            cache.lookup(key)
+        assert cache.stats()["tracked_keys"] == 0  # 1 // 2 == 0: all aged out

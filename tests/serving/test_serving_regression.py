@@ -11,6 +11,7 @@ converges to the same (shards, replicas) every time.
 import pytest
 
 from repro.experiments.autoscale_study import run_autoscale_study
+from repro.experiments.cost_study import run_cost_study
 from repro.serving.cache import ServingCache, TinyLFUAdmission
 from repro.serving.scheduler import AdaptiveBatchConfig, AdaptiveMicroBatchScheduler
 from repro.serving.session import ServingSession
@@ -99,3 +100,30 @@ def test_autoscale_study_convergence_pinned():
         assert repr(outcome.best.report.as_dict()) == repr(
             twin.best.report.as_dict()
         )
+
+
+def test_cost_study_frontier_pinned():
+    """E-COST's $/energy/latency frontier is a deterministic artefact:
+    the analyzer's picks and the dollar totals replay bit-identically,
+    and hybrid never costs more than the worse of eager/lazy."""
+    report = run_cost_study(seed=0)
+    assert report.all_within(0.0), report.format()
+    assert report.extras["recommendations"] == {
+        "diurnal": "eager",
+        "bursty": "hybrid",
+    }
+    rerun = run_cost_study(seed=0)
+    assert rerun.extras["recommendations"] == report.extras["recommendations"]
+    for trace_name, arms in report.extras["outcomes"].items():
+        twins = rerun.extras["outcomes"][trace_name]
+        for model_name, outcome in arms.items():
+            twin = twins[model_name]
+            assert outcome.dollars == twin.dollars
+            assert list(outcome.result.price_ledger) == list(
+                twin.result.price_ledger
+            )
+            assert [record.items for record in outcome.result.records] == [
+                record.items for record in twin.result.records
+            ]
+        eager_vs_lazy = max(arms["eager"].dollars, arms["lazy"].dollars)
+        assert arms["hybrid"].dollars <= eager_vs_lazy

@@ -1,0 +1,162 @@
+"""SLO accounting edge cases: degenerate sessions and the dollar column.
+
+Regression tests for three accounting bugs:
+
+* an all-shed / all-failed session used to fabricate a zero-latency
+  tail (``np.zeros(1)``) and report perfect 0.0 percentiles -- it must
+  report NaN and render ``-``;
+* ``energy_per_request_uj`` divided by ``max(1, answered)``, silently
+  reporting the whole run's energy as if one request answered it;
+* ``offered_qps`` divided by a zero arrival span and reported ``inf``
+  when every arrival shared one timestamp.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.energy.accounting import Cost, Ledger
+from repro.serving.pricing import PriceLedger
+from repro.serving.slo import RequestRecord, SLOReport, summarize
+from repro.serving.traffic import Request
+
+
+def _record(
+    request_id,
+    arrival_s=0.0,
+    latency_s=0.001,
+    shed=False,
+    failed=False,
+    cache_hit=False,
+):
+    return RequestRecord(
+        request=Request(request_id=request_id, arrival_s=arrival_s, user=request_id),
+        completion_s=arrival_s + latency_s,
+        batch_size=1,
+        cache_hit=cache_hit,
+        items=() if (shed or failed) else (1, 2),
+        shed=shed,
+        failed=failed,
+    )
+
+
+def _charged_ledger(energy_pj=5e6):
+    ledger = Ledger()
+    ledger.charge("Serve", Cost(energy_pj=energy_pj, latency_ns=1e3))
+    return ledger
+
+
+class TestDegenerateSessions:
+    def test_all_shed_reports_nan_percentiles(self):
+        records = [
+            _record(i, arrival_s=0.001 * i, latency_s=0.0, shed=True)
+            for i in range(3)
+        ]
+        report = summarize(records, Ledger())
+        for value in (
+            report.p50_ms,
+            report.p95_ms,
+            report.p99_ms,
+            report.mean_ms,
+            report.max_ms,
+        ):
+            assert math.isnan(value)
+        assert report.shed_rate == 1.0
+        assert report.answered_count == 0
+
+    def test_all_failed_reports_nan_percentiles(self):
+        records = [
+            _record(i, arrival_s=0.001 * i, failed=True) for i in range(3)
+        ]
+        report = summarize(records, _charged_ledger())
+        assert math.isnan(report.p95_ms)
+        assert report.availability == 0.0
+        assert report.failed_count == 3
+
+    def test_nothing_answered_energy_is_nan_not_a_lump_sum(self):
+        # Pre-fix: total_energy / max(1, 0) billed the whole run to a
+        # phantom single request.
+        records = [_record(0, failed=True)]
+        report = summarize(records, _charged_ledger(energy_pj=7e6))
+        assert math.isnan(report.energy_per_request_uj)
+
+    def test_single_instant_offered_qps_is_zero_not_inf(self):
+        # Every arrival at t=0: one instant of traffic defines no rate.
+        records = [_record(i, arrival_s=0.0) for i in range(4)]
+        report = summarize(records, Ledger())
+        assert report.offered_qps == 0.0
+        assert np.isfinite(report.offered_qps)
+
+    def test_zero_makespan_sustained_qps_is_zero(self):
+        records = [_record(0, arrival_s=0.0, latency_s=0.0, shed=True)]
+        report = summarize(records, Ledger())
+        assert report.sustained_qps == 0.0
+
+    def test_format_row_renders_nan_as_dash(self):
+        records = [_record(i, shed=True, latency_s=0.0) for i in range(2)]
+        row = summarize(records, Ledger()).format_row()
+        assert "nan" not in row
+        assert "p95=       -ms" in row
+        assert "E/req=         -uJ" in row
+
+    def test_healthy_session_remains_finite(self):
+        records = [
+            _record(i, arrival_s=0.001 * i, latency_s=0.002) for i in range(8)
+        ]
+        report = summarize(records, _charged_ledger())
+        assert np.isfinite(report.p95_ms)
+        assert np.isfinite(report.energy_per_request_uj)
+        assert report.offered_qps == pytest.approx(7 / 0.007)
+        assert "nan" not in report.format_row()
+        assert "-ms" not in report.format_row()
+
+
+class TestDollarColumn:
+    def _price_ledger(self, total=0.5):
+        ledger = PriceLedger()
+        ledger.charge("Serve", total)
+        return ledger
+
+    def test_unpriced_report_has_no_dollar_column(self):
+        report = summarize([_record(0)], Ledger())
+        assert report.dollars_total is None
+        assert report.dollars_per_1k_requests is None
+        assert "$=" not in report.format_row()
+        assert report.as_dict()["dollars_total"] is None
+
+    def test_priced_report_joins_the_total(self):
+        records = [_record(i, arrival_s=0.001 * i) for i in range(4)]
+        report = summarize(
+            records, _charged_ledger(), price_ledger=self._price_ledger(0.5)
+        )
+        assert report.dollars_total == 0.5
+        assert report.dollars_per_1k_requests == pytest.approx(1e3 * 0.5 / 4)
+        assert "$= 0.500000" in report.format_row()
+        assert report.as_dict()["dollars_total"] == 0.5
+
+    def test_priced_but_nothing_answered_is_nan_per_1k(self):
+        records = [_record(0, shed=True, latency_s=0.0)]
+        report = summarize(
+            records, Ledger(), price_ledger=self._price_ledger(0.25)
+        )
+        assert report.dollars_total == 0.25
+        assert math.isnan(report.dollars_per_1k_requests)
+
+    def test_dataclass_default_is_unpriced(self):
+        report = SLOReport(
+            label="x",
+            num_requests=1,
+            p50_ms=1.0,
+            p95_ms=1.0,
+            p99_ms=1.0,
+            mean_ms=1.0,
+            max_ms=1.0,
+            offered_qps=1.0,
+            sustained_qps=1.0,
+            energy_per_request_uj=1.0,
+            cache_hit_rate=0.0,
+            mean_batch_size=1.0,
+        )
+        assert report.dollars_total is None
+        assert report.dollars_per_1k_requests is None

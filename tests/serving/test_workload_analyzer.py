@@ -1,0 +1,191 @@
+"""Workload analyzer: trace features and the execution-model pick.
+
+Synthetic traces with known shape (flat/spiky arrival profiles, one-off
+vs heavily repeated user populations) pin each feature's direction and
+the recommendation rule's three regimes.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.serving.traffic import BurstyTraffic, DiurnalTraffic, Request
+from repro.serving.workload_analyzer import (
+    WorkloadFeatures,
+    analyze_trace,
+    hot_users,
+    recommend_execution_model,
+    user_request_counts,
+)
+
+
+def _trace(arrivals, users):
+    return [
+        Request(request_id=index, arrival_s=float(arrival), user=int(user))
+        for index, (arrival, user) in enumerate(zip(arrivals, users))
+    ]
+
+
+def _flat_arrivals(count, rate=100.0):
+    return np.arange(count) / rate
+
+
+def _spiky_arrivals(count, rate=100.0):
+    # Everything crammed into the first 10% of the span: one flash crowd
+    # followed by near-silence.
+    head = int(count * 0.9)
+    burst = np.linspace(0.0, 0.1 * count / rate, head)
+    tail = np.linspace(0.1 * count / rate, count / rate, count - head)
+    return np.concatenate([burst, tail])
+
+
+class TestUserCounts:
+    def test_counts_and_first_seen_order(self):
+        trace = _trace(_flat_arrivals(5), [3, 1, 3, 3, 1])
+        assert user_request_counts(trace) == {3: 3, 1: 2}
+        assert list(user_request_counts(trace)) == [3, 1]
+
+    def test_hot_users_cover_the_traffic_target(self):
+        # User 0: 6 requests, user 1: 3, user 2: 1.
+        users = [0] * 6 + [1] * 3 + [2]
+        trace = _trace(_flat_arrivals(len(users)), users)
+        assert hot_users(trace, traffic_fraction=0.5) == [0]
+        assert hot_users(trace, traffic_fraction=0.7) == [0, 1]
+        assert hot_users(trace, traffic_fraction=1.0) == [0, 1, 2]
+
+    def test_hot_users_ties_break_by_id(self):
+        trace = _trace(_flat_arrivals(4), [7, 2, 2, 7])
+        assert hot_users(trace, traffic_fraction=1.0) == [2, 7]
+
+    def test_hot_users_validation(self):
+        trace = _trace(_flat_arrivals(2), [0, 1])
+        with pytest.raises(ValueError, match="traffic fraction"):
+            hot_users(trace, traffic_fraction=0.0)
+        with pytest.raises(ValueError, match="traffic fraction"):
+            hot_users(trace, traffic_fraction=1.5)
+
+
+class TestAnalyzeTrace:
+    def test_flat_trace_is_not_spiky(self):
+        features = analyze_trace(_trace(_flat_arrivals(240), range(240)))
+        assert features.peak_to_mean == pytest.approx(1.0, abs=0.1)
+        assert features.rate_cv == pytest.approx(0.0, abs=0.1)
+        assert features.burstiness < 1.0
+        assert features.repetition_ratio == 0.0
+
+    def test_spiky_trace_scores_high_on_every_rate_feature(self):
+        flat = analyze_trace(_trace(_flat_arrivals(240), range(240)))
+        spiky = analyze_trace(_trace(_spiky_arrivals(240), range(240)))
+        assert spiky.peak_to_mean > 2.0 * flat.peak_to_mean
+        assert spiky.rate_cv > flat.rate_cv
+        assert spiky.burstiness > 10.0 * max(flat.burstiness, 0.1)
+        assert spiky.hourly_elasticity > flat.hourly_elasticity
+
+    def test_repetition_features(self):
+        one_offs = analyze_trace(_trace(_flat_arrivals(100), range(100)))
+        assert one_offs.repetition_ratio == 0.0
+        repeated = analyze_trace(_trace(_flat_arrivals(100), [0, 1] * 50))
+        assert repeated.repetition_ratio == pytest.approx(0.98)
+        assert repeated.top_decile_share == pytest.approx(0.5)
+
+    def test_zipf_head_dominates_top_decile(self):
+        # 10 users; user 0 produces 91% of requests.
+        users = [0] * 91 + list(range(1, 10))
+        features = analyze_trace(_trace(_flat_arrivals(100), users))
+        assert features.top_decile_share == pytest.approx(0.91)
+
+    def test_single_instant_trace_degenerates_gracefully(self):
+        features = analyze_trace(_trace(np.zeros(8), range(8)))
+        assert features.duration_s == 0.0
+        assert features.mean_qps == 0.0
+        assert features.peak_to_mean == 1.0
+        assert features.hourly_elasticity == 0.0
+        assert not any(
+            isinstance(value, float) and math.isnan(value)
+            for value in features.as_dict().values()
+        )
+
+    def test_diurnal_vs_bursty_generators_separate_on_burstiness(self):
+        diurnal = analyze_trace(
+            DiurnalTraffic(
+                base_qps=1000.0, num_users=64, period_s=0.2, seed=0
+            ).generate(200)
+        )
+        bursty = analyze_trace(
+            BurstyTraffic(
+                calm_qps=400.0,
+                burst_qps=6000.0,
+                num_users=64,
+                mean_calm_s=0.024,
+                mean_burst_s=0.012,
+                seed=0,
+                stream=3,
+            ).generate(200)
+        )
+        assert bursty.burstiness > diurnal.burstiness
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="empty"):
+            analyze_trace([])
+        with pytest.raises(ValueError, match="bin"):
+            analyze_trace(_trace(_flat_arrivals(4), range(4)), bins=0)
+
+    def test_as_dict_and_format_row(self):
+        features = analyze_trace(_trace(_flat_arrivals(50), [0, 1] * 25))
+        as_dict = features.as_dict()
+        assert as_dict["num_requests"] == 50
+        assert "rep=0.96" in features.format_row()
+
+
+class TestRecommendation:
+    def _features(self, repetition, elasticity, burstiness):
+        return WorkloadFeatures(
+            num_requests=100,
+            duration_s=1.0,
+            mean_qps=100.0,
+            peak_to_mean=2.0,
+            rate_cv=0.5,
+            burstiness=burstiness,
+            repetition_ratio=repetition,
+            top_decile_share=0.5,
+            hourly_elasticity=elasticity,
+        )
+
+    def test_low_repetition_means_lazy(self):
+        assert recommend_execution_model(
+            self._features(0.1, 0.9, 1.0)
+        ) == "lazy"
+
+    def test_repetitive_deep_valley_means_eager(self):
+        assert recommend_execution_model(
+            self._features(0.8, 0.8, 2.0)
+        ) == "eager"
+
+    def test_repetitive_but_bursty_means_hybrid(self):
+        # An MMPP trace repeats as much as the diurnal one, but its
+        # spikes cannot be scheduled around: no eager.
+        assert recommend_execution_model(
+            self._features(0.8, 0.8, 9.0)
+        ) == "hybrid"
+
+    def test_middle_repetition_means_hybrid(self):
+        assert recommend_execution_model(
+            self._features(0.35, 0.8, 1.0)
+        ) == "hybrid"
+
+    def test_shallow_valley_means_hybrid(self):
+        assert recommend_execution_model(
+            self._features(0.8, 0.1, 1.0)
+        ) == "hybrid"
+
+    def test_thresholds_are_tunable(self):
+        features = self._features(0.3, 0.8, 1.0)
+        assert recommend_execution_model(features) == "hybrid"
+        assert (
+            recommend_execution_model(features, eager_repetition=0.25)
+            == "eager"
+        )
+        assert (
+            recommend_execution_model(features, min_repetition=0.4) == "lazy"
+        )
