@@ -1,0 +1,27 @@
+"""Bench E-FORECAST -- reactive vs predictive vs oracle scaling."""
+
+from repro.experiments import run_forecast_study
+
+
+def test_forecast_study(benchmark, save_report):
+    report = benchmark.pedantic(run_forecast_study, rounds=1, iterations=1)
+    save_report("forecast_study", report.format())
+    # Every forecast invariant (predictive strictly beats reactive on
+    # violation windows, migration dollars within 25% of the oracle,
+    # observation-only bit-identity, lead time >= migration latency,
+    # bursty honesty, heterogeneous search placement) must hold exactly.
+    assert report.all_within(0.0), report.format()
+
+    # The arms are ordered the way the story claims: learning once then
+    # scheduling beats reacting, and nothing beats the ground truth.
+    violations = report.extras["violations"]
+    assert (
+        violations["oracle"]
+        <= violations["predictive"]
+        < violations["reactive"]
+        <= violations["static"]
+    )
+
+    # Predictive paid for real migrations, and the plan actually fired.
+    assert report.extras["migration_dollars"]["predictive"] > 0.0
+    assert report.extras["arms"]["predictive"].scale_events

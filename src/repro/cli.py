@@ -23,6 +23,7 @@ from repro.experiments import (
     run_autoscale_study,
     run_chaos_study,
     run_cost_study,
+    run_forecast_study,
     run_hetero_study,
     run_design_space,
     run_end_to_end,
@@ -86,11 +87,16 @@ EXPERIMENTS: Dict[str, tuple] = {
         "workload analyzer",
         run_cost_study,
     ),
+    "E-FORECAST": (
+        "Extension - forecast-driven predictive autoscaling (reactive vs "
+        "predictive vs oracle) + heterogeneous deployment search",
+        run_forecast_study,
+    ),
 }
 
 #: Experiments that drive the serving stack and accept telemetry exports.
 SERVING_EXPERIMENTS = frozenset(
-    {"E-SERVE", "E-AUTOSCALE", "E-HETERO", "E-CHAOS", "E-COST"}
+    {"E-SERVE", "E-AUTOSCALE", "E-HETERO", "E-CHAOS", "E-COST", "E-FORECAST"}
 )
 
 
@@ -130,7 +136,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "experiment",
         help="experiment id (E1..E8, A1..A9, E-serve, E-autoscale, "
-        "E-hetero, E-chaos, E-cost) or 'all'",
+        "E-hetero, E-chaos, E-cost, E-forecast) or 'all'",
     )
     run_parser.add_argument(
         "--save",

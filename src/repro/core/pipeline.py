@@ -493,8 +493,9 @@ class IMARSEngine(_EngineBase):
         scalar per-query reference path -- the oracle the equivalence
         suite compares the multi-query kernels against (recommendations,
         scores and ledger energies are bit-identical either way).
-        ``analog_dnn`` implies the scalar path: crossbar noise draws
-        depend on call order, which batching would reshuffle."""
+        ``analog_dnn`` implies the scalar path: the batched kernels score
+        candidates through the pre-projected digital table, which has no
+        analog port -- ranking must route through the crossbar tiles."""
         super().__init__(filtering_model, ranking_model, num_candidates, top_k)
         self.mapping = mapping
         self.cost_model = cost_model or IMARSCostModel(mapping)

@@ -27,6 +27,8 @@ E-HETERO      Heterogeneous fleet (IMC+GPU spillover, live scaling,
 E-CHAOS       Fault injection: self-healing fleet vs resilience-off
 E-COST        Dollar-cost execution models (eager/lazy/hybrid) +
               workload analyzer
+E-FORECAST    Forecast-driven predictive autoscaling (reactive vs
+              predictive vs oracle) + heterogeneous deployment search
 ============  =======================================================
 """
 
@@ -64,11 +66,13 @@ from repro.experiments.autoscale_study import run_autoscale_study
 from repro.experiments.hetero_study import run_hetero_study
 from repro.experiments.chaos_study import run_chaos_study
 from repro.experiments.cost_study import run_cost_study
+from repro.experiments.forecast_study import run_forecast_study
 
 __all__ = [
     "run_autoscale_study",
     "run_chaos_study",
     "run_cost_study",
+    "run_forecast_study",
     "run_hetero_study",
     "run_serving_study",
     "run_scaling_study",

@@ -52,12 +52,22 @@ Pipeline of one simulation (:class:`~repro.serving.session.ServingSession`):
    telemetry);
 7. the :mod:`~repro.serving.autoscaler` closes the loop two ways: the
    replaying :class:`~repro.serving.autoscaler.Autoscaler` searches
-   (shards, replicas) against recorded traffic for capacity planning,
-   while the live :class:`~repro.serving.autoscaler.OnlineScaler` (or a
+   (shards, replicas) -- or, heterogeneously, (shards, replicas,
+   spillover_replicas) with energy-aware placement -- against recorded
+   traffic for capacity planning, while the live
+   :class:`~repro.serving.autoscaler.OnlineScaler` (or a
    :class:`~repro.serving.autoscaler.ScheduledScalePlan`) rescales the
    running session itself -- every online event paying a state-migration
    bill (re-partitioned item rows, replica-slice copies, cache
-   invalidation) to the energy ledger instead of restarting the world.
+   invalidation) to the energy ledger instead of restarting the world;
+8. :mod:`~repro.serving.forecast` makes the scaling *predictive*: a
+   :class:`~repro.serving.forecast.TrafficForecaster` fits a seasonal-
+   plus-trend model to the observed arrivals mid-run and the
+   :class:`~repro.serving.forecast.PredictiveScaler` emits a
+   :class:`~repro.serving.autoscaler.ScheduledScalePlan` ahead of each
+   predicted ramp (lead time >= the measured migration latency), with
+   :class:`~repro.serving.forecast.DeploymentCapacityModel` choosing the
+   cheapest deployment with headroom for each forecast rate.
 
 Every hop of that pipeline is batch-native: the scheduler hands whole
 micro-batches to ``serve_batch``, engines run vectorised multi-query
@@ -103,6 +113,15 @@ from repro.serving.execution import (
     LazyExecutionModel,
     run_execution_model,
 )
+from repro.serving.forecast import (
+    DeploymentCapacity,
+    DeploymentCapacityModel,
+    ForecastModel,
+    PredictiveScaler,
+    TrafficForecaster,
+    build_scale_plan,
+    plan_scale_events,
+)
 from repro.serving.faults import (
     FaultError,
     FaultEvent,
@@ -140,7 +159,13 @@ from repro.serving.shard import (
     partition_corpus,
     plan_scale_migration,
 )
-from repro.serving.slo import RequestRecord, SLOReport, summarize, summarize_tenants
+from repro.serving.slo import (
+    RequestRecord,
+    SLOReport,
+    slo_violation_windows,
+    summarize,
+    summarize_tenants,
+)
 from repro.serving.traffic import (
     BurstyTraffic,
     DiurnalTraffic,
@@ -176,10 +201,13 @@ __all__ = [
     "BurstyTraffic",
     "CircuitBreaker",
     "CountMinSketch",
+    "DeploymentCapacity",
+    "DeploymentCapacityModel",
     "DiurnalTraffic",
     "EagerExecutionModel",
     "ExecutionOutcome",
     "FaultContext",
+    "ForecastModel",
     "FaultError",
     "FaultEvent",
     "FaultInjector",
@@ -192,6 +220,7 @@ __all__ = [
     "OnlineScaler",
     "OnlineScalerConfig",
     "PoissonTraffic",
+    "PredictiveScaler",
     "PriceBook",
     "PriceLedger",
     "RepetitionAwareCache",
@@ -210,9 +239,11 @@ __all__ = [
     "TenantSpec",
     "TinyLFUAdmission",
     "TraceReplayTraffic",
+    "TrafficForecaster",
     "WorkloadFeatures",
     "analyze_trace",
     "attach_faults",
+    "build_scale_plan",
     "chaos_scenario",
     "escalating_scenarios",
     "hot_users",
@@ -220,8 +251,10 @@ __all__ = [
     "migration_cost",
     "migration_plan",
     "partition_corpus",
+    "plan_scale_events",
     "plan_scale_migration",
     "price_serving_run",
+    "slo_violation_windows",
     "recommend_execution_model",
     "run_execution_model",
     "summarize",

@@ -82,6 +82,13 @@ class AutoscalerConfig:
     min_replicas: int = 1
     max_replicas: int = 4
     max_steps: int = 6
+    #: GPU spillover replicas per shard -- the heterogeneous third axis.
+    #: ``max_spillover_replicas=0`` (the default) keeps the search on the
+    #: homogeneous (shards, replicas) grid, ``evaluate`` is called with
+    #: two arguments, and every ``config_key`` stays a 2-tuple, so
+    #: existing homogeneous runs are byte-for-byte unchanged.
+    min_spillover_replicas: int = 0
+    max_spillover_replicas: int = 0
 
     def __post_init__(self) -> None:
         if self.p95_slo_ms <= 0.0:
@@ -101,13 +108,29 @@ class AutoscalerConfig:
                 f"need 1 <= min_replicas <= max_replicas, got "
                 f"[{self.min_replicas}, {self.max_replicas}]"
             )
+        if not 0 <= self.min_spillover_replicas <= self.max_spillover_replicas:
+            raise ValueError(
+                f"need 0 <= min_spillover_replicas <= max_spillover_replicas, "
+                f"got [{self.min_spillover_replicas}, "
+                f"{self.max_spillover_replicas}]"
+            )
         if self.max_steps < 1:
             raise ValueError(f"max steps must be >= 1, got {self.max_steps}")
+
+    @property
+    def heterogeneous(self) -> bool:
+        """Whether the GPU spillover axis is part of the search space."""
+        return self.max_spillover_replicas > 0
 
 
 @dataclass(frozen=True)
 class ScaleStep:
-    """One evaluated (shards, replicas) config and its measurements."""
+    """One evaluated deployment config and its measurements.
+
+    ``spillover_replicas`` is the heterogeneous third axis (GPU spillover
+    replicas per shard); it stays 0 on homogeneous searches, where
+    ``config_key`` keeps its historical 2-tuple shape.
+    """
 
     shards: int
     replicas: int
@@ -115,9 +138,20 @@ class ScaleStep:
     tenant_reports: Dict[str, SLOReport]
     meets_slo: bool
     violations: Tuple[str, ...]  # human-readable contract breaches
+    spillover_replicas: int = 0
 
     @property
-    def config_key(self) -> Tuple[int, int]:
+    def config_key(self) -> Tuple[int, ...]:
+        """(shards, replicas) -- extended by spillover only when present.
+
+        A homogeneous step keeps the 2-tuple key so pinned homogeneous
+        trajectories (and their memo keys) are unchanged; a heterogeneous
+        step carries the GPU axis.  Mixed tuples still compare cleanly:
+        ``(s, r) < (s, r, k)`` for any ``k >= 1``, i.e. ties on the IMC
+        axes prefer the fleet with no GPUs.
+        """
+        if self.spillover_replicas:
+            return (self.shards, self.replicas, self.spillover_replicas)
         return (self.shards, self.replicas)
 
 
@@ -130,24 +164,34 @@ class AutoscaleResult:
     converged: bool
 
     @property
-    def chosen(self) -> Tuple[int, int]:
-        """The (shards, replicas) deployment the loop settled on."""
+    def chosen(self) -> Tuple[int, ...]:
+        """The deployment the loop settled on.
+
+        A 2-tuple ``(shards, replicas)`` for homogeneous fleets, a
+        3-tuple ``(shards, replicas, spillover_replicas)`` when the
+        chosen step fields GPU spillover replicas.
+        """
         return self.best.config_key
 
     def format(self) -> str:
         lines = []
         for step in self.steps:
             marker = "ok " if step.meets_slo else "VIOL"
+            spill = (
+                f" spillover={step.spillover_replicas}"
+                if step.spillover_replicas
+                else ""
+            )
             lines.append(
-                f"  [{marker}] shards={step.shards} replicas={step.replicas} "
-                f"p95={step.report.p95_ms:8.3f}ms "
+                f"  [{marker}] shards={step.shards} replicas={step.replicas}"
+                f"{spill} p95={step.report.p95_ms:8.3f}ms "
                 f"E/req={step.report.energy_per_request_uj:10.4f}uJ"
             )
         state = "converged" if self.converged else "exhausted bounds"
-        lines.append(
-            f"  -> {state}: shards={self.best.shards} "
-            f"replicas={self.best.replicas}"
-        )
+        chosen = f"shards={self.best.shards} replicas={self.best.replicas}"
+        if self.best.spillover_replicas:
+            chosen += f" spillover={self.best.spillover_replicas}"
+        lines.append(f"  -> {state}: {chosen}")
         return "\n".join(lines)
 
 
@@ -158,22 +202,33 @@ class Autoscaler:
     :class:`~repro.serving.session.ServingResult` of serving the *same*
     request stream on that deployment (the experiment builds the engine,
     session, cache and scheduler; the autoscaler only reads SLO reports).
+
+    With ``config.max_spillover_replicas > 0`` the search runs over the
+    heterogeneous ``(shards, replicas, spillover_replicas)`` grid and
+    ``evaluate`` is called with three arguments instead; placement stays
+    energy-aware -- among SLO-feasible deployments the minimum
+    energy-per-request wins, so the loop only fields GPU spillover
+    replicas (an order of magnitude hungrier per query than the IMC
+    fabric) when the homogeneous axes cannot meet the contract.
     """
 
     def __init__(
         self,
-        evaluate: Callable[[int, int], ServingResult],
+        evaluate: Callable[..., ServingResult],
         config: AutoscalerConfig,
     ):
         self.evaluate = evaluate
         self.config = config
-        self._memo: Dict[Tuple[int, int], ScaleStep] = {}
+        self._memo: Dict[Tuple[int, int, int], ScaleStep] = {}
 
-    def _measure(self, shards: int, replicas: int) -> ScaleStep:
-        key = (shards, replicas)
+    def _measure(self, shards: int, replicas: int, spillover: int = 0) -> ScaleStep:
+        key = (shards, replicas, spillover)
         if key in self._memo:
             return self._memo[key]
-        result = self.evaluate(shards, replicas)
+        if self.config.heterogeneous:
+            result = self.evaluate(shards, replicas, spillover)
+        else:
+            result = self.evaluate(shards, replicas)
         report = result.report
         tenant_reports = result.tenant_reports
         violations: List[str] = []
@@ -197,30 +252,41 @@ class Autoscaler:
             tenant_reports=tenant_reports,
             meets_slo=not violations,
             violations=tuple(violations),
+            spillover_replicas=spillover,
         )
         self._memo[key] = step
         return step
 
-    def _candidates(self, shards: int, replicas: int) -> List[Tuple[int, int]]:
-        """The single-step scale-outs from (shards, replicas), in bounds."""
+    def _candidates(
+        self, shards: int, replicas: int, spillover: int
+    ) -> List[Tuple[int, int, int]]:
+        """The single-step scale-outs from the current config, in bounds."""
         moves = []
         if shards < self.config.max_shards:
-            moves.append((shards + 1, replicas))
+            moves.append((shards + 1, replicas, spillover))
         if replicas < self.config.max_replicas:
-            moves.append((shards, replicas + 1))
+            moves.append((shards, replicas + 1, spillover))
+        if spillover < self.config.max_spillover_replicas:
+            moves.append((shards, replicas, spillover + 1))
         return moves
 
     def run(self) -> AutoscaleResult:
         """Close the loop: measure, scale out along the better axis, repeat."""
-        current = self._measure(self.config.min_shards, self.config.min_replicas)
+        current = self._measure(
+            self.config.min_shards,
+            self.config.min_replicas,
+            self.config.min_spillover_replicas,
+        )
         steps = [current]
         for _ in range(self.config.max_steps):
             if current.meets_slo:
                 break
-            moves = self._candidates(current.shards, current.replicas)
+            moves = self._candidates(
+                current.shards, current.replicas, current.spillover_replicas
+            )
             if not moves:
                 break  # bounds exhausted while still violating
-            measured = [self._measure(shards, replicas) for shards, replicas in moves]
+            measured = [self._measure(*move) for move in moves]
             steps.extend(measured)
             feasible = [step for step in measured if step.meets_slo]
             if feasible:
@@ -393,11 +459,17 @@ class ScheduledScalePlan:
     pre-provisioning pattern: grow *before* the advertised flash crowd,
     shrink after it).  Implements the same ``observe`` protocol as
     :class:`OnlineScaler`.
+
+    Edge cases are pinned down so forecast-built plans compose safely:
+    an *empty* plan is legal and is a no-op (a session driven by it is
+    bit-identical to one with no scaler at all -- the shape a forecaster
+    that found nothing to do emits); out-of-order events are sorted by
+    time with a *stable* sort, so duplicate timestamps keep their
+    listing order deterministically, and when several events are due at
+    one dispatch the last-listed deployment wins.
     """
 
     def __init__(self, events: Sequence[Tuple[float, Tuple[int, int]]]):
-        if not events:
-            raise ValueError("need at least one scheduled event")
         self.events = sorted(
             ((float(time_s), (int(s), int(r))) for time_s, (s, r) in events),
             key=lambda event: event[0],

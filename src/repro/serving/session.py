@@ -229,6 +229,10 @@ class ServingSession:
         if telemetry is not None:
             attach_telemetry(self.engine, telemetry)
             self.scheduler.telemetry = telemetry
+            if scaler is not None and hasattr(scaler, "attach_telemetry"):
+                # Forecast-driven scalers emit fit instants and
+                # repro_forecast_* metrics into the session's trace.
+                scaler.attach_telemetry(telemetry)
         if faults is not None or resilience is not None:
             plan = faults if faults is not None else FaultPlan(())
             self.faults: Optional[FaultContext] = FaultContext(

@@ -17,7 +17,13 @@ import numpy as np
 from repro.energy.accounting import Cost, Ledger
 from repro.serving.traffic import Request
 
-__all__ = ["RequestRecord", "SLOReport", "summarize", "summarize_tenants"]
+__all__ = [
+    "RequestRecord",
+    "SLOReport",
+    "summarize",
+    "summarize_tenants",
+    "slo_violation_windows",
+]
 
 
 @dataclass(frozen=True)
@@ -273,6 +279,63 @@ def summarize(
             price_ledger.total() if price_ledger is not None else None
         ),
     )
+
+
+def slo_violation_windows(
+    records: Sequence[RequestRecord],
+    p95_target_s: float,
+    window_s: float,
+) -> Tuple[int, int]:
+    """Count fixed-width time windows whose p95 breaks the contract.
+
+    A whole-run p95 hides *when* the tail hurt: a reactive scaler that
+    melts down for one ramp and is perfect elsewhere can post the same
+    run-level p95 as a predictive one that was merely mediocre
+    throughout.  Bucketing answered requests into ``window_s``-wide
+    windows (by completion time, from the first arrival) and judging
+    each window's own p95 against ``p95_target_s`` measures the duration
+    of the pain instead -- the headline metric of the ``E-forecast``
+    reactive-vs-predictive comparison.
+
+    Returns ``(violated, occupied)`` where ``occupied`` counts windows
+    with at least one answered completion (empty windows have no tail to
+    judge).  Shed and failed requests are excluded for the same reason
+    they are excluded from :func:`summarize`'s percentiles.
+
+    >>> from repro.serving.traffic import Request
+    >>> records = [
+    ...     RequestRecord(
+    ...         request=Request(request_id=i, arrival_s=float(i), user=0),
+    ...         completion_s=float(i) + latency,
+    ...         batch_size=1,
+    ...         cache_hit=False,
+    ...         items=(0,),
+    ...     )
+    ...     for i, latency in enumerate([0.01, 0.01, 0.5, 0.5])
+    ... ]
+    >>> slo_violation_windows(records, p95_target_s=0.1, window_s=2.0)
+    (1, 2)
+    """
+    if p95_target_s <= 0.0:
+        raise ValueError(f"p95 target must be positive, got {p95_target_s}")
+    if window_s <= 0.0:
+        raise ValueError(f"window must be positive, got {window_s}")
+    answered = [
+        record for record in records if not record.shed and not record.failed
+    ]
+    if not answered:
+        return (0, 0)
+    origin_s = min(record.request.arrival_s for record in answered)
+    buckets: Dict[int, list] = {}
+    for record in answered:
+        index = int((record.completion_s - origin_s) // window_s)
+        buckets.setdefault(index, []).append(record.latency_s)
+    violated = sum(
+        1
+        for latencies in buckets.values()
+        if float(np.percentile(latencies, 95)) > p95_target_s
+    )
+    return (violated, len(buckets))
 
 
 def summarize_tenants(

@@ -240,6 +240,19 @@ class DiurnalTraffic(_TrafficBase):
         phase = 2.0 * np.pi * time_s / self.period_s
         return self.base_qps * (1.0 + self.amplitude * np.sin(phase))
 
+    def forecast_model(self):
+        """The generator's own rate curve as a
+        :class:`~repro.serving.forecast.ForecastModel` -- the *oracle*
+        forecast: what a fitted model converges to with infinite
+        evidence (zero residual by construction)."""
+        from repro.serving.forecast import ForecastModel
+
+        return ForecastModel(
+            base_qps=self.base_qps,
+            amplitude=self.amplitude,
+            period_s=self.period_s,
+        )
+
     def generate(self, num_requests: int) -> List[Request]:
         if num_requests < 1:
             raise ValueError("need at least one request")

@@ -94,4 +94,5 @@ class TestCLI:
             "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8",
             "A1", "A2", "A3", "A4", "A5", "A6", "A7", "A8", "A9",
             "E-SERVE", "E-AUTOSCALE", "E-HETERO", "E-CHAOS", "E-COST",
+            "E-FORECAST",
         }

@@ -174,8 +174,112 @@ def test_missing_tenant_is_a_violation():
         {"p95_slo_ms": 5.0, "min_shards": 3, "max_shards": 2},
         {"p95_slo_ms": 5.0, "min_replicas": 0},
         {"p95_slo_ms": 5.0, "max_steps": 0},
+        {"p95_slo_ms": 5.0, "min_spillover_replicas": -1},
+        {"p95_slo_ms": 5.0, "min_spillover_replicas": 2,
+         "max_spillover_replicas": 1},
     ],
 )
 def test_config_validation(kwargs):
     with pytest.raises(ValueError):
         AutoscalerConfig(**kwargs)
+
+
+class _StubHeteroDeployments:
+    """evaluate() over {(shards, replicas, spillover): (p95, energy)}."""
+
+    def __init__(self, table):
+        self.table = table
+        self.calls = []
+
+    def __call__(self, shards, replicas, spillover):
+        self.calls.append((shards, replicas, spillover))
+        p95_ms, energy_uj = self.table[(shards, replicas, spillover)]
+        return _StubResult(
+            _report(f"s={shards} r={replicas} g={spillover}", p95_ms, energy_uj),
+            {},
+        )
+
+
+class TestHeterogeneousSearch:
+    def test_homogeneous_default_calls_evaluate_with_two_args(self):
+        # max_spillover_replicas=0 keeps the historical contract: 2-arg
+        # evaluate, 2-tuple keys.  (The homogeneous tests above all run
+        # through this path.)
+        stub = _StubDeployments({(1, 1): (5.0, 1.0)})
+        outcome = Autoscaler(stub, AutoscalerConfig(p95_slo_ms=10.0)).run()
+        assert outcome.chosen == (1, 1)
+        assert outcome.best.spillover_replicas == 0
+
+    def test_spillover_axis_searched_when_homogeneous_grid_infeasible(self):
+        # The IMC grid is capped at (2, 2) and never meets the contract;
+        # only GPU spillover does.  The heterogeneous search must find it
+        # and report a 3-tuple choice.
+        table = {
+            (1, 1, 0): (40.0, 1.0),
+            (2, 1, 0): (30.0, 1.1),
+            (1, 2, 0): (28.0, 1.0),
+            (1, 1, 1): (9.0, 5.0),
+            (2, 2, 0): (20.0, 1.2),
+            (1, 3, 0): (24.0, 1.0),
+            (2, 1, 1): (8.0, 5.5),
+            (1, 2, 1): (7.0, 5.2),
+            (1, 1, 2): (6.0, 9.0),
+        }
+        stub = _StubHeteroDeployments(table)
+        outcome = Autoscaler(
+            stub,
+            AutoscalerConfig(
+                p95_slo_ms=10.0, max_shards=2, max_replicas=2,
+                max_spillover_replicas=2, max_steps=8,
+            ),
+        ).run()
+        assert outcome.converged
+        assert len(outcome.chosen) == 3
+        assert outcome.chosen[2] >= 1
+        assert all(len(call) == 3 for call in stub.calls)
+
+    def test_energy_aware_placement_prefers_imc_when_feasible(self):
+        # Both a GPU-backed config and a pure-IMC config meet the SLO;
+        # the hungry GPU one must lose on energy even though it is
+        # measured first.
+        table = {
+            (1, 1, 0): (40.0, 1.0),
+            (2, 1, 0): (12.0, 1.2),
+            (1, 2, 0): (9.0, 1.1),   # feasible, cheap -> chosen
+            (1, 1, 1): (6.0, 8.0),   # feasible, GPU-priced -> rejected
+        }
+        stub = _StubHeteroDeployments(table)
+        outcome = Autoscaler(
+            stub,
+            AutoscalerConfig(
+                p95_slo_ms=10.0, max_shards=2, max_replicas=2,
+                max_spillover_replicas=1, max_steps=8,
+            ),
+        ).run()
+        assert outcome.converged
+        assert outcome.chosen == (1, 2)
+        assert outcome.best.spillover_replicas == 0
+
+    def test_min_spillover_floor_starts_heterogeneous(self):
+        table = {(1, 1, 1): (5.0, 4.0)}
+        stub = _StubHeteroDeployments(table)
+        outcome = Autoscaler(
+            stub,
+            AutoscalerConfig(
+                p95_slo_ms=10.0, min_spillover_replicas=1,
+                max_spillover_replicas=2,
+            ),
+        ).run()
+        assert outcome.converged
+        assert outcome.chosen == (1, 1, 1)
+
+    def test_format_mentions_spillover(self):
+        table = {(1, 1, 1): (5.0, 4.0)}
+        outcome = Autoscaler(
+            _StubHeteroDeployments(table),
+            AutoscalerConfig(
+                p95_slo_ms=10.0, min_spillover_replicas=1,
+                max_spillover_replicas=1,
+            ),
+        ).run()
+        assert "spillover=1" in outcome.format()

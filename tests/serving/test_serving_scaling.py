@@ -233,8 +233,78 @@ class TestScheduledScalePlan:
 
     def test_validation(self):
         with pytest.raises(ValueError):
-            ScheduledScalePlan([])
-        with pytest.raises(ValueError):
             ScheduledScalePlan([(-1.0, (1, 1))])
         with pytest.raises(ValueError):
             ScheduledScalePlan([(0.0, (0, 1))])
+
+    def test_empty_plan_is_legal_noop(self):
+        # The shape a forecaster with nothing to do emits: legal, fires
+        # nothing, forever.
+        plan = ScheduledScalePlan([])
+        batch = Batch(requests=[], open_s=1.0, dispatch_s=1.0)
+        assert plan.observe(batch, 0.0, [], (1, 1)) is None
+        assert plan.observe(batch, 0.0, [], (1, 1)) is None
+
+    def test_empty_plan_bit_identical_to_no_scaler(self, scaling_setup):
+        factory, workload, requests, _ = scaling_setup
+        bare = _session(factory, workload).run(requests)
+        planned = _session(
+            factory, workload, scaler=ScheduledScalePlan([])
+        ).run(requests)
+        assert planned.scale_events == []
+        assert len(bare.records) == len(planned.records)
+        for left, right in zip(bare.records, planned.records):
+            assert left.items == right.items
+            assert left.completion_s == right.completion_s
+            assert left.cache_hit == right.cache_hit
+        assert (
+            bare.ledger.total().energy_pj == planned.ledger.total().energy_pj
+        )
+
+    def test_duplicate_timestamps_deterministic_last_listed_wins(self):
+        # A stable time sort keeps listing order among equal timestamps,
+        # and the latest due event wins -- so the last-listed deployment
+        # at a duplicated time is the one that fires.
+        plan = ScheduledScalePlan([(0.5, (2, 1)), (0.5, (2, 2)), (0.5, (3, 1))])
+        batch = Batch(requests=[], open_s=1.0, dispatch_s=1.0)
+        assert plan.observe(batch, 0.0, [], (1, 1)) == (3, 1)
+        assert plan.observe(batch, 0.0, [], (3, 1)) is None
+
+    def test_out_of_order_events_sorted_by_time(self):
+        plan = ScheduledScalePlan([(0.9, (2, 2)), (0.1, (2, 1))])
+        assert [time_s for time_s, _ in plan.events] == [0.1, 0.9]
+        early = Batch(requests=[], open_s=0.2, dispatch_s=0.2)
+        assert plan.observe(early, 0.0, [], (1, 1)) == (2, 1)
+        late = Batch(requests=[], open_s=1.0, dispatch_s=1.0)
+        assert plan.observe(late, 0.0, [], (2, 1)) == (2, 2)
+
+    def test_mid_batch_event_never_splits_ledger_rows(self, scaling_setup):
+        # A plan time strictly inside a batch's occupancy fires after the
+        # batch completes: the billed prefix up to the Migration row is
+        # exactly the unplanned run's row sequence -- migration is a
+        # whole appended row, never an interleaved split of a batch's
+        # Cache/Serve rows.
+        factory, workload, requests, _ = scaling_setup
+        bare = _session(factory, workload).run(requests)
+        first_serve = next(
+            record for record in bare.records if not record.cache_hit
+        )
+        # Strictly inside the first served batch's service window.
+        mid_batch_s = (
+            first_serve.completion_s - 0.25 * (
+                first_serve.completion_s - first_serve.request.arrival_s
+            )
+        )
+        plan = ScheduledScalePlan([(mid_batch_s, (2, 1))])
+        planned = _session(factory, workload, scaler=plan).run(requests)
+        assert len(planned.scale_events) == 1
+        bare_rows = list(bare.ledger)
+        planned_rows = list(planned.ledger)
+        migration_at = next(
+            index for index, (category, _) in enumerate(planned_rows)
+            if category == "Migration"
+        )
+        assert sum(
+            1 for category, _ in planned_rows if category == "Migration"
+        ) == 1
+        assert planned_rows[:migration_at] == bare_rows[:migration_at]

@@ -1,0 +1,62 @@
+"""The docs tree is code: it must agree with what the CLI registers.
+
+``docs/experiments.md`` carries one ``## <ID> -- <title>`` section per
+experiment.  These tests hold the catalog and the CLI registry to
+set-equality in both directions, so adding an experiment without
+documenting it (or documenting one that does not exist) fails tier-1,
+not review.
+"""
+
+import re
+from pathlib import Path
+
+from repro.cli import EXPERIMENTS, SERVING_EXPERIMENTS
+
+DOCS = Path(__file__).resolve().parent.parent / "docs"
+
+# "## E7 -- ..." / "## A3 -- ..." / "## E-FORECAST -- ..." (em dash in
+# the prose; any dash variant accepted here).
+_HEADING = re.compile(r"^## ([EA]\d+|E-[A-Z]+)\b", re.MULTILINE)
+
+
+def _catalog_ids() -> set:
+    text = (DOCS / "experiments.md").read_text(encoding="utf-8")
+    return set(_HEADING.findall(text))
+
+
+def test_every_cli_experiment_is_cataloged():
+    missing = set(EXPERIMENTS) - _catalog_ids()
+    assert not missing, f"experiments missing from docs/experiments.md: {sorted(missing)}"
+
+
+def test_every_cataloged_experiment_exists_in_cli():
+    stale = _catalog_ids() - set(EXPERIMENTS)
+    assert not stale, f"docs/experiments.md documents unknown experiments: {sorted(stale)}"
+
+
+def test_catalog_has_no_duplicate_sections():
+    text = (DOCS / "experiments.md").read_text(encoding="utf-8")
+    ids = _HEADING.findall(text)
+    assert len(ids) == len(set(ids)), "duplicate experiment sections in docs/experiments.md"
+
+
+def test_serving_experiments_documented_as_telemetry_capable():
+    # The catalog's preamble names exactly the experiments that accept
+    # --trace-out/--metrics-out, which the CLI enforces at parse time.
+    text = (DOCS / "experiments.md").read_text(encoding="utf-8")
+    preamble = text.split("---", 1)[0]
+    named = set(re.findall(r"`(E-[A-Z]+)`", preamble))
+    assert named == set(SERVING_EXPERIMENTS), (
+        f"telemetry-capable list out of date: docs name {sorted(named)}, "
+        f"CLI enforces {sorted(SERVING_EXPERIMENTS)}"
+    )
+
+
+def test_docs_tree_cross_links_resolve():
+    # Relative markdown links between the doc pages must point at files
+    # that exist (catches renames).
+    link = re.compile(r"\]\((?!https?://)([^)#]+)\)")
+    for page in DOCS.glob("*.md"):
+        for target in link.findall(page.read_text(encoding="utf-8")):
+            resolved = (page.parent / target).resolve()
+            assert resolved.exists(), f"{page.name} links to missing {target}"
